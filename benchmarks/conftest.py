@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 5) at a configurable scale.  The scale can be raised towards the
+paper's table sizes with ``--repro-scale``; the default keeps a full
+``pytest benchmarks/ --benchmark-only`` run in the low minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        type=float,
+        default=0.25,
+        help="row-count scale factor applied to the generated datasets",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request) -> float:
+    return request.config.getoption("--repro-scale")

@@ -1,0 +1,50 @@
+"""Section 5.4 (efficiency): discovery runtime of FDep, CFDFinder, and PFD
+discovery (single and multi LHS) as the table grows.
+
+The paper's claim is an ordering — FDep < CFDFinder < PFD < PFD multi-LHS —
+with all methods remaining practical.  Absolute numbers depend on the host;
+the bench asserts the ordering on aggregate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.efficiency import run_efficiency
+
+
+@pytest.fixture(scope="module")
+def efficiency(repro_scale):
+    base = max(repro_scale, 0.25)
+    row_counts = tuple(int(n * base) for n in (1000, 2000, 4000))
+    return run_efficiency(row_counts=row_counts)
+
+
+def test_bench_efficiency_scaling(benchmark):
+    result = benchmark.pedantic(
+        run_efficiency, kwargs={"row_counts": (200, 400)}, rounds=1, iterations=1
+    )
+    assert len(result.points) == 2
+
+
+def test_efficiency_ordering_reproduces_paper_shape(efficiency):
+    print()
+    print(efficiency.render())
+
+    total_fdep = sum(point.fdep_seconds for point in efficiency.points)
+    total_cfd = sum(point.cfd_seconds for point in efficiency.points)
+    total_pfd = sum(point.pfd_seconds for point in efficiency.points)
+    total_multi = sum(point.pfd_multi_seconds for point in efficiency.points)
+
+    # Whole-value baselines are cheaper than PFD discovery (which has to deal
+    # with partial values), and multi-LHS PFD discovery costs the most.  Note
+    # one deviation from the paper recorded in EXPERIMENTS.md: our simple
+    # hash-grouping CFDFinder re-implementation is not slower than FDep, so
+    # only the "baselines < PFD < PFD multi-LHS" part of the ordering is
+    # asserted.
+    assert total_fdep <= total_pfd
+    assert total_cfd <= total_pfd
+    assert total_pfd <= total_multi * 1.1
+    assert total_fdep <= total_multi
+    # Runtime grows with the table size for PFD discovery.
+    assert efficiency.points[-1].pfd_seconds >= efficiency.points[0].pfd_seconds * 0.8

@@ -1,0 +1,80 @@
+"""Figure 5: detection of injected errors drawn from *outside* the active
+domain of Zip -> State, sweeping the error rate, the minimum support K, and
+the allowed-noise ratio delta.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import run_figure
+
+
+ERROR_RATES = (0.01, 0.04, 0.07, 0.10)
+SUPPORTS = (2, 4, 6)
+NOISE_RATIOS = (0.01, 0.04, 0.07)
+
+
+@pytest.fixture(scope="module")
+def figure5(repro_scale):
+    rows = max(300, int(920 * max(repro_scale, 0.3)))
+    return run_figure(
+        "outside",
+        rows=rows,
+        error_rates=ERROR_RATES,
+        supports=SUPPORTS,
+        noise_ratios=NOISE_RATIOS,
+    )
+
+
+def test_bench_figure5_sweep(benchmark, repro_scale):
+    rows = max(300, int(920 * max(repro_scale, 0.3)))
+    result = benchmark.pedantic(
+        run_figure,
+        args=("outside",),
+        kwargs={
+            "rows": rows,
+            "error_rates": (0.02, 0.08),
+            "supports": (2, 6),
+            "noise_ratios": (0.04,),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.points) == 4
+
+
+def test_figure5_series_reproduce_paper_shape(figure5):
+    print()
+    print(figure5.render())
+
+    def mean(values):
+        values = list(values)
+        return sum(values) / len(values) if values else 0.0
+
+    # Shape 1: precision increases (weakly) with the minimum support K.
+    precision_by_support = {
+        support: mean(p.precision for p in figure5.points if p.min_support == support)
+        for support in SUPPORTS
+    }
+    assert precision_by_support[6] >= precision_by_support[2] - 0.05
+
+    # Shape 2: recall decreases with the minimum support K.
+    recall_by_support = {
+        support: mean(p.recall for p in figure5.points if p.min_support == support)
+        for support in SUPPORTS
+    }
+    assert recall_by_support[6] <= recall_by_support[2] + 0.05
+
+    # Shape 3: recall decreases as the error rate grows (for K=2, delta=4%).
+    series = figure5.series(2, 0.04)
+    assert series[-1].recall <= series[0].recall + 0.05
+
+    # Shape 4: larger delta gives better or equal recall at K=2.
+    recall_small_delta = mean(p.recall for p in figure5.points if p.min_support == 2 and p.noise_ratio == 0.01)
+    recall_large_delta = mean(p.recall for p in figure5.points if p.min_support == 2 and p.noise_ratio == 0.07)
+    assert recall_large_delta >= recall_small_delta - 0.05
+
+    # Shape 5: precision stays high overall (errors come from outside the
+    # active domain, so flagged cells are almost always genuine errors).
+    assert mean(p.precision for p in figure5.points) >= 0.8

@@ -1,0 +1,62 @@
+"""Cleaning a person registry: first names determine gender.
+
+This example mirrors the paper's motivating workload (Table 1 / Table 3):
+a directory of people written as ``Last, First M.`` where the *first name*
+token — a partial attribute value — determines the gender.  Plain FDs cannot
+express this; PFDs can, and the discovered PFDs find the miscoded rows.
+
+Run with:  python examples/census_name_gender_cleaning.py
+"""
+
+from repro import DiscoveryConfig, PFDDiscoverer, detect_errors
+from repro.constraints import FD
+from repro.cleaning import cell_precision_recall
+from repro.datagen import build_name_gender_table
+from repro.discovery import rank_dependencies
+
+
+def main() -> None:
+    # A synthetic registry with 2% of the gender cells flipped; the generator
+    # records exactly which cells it corrupted so we can score ourselves.
+    table = build_name_gender_table(rows=800, seed=17, dirt_rate=0.02)
+    relation = table.relation
+    print(f"{relation.row_count} people, {len(table.error_cells)} corrupted gender cells")
+    print(relation.pretty(limit=6))
+
+    # A classical FD is useless here: full names are (almost) unique, so the
+    # FD full_name -> gender holds trivially and flags nothing.
+    fd = FD("full_name", "gender", relation.name)
+    print(f"\nclassical FD {fd}: holds={fd.holds_on(relation)} (flags nothing)")
+
+    # Discover PFDs: the first-name token determines the gender.
+    config = DiscoveryConfig(min_support=4, noise_ratio=0.05, min_coverage=0.10)
+    result = PFDDiscoverer(config).discover(relation)
+    dependency = result.dependency_for(("full_name",), "gender")
+    if dependency is None:
+        print("no full_name -> gender dependency found; try a larger table")
+        return
+    print("\ndiscovered dependency:")
+    print(dependency.pfd.describe() if len(dependency.pfd.tableau) <= 12
+          else f"{dependency.pfd} (first rows)\n"
+          + "\n".join("  " + r.render(('full_name',), ('gender',))
+                      for r in dependency.pfd.tableau.rows[:12]))
+
+    # Rank all discovered dependencies by trustworthiness (Section 4.5).
+    print("\nranked dependencies:")
+    for entry in rank_dependencies(result.dependencies, relation):
+        print(f"  score={entry.score:.2f} coverage={entry.coverage:.2f} "
+              f"rows={entry.tableau_size}  {entry.dependency}")
+
+    # Detect the miscoded genders and score against the generator's truth.
+    report = detect_errors(relation, [dependency.pfd])
+    detected = {cell for cell in report.error_cells if cell.attribute == "gender"}
+    metrics = cell_precision_recall(detected, table.error_cells.keys())
+    print(f"\ndetected {len(detected)} suspicious gender cells: {metrics}")
+    for error in report.errors[:8]:
+        row = relation.row_dict(error.cell.row_id)
+        print(f"  {row['full_name']:28s} gender={row['gender']} "
+              f"suggested={error.suggested_value}")
+
+
+if __name__ == "__main__":
+    main()

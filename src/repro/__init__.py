@@ -1,0 +1,81 @@
+"""repro — Pattern Functional Dependencies (PFDs) for data cleaning.
+
+A from-scratch reproduction of *"Pattern Functional Dependencies for Data
+Cleaning"* (Qahtan, Tang, Ouzzani, Cao, Stonebraker; PVLDB 13(5), 2020).
+
+The library provides:
+
+* :mod:`repro.patterns` — the regex-like pattern language with constrained
+  parts, NFA-based containment, and pattern induction;
+* :mod:`repro.dataset` — relations, CSV I/O, profiling, tokenization, and
+  the inverted pattern index;
+* :mod:`repro.core` — the :class:`~repro.core.pfd.PFD` constraint class and
+  pattern tableaux;
+* :mod:`repro.constraints` — classical FDs and CFDs;
+* :mod:`repro.inference` — the axiom system, PFD-closure, implication, and
+  consistency analysis;
+* :mod:`repro.discovery` — PFD discovery from dirty data plus the FDep and
+  CFDFinder baselines;
+* :mod:`repro.cleaning` — error injection, detection, repair, and metrics;
+* :mod:`repro.datagen` — the synthetic 15-table benchmark suite;
+* :mod:`repro.experiments` — runners that regenerate every table and figure
+  of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import Relation, discover_pfds, detect_errors
+>>> table = Relation.from_rows(
+...     ["zip", "city"],
+...     [("90001", "Los Angeles"), ("90002", "Los Angeles"), ("90003", "Los Angeles")],
+... )
+>>> result = discover_pfds(table)
+>>> pfds = result.pfds
+"""
+
+from .cleaning import detect_errors, inject_errors, repair_errors
+from .constraints import CFD, FD, CellRef, Violation
+from .core import PFD, PatternTableau, PatternTuple, WILDCARD, make_pfd
+from .dataset import Relation, Schema, read_csv, write_csv
+from .discovery import (
+    DiscoveryConfig,
+    DiscoveryResult,
+    PFDDiscoverer,
+    discover_cfds,
+    discover_fds,
+    discover_pfds,
+)
+from .inference import check_consistency, implies
+from .patterns import Pattern, compile_pattern, parse_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "detect_errors",
+    "inject_errors",
+    "repair_errors",
+    "CFD",
+    "FD",
+    "CellRef",
+    "Violation",
+    "PFD",
+    "PatternTableau",
+    "PatternTuple",
+    "WILDCARD",
+    "make_pfd",
+    "Relation",
+    "Schema",
+    "read_csv",
+    "write_csv",
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "PFDDiscoverer",
+    "discover_cfds",
+    "discover_fds",
+    "discover_pfds",
+    "check_consistency",
+    "implies",
+    "Pattern",
+    "compile_pattern",
+    "parse_pattern",
+    "__version__",
+]

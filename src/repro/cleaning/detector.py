@@ -1,0 +1,130 @@
+"""Error detection with PFDs (Section 5.3).
+
+Given a relation and a set of (validated) PFDs, the detector collects every
+violation, maps it to the suspect cells, and aggregates the per-cell evidence
+into an error report.  When several PFDs disagree about a cell, the cell is
+still reported (any violation is evidence of *some* error in the violating
+tuple pair), but the proposed repair comes from the constraint with the
+strongest support.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from ..constraints.base import CellRef, Violation
+from ..core.pfd import PFD
+from ..dataset.relation import Relation
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectedError:
+    """One suspected erroneous cell with its evidence."""
+
+    cell: CellRef
+    current_value: str
+    suggested_value: Optional[str]
+    evidence_count: int
+    constraints: tuple[str, ...]
+
+
+@dataclasses.dataclass
+class DetectionReport:
+    """All errors detected on one relation by one set of PFDs."""
+
+    relation_name: str
+    errors: list[DetectedError]
+    violations: list[Violation]
+
+    @property
+    def error_cells(self) -> set[CellRef]:
+        return {error.cell for error in self.errors}
+
+    def errors_in(self, attribute: str) -> list[DetectedError]:
+        return [error for error in self.errors if error.cell.attribute == attribute]
+
+    def __len__(self) -> int:
+        return len(self.errors)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.errors)} suspected errors in {self.relation_name!r}"]
+        for error in self.errors[:25]:
+            suggestion = (
+                f" -> {error.suggested_value!r}" if error.suggested_value is not None else ""
+            )
+            lines.append(
+                f"  {error.cell} = {error.current_value!r}{suggestion} "
+                f"({error.evidence_count} violation(s))"
+            )
+        if len(self.errors) > 25:
+            lines.append(f"  ... and {len(self.errors) - 25} more")
+        return "\n".join(lines)
+
+
+class ErrorDetector:
+    """Detect cell-level errors by evaluating PFD violations.
+
+    Parameters
+    ----------
+    pfds:
+        The constraints to evaluate (typically validated discovery output).
+    min_evidence:
+        Minimum number of violations that must implicate a cell before it is
+        reported (1 keeps every suspect; higher values trade recall for
+        precision when many overlapping PFDs are supplied).
+    """
+
+    def __init__(self, pfds: Sequence[PFD], min_evidence: int = 1):
+        self.pfds = list(pfds)
+        self.min_evidence = min_evidence
+
+    def detect(self, relation: Relation) -> DetectionReport:
+        """Evaluate every PFD and aggregate suspect cells into a report."""
+        all_violations: list[Violation] = []
+        evidence: dict[CellRef, list[Violation]] = defaultdict(list)
+        for pfd in self.pfds:
+            for violation in pfd.violations(relation):
+                all_violations.append(violation)
+                for cell in violation.suspect_cells:
+                    evidence[cell].append(violation)
+
+        errors: list[DetectedError] = []
+        for cell, cell_violations in sorted(evidence.items()):
+            if len(cell_violations) < self.min_evidence:
+                continue
+            suggestion = self._best_suggestion(cell_violations)
+            errors.append(
+                DetectedError(
+                    cell=cell,
+                    current_value=relation.cell(cell.row_id, cell.attribute),
+                    suggested_value=suggestion,
+                    evidence_count=len(cell_violations),
+                    constraints=tuple(
+                        dict.fromkeys(v.constraint_repr for v in cell_violations)
+                    ),
+                )
+            )
+        return DetectionReport(
+            relation_name=relation.name, errors=errors, violations=all_violations
+        )
+
+    @staticmethod
+    def _best_suggestion(violations: Iterable[Violation]) -> Optional[str]:
+        """Majority vote over the expected values proposed by the violations."""
+        counts: dict[str, int] = defaultdict(int)
+        for violation in violations:
+            if violation.expected_value is not None:
+                counts[violation.expected_value] += 1
+        if not counts:
+            return None
+        value, _ = max(counts.items(), key=lambda item: (item[1], item[0]))
+        return value
+
+
+def detect_errors(
+    relation: Relation, pfds: Sequence[PFD], min_evidence: int = 1
+) -> DetectionReport:
+    """Convenience wrapper around :class:`ErrorDetector`."""
+    return ErrorDetector(pfds, min_evidence=min_evidence).detect(relation)

@@ -1,0 +1,111 @@
+"""Evaluation metrics for discovery and error detection.
+
+Two families of metrics are needed to reproduce the paper's tables:
+
+* **Dependency-level** precision/recall (Table 7, rows 2–3, 6–7, 11–12):
+  discovered embedded dependencies are compared against a ground-truth list.
+* **Cell-level** precision/recall (Table 7 rows 15–16, Figures 5 and 6):
+  detected error cells are compared against the set of truly erroneous cells
+  (known exactly for injected errors, and from the generator's ground truth
+  for the synthetic tables).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from ..constraints.base import CellRef, embedded_dependency_key
+
+DependencyKey = tuple[tuple[str, ...], tuple[str, ...]]
+
+
+@dataclasses.dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision / recall / F1 with the underlying counts kept around."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(tp={self.true_positives}, fp={self.false_positives}, fn={self.false_negatives})"
+        )
+
+
+def normalize_dependency(lhs: Sequence[str], rhs: Sequence[str] | str) -> DependencyKey:
+    """Canonical form of an embedded dependency for set comparison."""
+    if isinstance(rhs, str):
+        rhs = (rhs,)
+    return embedded_dependency_key(lhs, rhs)
+
+
+def dependency_precision_recall(
+    discovered: Iterable[DependencyKey],
+    ground_truth: Iterable[DependencyKey],
+) -> PrecisionRecall:
+    """Compare discovered embedded dependencies against the ground truth."""
+    discovered_set = set(discovered)
+    truth_set = set(ground_truth)
+    true_positives = len(discovered_set & truth_set)
+    false_positives = len(discovered_set - truth_set)
+    false_negatives = len(truth_set - discovered_set)
+    return PrecisionRecall(true_positives, false_positives, false_negatives)
+
+
+def cell_precision_recall(
+    detected: Iterable[CellRef],
+    actual_errors: Iterable[CellRef],
+) -> PrecisionRecall:
+    """Compare detected error cells against the known erroneous cells."""
+    detected_set = set(detected)
+    actual_set = set(actual_errors)
+    true_positives = len(detected_set & actual_set)
+    false_positives = len(detected_set - actual_set)
+    false_negatives = len(actual_set - detected_set)
+    return PrecisionRecall(true_positives, false_positives, false_negatives)
+
+
+def repair_accuracy(
+    repairs: Iterable[tuple[CellRef, str]],
+    ground_truth_values: dict[CellRef, str],
+) -> float:
+    """Fraction of repairs that restore the original (pre-error) value.
+
+    Only repairs applied to genuinely erroneous cells are counted; repairs of
+    clean cells are ignored here (they show up as cell-level false positives
+    instead).
+    """
+    relevant = 0
+    correct = 0
+    for cell, value in repairs:
+        if cell not in ground_truth_values:
+            continue
+        relevant += 1
+        if ground_truth_values[cell] == value:
+            correct += 1
+    if relevant == 0:
+        return 0.0
+    return correct / relevant

@@ -1,0 +1,146 @@
+"""Command line interface: ``pfd-discover``.
+
+Sub-commands
+------------
+``discover``  — run PFD discovery on a CSV file and print the dependencies.
+``detect``    — discover (or load) PFDs and report suspected errors.
+``suite``     — materialize the 15-table synthetic benchmark suite to CSV.
+``experiment``— run one of the paper's experiments (table3/table7/table8/
+                figure5/figure6/efficiency) and print the reproduced rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .cleaning.detector import detect_errors
+from .dataset.csvio import read_csv
+from .datagen.suite import materialize_suite
+from .discovery.config import DiscoveryConfig
+from .discovery.pfd_discovery import PFDDiscoverer
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--min-support", type=int, default=5,
+                        help="minimum support K of a pattern (default 5)")
+    parser.add_argument("--noise", type=float, default=0.05,
+                        help="allowed violation ratio delta (default 0.05)")
+    parser.add_argument("--min-coverage", type=float, default=0.10,
+                        help="minimum tableau coverage gamma (default 0.10)")
+    parser.add_argument("--max-lhs", type=int, default=1,
+                        help="maximum number of LHS attributes (default 1)")
+    parser.add_argument("--no-generalize", action="store_true",
+                        help="keep constant PFDs instead of generalizing to variable PFDs")
+
+
+def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
+    return DiscoveryConfig(
+        min_support=args.min_support,
+        noise_ratio=args.noise,
+        min_coverage=args.min_coverage,
+        max_lhs_size=args.max_lhs,
+        generalize=not args.no_generalize,
+    )
+
+
+def _command_discover(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    result = PFDDiscoverer(_config_from_args(args)).discover(relation)
+    print(result.summary())
+    if args.verbose:
+        for dependency in result.dependencies:
+            print()
+            print(dependency.pfd.describe())
+    return 0
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    result = PFDDiscoverer(_config_from_args(args)).discover(relation)
+    report = detect_errors(relation, result.pfds)
+    print(report.summary())
+    return 0
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    paths = materialize_suite(args.directory, scale=args.scale)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    # Imported lazily: the experiment runners pull in the full generator suite.
+    from .experiments import (
+        run_efficiency,
+        run_figure5,
+        run_figure6,
+        run_table3,
+        run_table7,
+        run_table8,
+    )
+
+    name = args.name
+    scale = args.scale
+    if name == "table3":
+        print(run_table3(scale=scale).render())
+    elif name == "table7":
+        print(run_table7(scale=scale).render())
+    elif name == "table8":
+        print(run_table8(scale=scale).render())
+    elif name == "figure5":
+        print(run_figure5(rows=max(200, int(920 * scale))).render())
+    elif name == "figure6":
+        print(run_figure6(rows=max(200, int(920 * scale))).render())
+    elif name == "efficiency":
+        print(run_efficiency().render())
+    else:  # pragma: no cover - argparse choices prevent this
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pfd-discover",
+        description="Pattern functional dependency discovery and error detection",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    discover = subparsers.add_parser("discover", help="discover PFDs in a CSV file")
+    discover.add_argument("csv", help="path to the input CSV file")
+    discover.add_argument("--verbose", action="store_true", help="print full tableaux")
+    _add_config_arguments(discover)
+    discover.set_defaults(handler=_command_discover)
+
+    detect = subparsers.add_parser("detect", help="detect errors in a CSV file using discovered PFDs")
+    detect.add_argument("csv", help="path to the input CSV file")
+    _add_config_arguments(detect)
+    detect.set_defaults(handler=_command_detect)
+
+    suite = subparsers.add_parser("suite", help="materialize the synthetic benchmark suite as CSV")
+    suite.add_argument("directory", help="output directory")
+    suite.add_argument("--scale", type=float, default=1.0, help="row-count scale factor")
+    suite.set_defaults(handler=_command_suite)
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument(
+        "name",
+        choices=["table3", "table7", "table8", "figure5", "figure6", "efficiency"],
+    )
+    experiment.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    experiment.set_defaults(handler=_command_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Shared building blocks for integrity constraints (FDs, CFDs, PFDs).
+
+All constraint classes expose the same small surface:
+
+* ``lhs`` / ``rhs`` — the attribute sets of the embedded dependency,
+* ``holds_on(relation)`` — does the relation satisfy the constraint,
+* ``violations(relation)`` — the list of :class:`Violation` objects, each of
+  which points at the concrete cells involved.
+
+A :class:`CellRef` identifies a single cell ``(row_id, attribute)``; it is the
+unit of error reporting used throughout the cleaning package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from ..dataset.relation import Relation
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class CellRef:
+    """A reference to one cell of a relation."""
+
+    row_id: int
+    attribute: str
+
+    def value(self, relation: Relation) -> str:
+        """The current value of the referenced cell."""
+        return relation.cell(self.row_id, self.attribute)
+
+    def __str__(self) -> str:
+        return f"t{self.row_id}[{self.attribute}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """A witnessed violation of a constraint.
+
+    Attributes
+    ----------
+    constraint_kind:
+        ``"FD"``, ``"CFD"`` or ``"PFD"``.
+    constraint_repr:
+        Human-readable form of the violated constraint (and tableau row).
+    cells:
+        The cells participating in the violation.  For single-tuple
+        violations this is the cells of one tuple; for pair violations it is
+        the four (or more) cells of both tuples, as in Example 2 of the
+        paper.
+    suspect_cells:
+        The subset of ``cells`` the detector believes to be erroneous (for a
+        constant PFD: the RHS cell of the violating tuple; for a variable
+        PFD: the RHS cells holding the minority value of the group).
+    expected_value:
+        The repair the constraint suggests for the suspect cells, when one
+        can be derived (constant RHS pattern, or the group's majority value).
+    """
+
+    constraint_kind: str
+    constraint_repr: str
+    cells: tuple[CellRef, ...]
+    suspect_cells: tuple[CellRef, ...] = ()
+    expected_value: Optional[str] = None
+
+    def rows(self) -> tuple[int, ...]:
+        """The distinct row ids touched by this violation."""
+        return tuple(sorted({cell.row_id for cell in self.cells}))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cell_text = ", ".join(str(cell) for cell in self.cells)
+        return f"{self.constraint_kind} violation of {self.constraint_repr} on [{cell_text}]"
+
+
+@runtime_checkable
+class Constraint(Protocol):
+    """Structural protocol satisfied by FD, CFD and PFD."""
+
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def holds_on(self, relation: Relation) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def violations(self, relation: Relation) -> list[Violation]:  # pragma: no cover
+        ...
+
+
+def embedded_dependency_key(lhs: Sequence[str], rhs: Sequence[str]) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Canonical key for an embedded dependency ``X -> Y``.
+
+    The evaluation of the paper counts *embedded dependencies* rather than
+    individual FDs/CFDs/PFDs (Section 5.1); this key is what the experiment
+    harness groups by.
+    """
+    return (tuple(sorted(lhs)), tuple(sorted(rhs)))

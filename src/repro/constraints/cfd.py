@@ -1,0 +1,224 @@
+"""Conditional functional dependencies (CFDs), following Fan et al. (TODS'08).
+
+A CFD is an embedded FD ``X -> Y`` plus a *pattern tableau* whose cells are
+either constants or the unnamed wildcard ``_``.  CFDs are both a baseline in
+the paper's evaluation (CFDFinder) and a special case of PFDs (every CFD is a
+PFD whose patterns are whole-value constants or wildcards), which is what the
+complexity lower bounds in Section 3 build on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Mapping, Optional, Sequence
+
+from ..dataset.relation import Relation
+from ..exceptions import ConstraintError, TableauError
+from .base import CellRef, Violation
+
+#: The unnamed wildcard of CFD tableaux.
+WILDCARD = "_"
+
+
+@dataclasses.dataclass(frozen=True)
+class CFDTuple:
+    """One row of a CFD tableau: attribute -> constant or ``_``."""
+
+    cells: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, str]) -> "CFDTuple":
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(self.cells)
+
+    def value(self, attribute: str) -> str:
+        for name, value in self.cells:
+            if name == attribute:
+                return value
+        raise TableauError(f"tableau tuple has no cell for attribute {attribute!r}")
+
+    def is_constant_on(self, attributes: Sequence[str]) -> bool:
+        return all(self.value(attr) != WILDCARD for attr in attributes)
+
+    def matches_row(self, relation: Relation, row_id: int, attributes: Sequence[str]) -> bool:
+        """True if the data tuple agrees with every constant cell on ``attributes``."""
+        for attr in attributes:
+            expected = self.value(attr)
+            if expected != WILDCARD and relation.cell(row_id, attr) != expected:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(f"{name}={value}" for name, value in self.cells) + ")"
+
+
+@dataclasses.dataclass(frozen=True)
+class CFD:
+    """A conditional functional dependency ``R(X -> Y, Tp)``."""
+
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+    tableau: tuple[CFDTuple, ...]
+    relation_name: str = "R"
+
+    def __init__(
+        self,
+        lhs: Sequence[str] | str,
+        rhs: Sequence[str] | str,
+        tableau: Sequence[CFDTuple | Mapping[str, str]],
+        relation_name: str = "R",
+    ):
+        lhs_tuple = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+        rhs_tuple = (rhs,) if isinstance(rhs, str) else tuple(rhs)
+        if not lhs_tuple or not rhs_tuple:
+            raise ConstraintError("a CFD needs at least one LHS and one RHS attribute")
+        rows: list[CFDTuple] = []
+        for row in tableau:
+            if isinstance(row, Mapping):
+                row = CFDTuple.from_mapping(row)
+            for attribute in (*lhs_tuple, *rhs_tuple):
+                row.value(attribute)  # raises TableauError if missing
+            rows.append(row)
+        if not rows:
+            raise ConstraintError("a CFD needs at least one tableau row")
+        object.__setattr__(self, "lhs", lhs_tuple)
+        object.__setattr__(self, "rhs", rhs_tuple)
+        object.__setattr__(self, "tableau", tuple(rows))
+        object.__setattr__(self, "relation_name", relation_name)
+
+    # -- structure ----------------------------------------------------------
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    @property
+    def is_constant(self) -> bool:
+        """True if every tableau row is constant on both sides."""
+        return all(
+            row.is_constant_on(self.lhs) and row.is_constant_on(self.rhs)
+            for row in self.tableau
+        )
+
+    # -- evaluation ----------------------------------------------------------
+
+    def holds_on(self, relation: Relation) -> bool:
+        return not self.violations(relation)
+
+    def violations(self, relation: Relation) -> list[Violation]:
+        """Violations of every tableau row.
+
+        Constant rows are checked tuple-by-tuple; rows with wildcards use the
+        two-tuple semantics (agree on X and on the constants, disagree on Y).
+        """
+        relation.schema.validate_attributes(self.attributes())
+        found: list[Violation] = []
+        for row in self.tableau:
+            if row.is_constant_on(self.lhs) and row.is_constant_on(self.rhs):
+                found.extend(self._constant_row_violations(relation, row))
+            else:
+                found.extend(self._variable_row_violations(relation, row))
+        return found
+
+    def _constant_row_violations(self, relation: Relation, row: CFDTuple) -> list[Violation]:
+        found: list[Violation] = []
+        for row_id in range(relation.row_count):
+            if not row.matches_row(relation, row_id, self.lhs):
+                continue
+            for rhs_attr in self.rhs:
+                expected = row.value(rhs_attr)
+                actual = relation.cell(row_id, rhs_attr)
+                if actual != expected:
+                    cells = tuple(
+                        CellRef(row_id, attr) for attr in (*self.lhs, rhs_attr)
+                    )
+                    found.append(
+                        Violation(
+                            constraint_kind="CFD",
+                            constraint_repr=f"{self} @ {row}",
+                            cells=cells,
+                            suspect_cells=(CellRef(row_id, rhs_attr),),
+                            expected_value=expected,
+                        )
+                    )
+        return found
+
+    def _variable_row_violations(self, relation: Relation, row: CFDTuple) -> list[Violation]:
+        # Group the tuples that match the constant LHS cells by their values
+        # on the wildcard LHS attributes; within a group, the RHS must agree
+        # with the tableau constants and be identical on wildcard RHS cells.
+        groups: dict[tuple[str, ...], list[int]] = defaultdict(list)
+        for row_id in range(relation.row_count):
+            if not row.matches_row(relation, row_id, self.lhs):
+                continue
+            key = tuple(relation.cell(row_id, attr) for attr in self.lhs)
+            if any(not part for part in key):
+                continue
+            groups[key].append(row_id)
+        found: list[Violation] = []
+        for key, row_ids in groups.items():
+            for rhs_attr in self.rhs:
+                expected = row.value(rhs_attr)
+                values: dict[str, list[int]] = defaultdict(list)
+                for row_id in row_ids:
+                    values[relation.cell(row_id, rhs_attr)].append(row_id)
+                if expected != WILDCARD:
+                    offending = {
+                        value: ids for value, ids in values.items() if value != expected
+                    }
+                    if not offending:
+                        continue
+                    majority = expected
+                elif len(values) >= 2 and len(row_ids) >= 2:
+                    majority, _ = max(
+                        values.items(), key=lambda item: (len(item[1]), item[0])
+                    )
+                    offending = {
+                        value: ids for value, ids in values.items() if value != majority
+                    }
+                else:
+                    continue
+                suspects = tuple(
+                    CellRef(row_id, rhs_attr)
+                    for ids in offending.values()
+                    for row_id in ids
+                )
+                cells = tuple(
+                    CellRef(row_id, attr)
+                    for row_id in row_ids
+                    for attr in (*self.lhs, rhs_attr)
+                )
+                found.append(
+                    Violation(
+                        constraint_kind="CFD",
+                        constraint_repr=f"{self} @ {row}",
+                        cells=cells,
+                        suspect_cells=suspects,
+                        expected_value=majority,
+                    )
+                )
+        return found
+
+    # -- display -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs)
+        rhs = ", ".join(self.rhs)
+        return f"{self.relation_name}([{lhs}] -> [{rhs}], |Tp|={len(self.tableau)})"
+
+
+def constant_cfd(
+    lhs_values: Mapping[str, str],
+    rhs_values: Mapping[str, str],
+    relation_name: str = "R",
+) -> CFD:
+    """Build a single-row constant CFD, e.g. ``([zip=90001] -> [city=Los Angeles])``."""
+    tableau_row = CFDTuple.from_mapping({**lhs_values, **rhs_values})
+    return CFD(
+        tuple(lhs_values.keys()),
+        tuple(rhs_values.keys()),
+        [tableau_row],
+        relation_name=relation_name,
+    )

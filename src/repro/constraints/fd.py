@@ -1,0 +1,152 @@
+"""Standard functional dependencies ``X -> Y`` over entire attribute values.
+
+FDs are both a baseline constraint language (Section 1.1 of the paper shows
+why they miss pattern-level errors) and the *embedded* dependency inside
+every CFD and PFD.  Violation semantics follow the textbook definition: two
+tuples agreeing on ``X`` but disagreeing on some attribute of ``Y``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from ..dataset.relation import Relation
+from ..exceptions import ConstraintError
+from .base import CellRef, Violation
+
+
+@dataclasses.dataclass(frozen=True)
+class FD:
+    """A functional dependency ``relation_name(lhs -> rhs)``."""
+
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+    relation_name: str = "R"
+
+    def __init__(
+        self,
+        lhs: Sequence[str] | str,
+        rhs: Sequence[str] | str,
+        relation_name: str = "R",
+    ):
+        lhs_tuple = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+        rhs_tuple = (rhs,) if isinstance(rhs, str) else tuple(rhs)
+        if not lhs_tuple or not rhs_tuple:
+            raise ConstraintError("an FD needs at least one LHS and one RHS attribute")
+        object.__setattr__(self, "lhs", lhs_tuple)
+        object.__setattr__(self, "rhs", rhs_tuple)
+        object.__setattr__(self, "relation_name", relation_name)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when every RHS attribute already appears on the LHS."""
+        return set(self.rhs) <= set(self.lhs)
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    def normalized(self) -> list["FD"]:
+        """Split a multi-attribute RHS into one FD per RHS attribute."""
+        return [FD(self.lhs, (attr,), self.relation_name) for attr in self.rhs]
+
+    # -- evaluation ----------------------------------------------------------
+
+    def holds_on(self, relation: Relation) -> bool:
+        """True iff the relation has no violating tuple pair."""
+        return not self._first_violation_exists(relation)
+
+    def violations(self, relation: Relation) -> list[Violation]:
+        """All violations, one per (LHS group, disagreeing RHS attribute).
+
+        To keep the output size manageable on dirty data, tuples in the same
+        LHS group that disagree on an RHS attribute are reported as a single
+        violation whose cells cover the whole group, with the minority-value
+        cells marked as suspects (majority voting, as used by the error
+        detection experiments of Section 5.3).
+        """
+        relation.schema.validate_attributes(self.attributes())
+        groups = self._lhs_groups(relation)
+        found: list[Violation] = []
+        for key, row_ids in groups.items():
+            if len(row_ids) < 2:
+                continue
+            for rhs_attr in self.rhs:
+                values = defaultdict(list)
+                for row_id in row_ids:
+                    values[relation.cell(row_id, rhs_attr)].append(row_id)
+                if len(values) < 2:
+                    continue
+                majority_value, _ = max(values.items(), key=lambda item: (len(item[1]), item[0]))
+                suspects = tuple(
+                    CellRef(row_id, rhs_attr)
+                    for value, ids in values.items()
+                    if value != majority_value
+                    for row_id in ids
+                )
+                cells = tuple(
+                    CellRef(row_id, attr)
+                    for row_id in row_ids
+                    for attr in (*self.lhs, rhs_attr)
+                )
+                found.append(
+                    Violation(
+                        constraint_kind="FD",
+                        constraint_repr=str(self),
+                        cells=cells,
+                        suspect_cells=suspects,
+                        expected_value=majority_value,
+                    )
+                )
+        return found
+
+    def _lhs_groups(self, relation: Relation) -> dict[tuple[str, ...], list[int]]:
+        groups: dict[tuple[str, ...], list[int]] = defaultdict(list)
+        for row_id in range(relation.row_count):
+            key = tuple(relation.cell(row_id, attr) for attr in self.lhs)
+            if any(not part for part in key):
+                continue
+            groups[key].append(row_id)
+        return groups
+
+    def _first_violation_exists(self, relation: Relation) -> bool:
+        seen: dict[tuple[str, ...], tuple[str, ...]] = {}
+        for row_id in range(relation.row_count):
+            key = tuple(relation.cell(row_id, attr) for attr in self.lhs)
+            if any(not part for part in key):
+                continue
+            rhs_values = tuple(relation.cell(row_id, attr) for attr in self.rhs)
+            if key in seen and seen[key] != rhs_values:
+                return True
+            seen.setdefault(key, rhs_values)
+        return False
+
+    # -- display -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs)
+        rhs = ", ".join(self.rhs)
+        return f"{self.relation_name}([{lhs}] -> [{rhs}])"
+
+
+def satisfied_fds(relation: Relation, fds: Iterable[FD]) -> list[FD]:
+    """The subset of ``fds`` that hold exactly on ``relation``."""
+    return [fd for fd in fds if fd.holds_on(relation)]
+
+
+def violation_ratio(relation: Relation, fd: FD) -> float:
+    """Fraction of tuples involved in at least one violation of ``fd``.
+
+    This is the "approximate FD" measure used when discovering dependencies
+    over dirty data: an FD with a small violation ratio is reported as
+    (approximately) holding.
+    """
+    if relation.row_count == 0:
+        return 0.0
+    violating_rows: set[int] = set()
+    for violation in fd.violations(relation):
+        violating_rows.update(cell.row_id for cell in violation.suspect_cells)
+    return len(violating_rows) / relation.row_count

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: pattern functional dependencies.
+
+The two central classes are :class:`~repro.core.pfd.PFD` and
+:class:`~repro.core.tableau.PatternTableau`; violations are reported with the
+shared :class:`~repro.constraints.base.Violation` objects.
+"""
+
+from ..constraints.base import CellRef, Violation
+from .pfd import PFD, RowStatistics, make_pfd
+from .tableau import (
+    WILDCARD,
+    CellSpec,
+    PatternTableau,
+    PatternTuple,
+    Wildcard,
+    resolve_cell,
+)
+
+__all__ = [
+    "CellRef",
+    "Violation",
+    "PFD",
+    "RowStatistics",
+    "make_pfd",
+    "WILDCARD",
+    "CellSpec",
+    "PatternTableau",
+    "PatternTuple",
+    "Wildcard",
+    "resolve_cell",
+]

@@ -1,0 +1,380 @@
+"""Pattern functional dependencies — the paper's central object.
+
+A PFD ``ψ : R(X -> Y, Tp)`` consists of
+
+* an embedded FD ``X -> Y`` over the schema of ``R``, and
+* a pattern tableau ``Tp`` whose cells are constrained patterns or the
+  wildcard ``⊥`` (see :mod:`repro.core.tableau`).
+
+Satisfaction (Section 2.2): for every tableau row ``tp``, whenever two data
+tuples both match every LHS pattern and are pairwise equivalent on the
+constrained LHS parts, they must also match every RHS pattern and be
+equivalent on the constrained RHS parts.  Rows whose constrained parts are
+constants additionally apply to *single* tuples: any tuple matching the LHS
+must match the RHS.
+
+The implementation groups data tuples by their extracted constrained LHS
+values, which makes the check linear in the table size per tableau row
+(instead of quadratic over tuple pairs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..constraints.base import CellRef, Violation, embedded_dependency_key
+from ..constraints.fd import FD
+from ..dataset.relation import Relation
+from ..exceptions import ConstraintError
+from ..patterns.ast import Pattern
+from .tableau import CellSpec, PatternTableau, PatternTuple, Wildcard
+
+
+@dataclasses.dataclass(frozen=True)
+class RowStatistics:
+    """Support / violation statistics of one tableau row on one relation."""
+
+    row: PatternTuple
+    support: int
+    violating_tuples: int
+
+    @property
+    def violation_ratio(self) -> float:
+        if self.support == 0:
+            return 0.0
+        return self.violating_tuples / self.support
+
+
+class PFD:
+    """A pattern functional dependency ``R(X -> Y, Tp)``.
+
+    Parameters
+    ----------
+    lhs / rhs:
+        Attribute names (a single string is promoted to a one-element tuple).
+    tableau:
+        A :class:`PatternTableau`, or an iterable of row mappings
+        ``{attribute: pattern-or-"⊥"}`` where patterns may be given as
+        textual pattern strings.
+    relation_name:
+        Name used when printing the PFD (``Zip([zip] -> [city], ...)``).
+    """
+
+    def __init__(
+        self,
+        lhs: Union[Sequence[str], str],
+        rhs: Union[Sequence[str], str],
+        tableau: Union[PatternTableau, Iterable[Mapping[str, CellSpec]]],
+        relation_name: str = "R",
+    ):
+        self.lhs: tuple[str, ...] = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+        self.rhs: tuple[str, ...] = (rhs,) if isinstance(rhs, str) else tuple(rhs)
+        if not self.lhs or not self.rhs:
+            raise ConstraintError("a PFD needs at least one LHS and one RHS attribute")
+        if not isinstance(tableau, PatternTableau):
+            tableau = PatternTableau(tableau)
+        if len(tableau) == 0:
+            raise ConstraintError("a PFD needs at least one tableau row")
+        tableau.validate(self.lhs, self.rhs)
+        self.tableau = tableau
+        self.relation_name = relation_name
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def embedded_fd(self) -> FD:
+        """The embedded (standard) FD ``X -> Y``."""
+        return FD(self.lhs, self.rhs, self.relation_name)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Trivial PFDs (RHS contained in LHS) are ignored by discovery."""
+        return set(self.rhs) <= set(self.lhs)
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    def dependency_key(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Canonical key of the embedded dependency (used by the evaluation,
+        which counts embedded dependencies rather than individual PFDs)."""
+        return embedded_dependency_key(self.lhs, self.rhs)
+
+    def normalized(self) -> list["PFD"]:
+        """Normal form: one PFD per RHS attribute (Section 2.2)."""
+        if len(self.rhs) == 1:
+            return [self]
+        result = []
+        for attr in self.rhs:
+            rows = []
+            for row in self.tableau:
+                cells = {a: row.cell(a) for a in (*self.lhs, attr)}
+                rows.append(PatternTuple.from_mapping(cells))
+            result.append(PFD(self.lhs, (attr,), PatternTableau(rows), self.relation_name))
+        return result
+
+    def constant_rows(self) -> list[PatternTuple]:
+        """Rows applicable to single tuples (constant constrained parts)."""
+        return [row for row in self.tableau if row.is_constant_row(self.lhs, self.rhs)]
+
+    def variable_rows(self) -> list[PatternTuple]:
+        """Rows that require a pair of tuples to witness a violation."""
+        return [row for row in self.tableau if not row.is_constant_row(self.lhs, self.rhs)]
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.variable_rows()
+
+    @property
+    def is_variable(self) -> bool:
+        return bool(self.variable_rows())
+
+    # -- matching helpers ------------------------------------------------------
+
+    def _row_lhs_key(
+        self, relation: Relation, row: PatternTuple, row_id: int
+    ) -> Optional[tuple[str, ...]]:
+        """The extracted constrained LHS values of tuple ``row_id`` for a
+        tableau row, or ``None`` if the tuple does not match the LHS."""
+        key: list[str] = []
+        for attribute in self.lhs:
+            value = relation.cell(row_id, attribute)
+            if not value:
+                return None
+            result = row.compiled(attribute).match(value)
+            if not result.matched:
+                return None
+            # Cells without a constrained part only require matching; they
+            # contribute a constant component to the key.
+            key.append(result.constrained_value if result.constrained_value is not None else "")
+        return tuple(key)
+
+    def matching_rows(self, relation: Relation, row: PatternTuple) -> list[int]:
+        """Tuple ids matching every LHS pattern of ``row`` (its support set)."""
+        matching = []
+        for row_id in range(relation.row_count):
+            if self._row_lhs_key(relation, row, row_id) is not None:
+                matching.append(row_id)
+        return matching
+
+    # -- satisfaction / violations ---------------------------------------------
+
+    def holds_on(self, relation: Relation) -> bool:
+        """``T |= ψ``: no tableau row is violated."""
+        return not self.violations(relation)
+
+    def violations(self, relation: Relation) -> list[Violation]:
+        """All violations of the PFD on ``relation``.
+
+        Constant rows yield one violation per offending tuple; variable rows
+        yield one violation per offending group (with the minority cells
+        marked as suspects, as used by the error-detection experiments).
+        """
+        relation.schema.validate_attributes(self.attributes())
+        found: list[Violation] = []
+        for row in self.tableau:
+            if row.is_constant_row(self.lhs, self.rhs):
+                found.extend(self._constant_row_violations(relation, row))
+            else:
+                found.extend(self._variable_row_violations(relation, row))
+        return found
+
+    def _constant_row_violations(
+        self, relation: Relation, row: PatternTuple
+    ) -> list[Violation]:
+        found: list[Violation] = []
+        rhs_expected = {
+            attribute: row.pattern(attribute).constant_value() for attribute in self.rhs
+        }
+        for row_id in range(relation.row_count):
+            if self._row_lhs_key(relation, row, row_id) is None:
+                continue
+            for attribute in self.rhs:
+                actual = relation.cell(row_id, attribute)
+                expected = rhs_expected[attribute]
+                if actual == expected:
+                    continue
+                cells = tuple(
+                    CellRef(row_id, attr) for attr in (*self.lhs, attribute)
+                )
+                found.append(
+                    Violation(
+                        constraint_kind="PFD",
+                        constraint_repr=f"{self} @ {row.render(self.lhs, self.rhs)}",
+                        cells=cells,
+                        suspect_cells=(CellRef(row_id, attribute),),
+                        expected_value=expected,
+                    )
+                )
+        return found
+
+    def _variable_row_violations(
+        self, relation: Relation, row: PatternTuple
+    ) -> list[Violation]:
+        groups: dict[tuple[str, ...], list[int]] = defaultdict(list)
+        for row_id in range(relation.row_count):
+            key = self._row_lhs_key(relation, row, row_id)
+            if key is not None:
+                groups[key].append(row_id)
+        found: list[Violation] = []
+        for key, row_ids in groups.items():
+            if len(row_ids) < 2:
+                continue
+            for attribute in self.rhs:
+                compiled = row.compiled(attribute)
+                # Partition the group's tuples by their constrained RHS value;
+                # tuples that do not even match the RHS pattern get a bucket
+                # of their own keyed by the full value.
+                buckets: dict[tuple[bool, str], list[int]] = defaultdict(list)
+                for row_id in row_ids:
+                    value = relation.cell(row_id, attribute)
+                    result = compiled.match(value)
+                    if result.matched:
+                        extracted = (
+                            result.constrained_value
+                            if result.constrained_value is not None
+                            else ""
+                        )
+                        buckets[(True, extracted)].append(row_id)
+                    else:
+                        buckets[(False, value)].append(row_id)
+                if len(buckets) < 2:
+                    # All tuples agree (or all fail to match in the same way):
+                    # the only remaining violation case is a single bucket of
+                    # non-matching tuples, which cannot be witnessed by the
+                    # pairwise semantics because the LHS-equivalent partner
+                    # also fails the RHS — the implication is then falsified
+                    # only when a matching partner exists, i.e. >= 2 buckets.
+                    continue
+                majority_bucket, majority_ids = max(
+                    buckets.items(), key=lambda item: (len(item[1]), item[0][0], item[0][1])
+                )
+                suspects = tuple(
+                    CellRef(row_id, attribute)
+                    for bucket, ids in buckets.items()
+                    if bucket != majority_bucket
+                    for row_id in ids
+                )
+                expected_value: Optional[str] = None
+                if majority_bucket[0] and majority_ids:
+                    expected_value = relation.cell(majority_ids[0], attribute)
+                cells = tuple(
+                    CellRef(row_id, attr)
+                    for row_id in row_ids
+                    for attr in (*self.lhs, attribute)
+                )
+                found.append(
+                    Violation(
+                        constraint_kind="PFD",
+                        constraint_repr=f"{self} @ {row.render(self.lhs, self.rhs)}",
+                        cells=cells,
+                        suspect_cells=suspects,
+                        expected_value=expected_value,
+                    )
+                )
+        return found
+
+    # -- statistics -------------------------------------------------------------
+
+    def row_statistics(self, relation: Relation) -> list[RowStatistics]:
+        """Support and violation counts per tableau row."""
+        statistics: list[RowStatistics] = []
+        violations_by_row: dict[PatternTuple, set[int]] = defaultdict(set)
+        for row in self.tableau:
+            if row.is_constant_row(self.lhs, self.rhs):
+                for violation in self._constant_row_violations(relation, row):
+                    violations_by_row[row].update(c.row_id for c in violation.suspect_cells)
+            else:
+                for violation in self._variable_row_violations(relation, row):
+                    violations_by_row[row].update(c.row_id for c in violation.suspect_cells)
+        for row in self.tableau:
+            support = len(self.matching_rows(relation, row))
+            statistics.append(
+                RowStatistics(
+                    row=row,
+                    support=support,
+                    violating_tuples=len(violations_by_row.get(row, ())),
+                )
+            )
+        return statistics
+
+    def support(self, relation: Relation) -> int:
+        """Number of tuples matched by at least one tableau row's LHS."""
+        covered: set[int] = set()
+        for row in self.tableau:
+            covered.update(self.matching_rows(relation, row))
+        return len(covered)
+
+    def coverage(self, relation: Relation) -> float:
+        """Fraction of tuples matched by at least one tableau row's LHS
+        (the *coverage* of restriction (ii) in Section 4.2)."""
+        if relation.row_count == 0:
+            return 0.0
+        return self.support(relation) / relation.row_count
+
+    def violation_ratio(self, relation: Relation) -> float:
+        """Fraction of supporting tuples flagged as suspects (the δ of
+        restriction (iii))."""
+        support = self.support(relation)
+        if support == 0:
+            return 0.0
+        suspects: set[int] = set()
+        for violation in self.violations(relation):
+            suspects.update(cell.row_id for cell in violation.suspect_cells)
+        return len(suspects) / support
+
+    # -- display ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs)
+        rhs = ", ".join(self.rhs)
+        return f"{self.relation_name}([{lhs}] -> [{rhs}], |Tp|={len(self.tableau)})"
+
+    def describe(self) -> str:
+        """Multi-line rendering: the embedded FD plus every tableau row."""
+        header = str(self)
+        rows = "\n".join("  " + row.render(self.lhs, self.rhs) for row in self.tableau)
+        return f"{header}\n{rows}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PFD({self.lhs} -> {self.rhs}, rows={len(self.tableau)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PFD):
+            return NotImplemented
+        return (
+            self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.tableau == other.tableau
+            and self.relation_name == other.relation_name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs, self.tableau, self.relation_name))
+
+
+def make_pfd(
+    lhs: Union[Sequence[str], str],
+    rhs: Union[Sequence[str], str],
+    rows: Iterable[Mapping[str, CellSpec]],
+    relation_name: str = "R",
+) -> PFD:
+    """Convenience constructor from plain mappings of pattern strings.
+
+    Example
+    -------
+    >>> pfd = make_pfd(
+    ...     "zip", "city",
+    ...     [{"zip": r"{{900}}\\D{2}", "city": "Los\\ Angeles"}],
+    ...     relation_name="Zip",
+    ... )
+    """
+    return PFD(lhs, rhs, PatternTableau(rows), relation_name=relation_name)
+
+
+def wildcard() -> Wildcard:
+    """The tableau wildcard ``⊥`` (re-exported for convenience)."""
+    from .tableau import WILDCARD
+
+    return WILDCARD

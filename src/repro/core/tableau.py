@@ -1,0 +1,253 @@
+"""Pattern tableaux for PFDs.
+
+A PFD ``R(X -> Y, Tp)`` carries a tableau ``Tp``; each tableau tuple assigns,
+to every attribute in ``X`` and ``Y``, either
+
+* a *constrained pattern* (:class:`~repro.patterns.ast.Pattern`), or
+* the unnamed wildcard ``⊥``.
+
+The wildcard imposes no format restriction and — exactly like the ``_``
+wildcard of CFDs — requires plain equality of the whole value when two tuples
+are compared.  Internally it is therefore treated as the constrained pattern
+``{{\\A*}}`` (match anything, constrain everything), which makes the
+satisfaction check uniform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from ..exceptions import TableauError
+from ..patterns.ast import ConstrainedGroup, Pattern, Repeat, ClassAtom
+from ..patterns.alphabet import CharClass
+from ..patterns.containment import is_restriction_of
+from ..patterns.matcher import CompiledPattern, compile_pattern
+from ..patterns.parser import parse_pattern
+
+
+class Wildcard:
+    """The unnamed variable ``⊥`` of PFD tableaux (singleton)."""
+
+    _instance: Optional["Wildcard"] = None
+
+    def __new__(cls) -> "Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+#: The singleton wildcard value.
+WILDCARD = Wildcard()
+
+#: A tableau cell: a pattern, the wildcard, or (for convenience in literals)
+#: a pattern string that will be parsed.
+CellSpec = Union[Pattern, Wildcard, str]
+
+
+def _wildcard_pattern() -> Pattern:
+    """The pattern ``{{\\A*}}`` that encodes the wildcard's semantics."""
+    star = Repeat(ClassAtom(CharClass.ANY), 0, None)
+    return Pattern((ConstrainedGroup((star,)),))
+
+
+_WILDCARD_PATTERN = _wildcard_pattern()
+
+
+def effective_pattern(cell: Union[Pattern, Wildcard]) -> Pattern:
+    """The pattern that implements a tableau cell's semantics.
+
+    The wildcard ``⊥`` behaves exactly like ``{{\\A*}}``: it matches every
+    value and, when two tuples are compared, requires their whole values to
+    be identical.
+    """
+    if isinstance(cell, Wildcard):
+        return _WILDCARD_PATTERN
+    return cell
+
+
+def cell_is_restriction(
+    specific: Union[Pattern, Wildcard], general: Union[Pattern, Wildcard]
+) -> bool:
+    """The restriction relation ``specific ⊑ general`` lifted to tableau cells.
+
+    Both cells are mapped to their effective patterns (⊥ becomes
+    ``{{\\A*}}``) and compared with
+    :func:`repro.patterns.containment.is_restriction_of`.
+    """
+    return is_restriction_of(effective_pattern(specific), effective_pattern(general))
+
+
+def resolve_cell(cell: CellSpec) -> Union[Pattern, Wildcard]:
+    """Normalize a cell specification: parse strings, keep patterns/wildcard."""
+    if isinstance(cell, Wildcard):
+        return WILDCARD
+    if isinstance(cell, Pattern):
+        return cell
+    if isinstance(cell, str):
+        if cell in ("⊥", "_", ""):
+            return WILDCARD
+        return parse_pattern(cell)
+    raise TableauError(f"invalid tableau cell {cell!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternTuple:
+    """One row of a pattern tableau.
+
+    ``cells`` maps attribute names to patterns or the wildcard.  The mapping
+    is stored as a sorted tuple so the row is hashable.
+    """
+
+    cells: tuple[tuple[str, Union[Pattern, Wildcard]], ...]
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, CellSpec]) -> "PatternTuple":
+        resolved = {name: resolve_cell(cell) for name, cell in mapping.items()}
+        return cls(tuple(sorted(resolved.items(), key=lambda item: item[0])))
+
+    # -- access --------------------------------------------------------------
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.cells)
+
+    def as_dict(self) -> dict[str, Union[Pattern, Wildcard]]:
+        return dict(self.cells)
+
+    def cell(self, attribute: str) -> Union[Pattern, Wildcard]:
+        for name, value in self.cells:
+            if name == attribute:
+                return value
+        raise TableauError(f"tableau row has no cell for attribute {attribute!r}")
+
+    def is_wildcard(self, attribute: str) -> bool:
+        return isinstance(self.cell(attribute), Wildcard)
+
+    def pattern(self, attribute: str) -> Pattern:
+        """The effective pattern of a cell (wildcard becomes ``{{\\A*}}``)."""
+        value = self.cell(attribute)
+        if isinstance(value, Wildcard):
+            return _WILDCARD_PATTERN
+        return value
+
+    def compiled(self, attribute: str) -> CompiledPattern:
+        return compile_pattern(self.pattern(attribute))
+
+    # -- classification ------------------------------------------------------
+
+    def constrains_constant(self, attribute: str) -> bool:
+        """True if the cell's constrained part is a constant string.
+
+        Cells whose constrained part is constant can be checked on a single
+        tuple (Section 2.2): matching the pattern already fixes the
+        constrained value, so no second tuple is needed to witness equality.
+        """
+        value = self.cell(attribute)
+        if isinstance(value, Wildcard):
+            return False
+        group = value.constrained_subpattern()
+        if group is None:
+            # No constrained part: matching alone is the whole requirement.
+            return True
+        return group.is_constant()
+
+    def is_constant_row(self, lhs: Sequence[str], rhs: Sequence[str]) -> bool:
+        """True if this row can be applied to single tuples: every LHS cell
+        has a constant constrained part and every RHS cell is a constant
+        pattern (so the expected value is determined)."""
+        if not all(self.constrains_constant(attr) for attr in lhs):
+            return False
+        for attr in rhs:
+            value = self.cell(attr)
+            if isinstance(value, Wildcard) or not value.is_constant():
+                return False
+        return True
+
+    # -- display ---------------------------------------------------------------
+
+    def render(self, lhs: Sequence[str], rhs: Sequence[str]) -> str:
+        """Render in the paper's ``(lhs-patterns || rhs-patterns)`` style."""
+        left = ", ".join(self._render_cell(attr) for attr in lhs)
+        right = ", ".join(self._render_cell(attr) for attr in rhs)
+        return f"({left} || {right})"
+
+    def _render_cell(self, attribute: str) -> str:
+        value = self.cell(attribute)
+        if isinstance(value, Wildcard):
+            return f"{attribute}=⊥"
+        return f"{attribute}={value.to_pattern_string()}"
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self._render_cell(name) for name, _ in self.cells) + ")"
+
+
+class PatternTableau:
+    """An ordered collection of :class:`PatternTuple` rows."""
+
+    def __init__(self, rows: Iterable[Union[PatternTuple, Mapping[str, CellSpec]]] = ()):
+        resolved: list[PatternTuple] = []
+        for row in rows:
+            if isinstance(row, PatternTuple):
+                resolved.append(row)
+            else:
+                resolved.append(PatternTuple.from_mapping(row))
+        self._rows: list[PatternTuple] = resolved
+
+    # -- container behaviour ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[PatternTuple]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> PatternTuple:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternTableau):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._rows))
+
+    @property
+    def rows(self) -> tuple[PatternTuple, ...]:
+        return tuple(self._rows)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, row: Union[PatternTuple, Mapping[str, CellSpec]]) -> None:
+        """Append a row (deduplicated: identical rows are added only once)."""
+        if not isinstance(row, PatternTuple):
+            row = PatternTuple.from_mapping(row)
+        if row not in self._rows:
+            self._rows.append(row)
+
+    def extend(self, rows: Iterable[Union[PatternTuple, Mapping[str, CellSpec]]]) -> None:
+        for row in rows:
+            self.add(row)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self, lhs: Sequence[str], rhs: Sequence[str]) -> None:
+        """Ensure every row covers every attribute of the embedded FD."""
+        required = (*lhs, *rhs)
+        for row in self._rows:
+            for attribute in required:
+                row.cell(attribute)  # raises TableauError when missing
+
+    # -- display -------------------------------------------------------------------
+
+    def render(self, lhs: Sequence[str], rhs: Sequence[str]) -> str:
+        return "\n".join(row.render(lhs, rhs) for row in self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PatternTableau(rows={len(self._rows)})"

@@ -1,0 +1,54 @@
+"""Synthetic dataset generators with ground truth, replacing the paper's
+proprietary GOV / ChEMBL / UDW tables (see DESIGN.md for the substitution
+rationale)."""
+
+from . import pools
+from .generators import (
+    GeneratedTable,
+    build_che_activities,
+    build_che_assays,
+    build_che_compounds,
+    build_che_docs,
+    build_che_targets,
+    build_gov_addresses,
+    build_gov_contacts,
+    build_gov_employees,
+    build_gov_facilities,
+    build_gov_grants,
+    build_name_gender_table,
+    build_udw_alumni,
+    build_udw_courses,
+    build_udw_payroll,
+    build_udw_staff,
+    build_udw_students,
+    build_zip_state_table,
+    dependency,
+)
+from .suite import TABLE_IDS, benchmark_suite, build_table, materialize_suite
+
+__all__ = [
+    "pools",
+    "GeneratedTable",
+    "build_che_activities",
+    "build_che_assays",
+    "build_che_compounds",
+    "build_che_docs",
+    "build_che_targets",
+    "build_gov_addresses",
+    "build_gov_contacts",
+    "build_gov_employees",
+    "build_gov_facilities",
+    "build_gov_grants",
+    "build_name_gender_table",
+    "build_udw_alumni",
+    "build_udw_courses",
+    "build_udw_payroll",
+    "build_udw_staff",
+    "build_udw_students",
+    "build_zip_state_table",
+    "dependency",
+    "TABLE_IDS",
+    "benchmark_suite",
+    "build_table",
+    "materialize_suite",
+]

@@ -1,0 +1,231 @@
+"""Deterministic value pools used by the synthetic dataset generators.
+
+The paper evaluates on 15 proprietary tables from data.gov, ChEMBL, and a
+university data warehouse.  Those tables are not redistributable, so the
+generators in :mod:`repro.datagen.generators` synthesize tables with the same
+*structural* regularities: gendered first names, zip prefixes that determine
+cities and states, telephone area codes that determine states, coded
+identifiers whose prefixes determine departments, and so on.  This module is
+the single place where those ground-truth mappings live — the generators draw
+values from here and also export the mappings as validation oracles.
+"""
+
+from __future__ import annotations
+
+#: First names with the gender they determine (the paper's name -> gender
+#: dependency; a couple of unisex names are kept out of this dict on purpose
+#: and listed separately so tests can exercise the false-positive discussion
+#: of Section 2.2).
+MALE_FIRST_NAMES: tuple[str, ...] = (
+    "John", "David", "Michael", "James", "Robert", "William", "Richard",
+    "Joseph", "Thomas", "Charles", "Daniel", "Matthew", "Anthony", "Donald",
+    "Mark", "Paul", "Steven", "Andrew", "Kenneth", "George", "Jerry", "Alan",
+    "Tayseer", "Omar", "Ahmed", "Carlos", "Luis", "Wei", "Hiroshi", "Ivan",
+)
+
+FEMALE_FIRST_NAMES: tuple[str, ...] = (
+    "Susan", "Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara",
+    "Jessica", "Sarah", "Karen", "Nancy", "Lisa", "Margaret", "Sandra",
+    "Stacey", "Ashley", "Emily", "Donna", "Michelle", "Carol", "Amanda",
+    "Dorothy", "Fatima", "Aisha", "Maria", "Sofia", "Mei", "Yuki", "Olga",
+    "Noor",
+)
+
+#: Names that legitimately map to either gender; used to exercise the
+#: "generalization is a double-edged sword" discussion.
+UNISEX_FIRST_NAMES: tuple[str, ...] = ("Kim", "Jordan", "Casey", "Taylor")
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Holloway", "Kimbell", "Mallack", "Otillio", "Boyle", "Orlean", "Charles",
+    "Bosco", "Fahmi", "Qasem", "Salem", "Saeed", "Wagdi", "Shadi", "Hisham",
+)
+
+#: gender codes used across the suite
+GENDERS: tuple[str, ...] = ("M", "F")
+
+#: Zip prefix (first three digits) -> (city, state).  Matches the real US
+#: prefix allocations closely enough that the shapes in Table 3 reproduce
+#: (900xx Los Angeles CA, 606xx Chicago IL, 100xx New York NY, ...).
+ZIP_PREFIXES: dict[str, tuple[str, str]] = {
+    "900": ("Los Angeles", "CA"),
+    "941": ("San Francisco", "CA"),
+    "606": ("Chicago", "IL"),
+    "100": ("New York", "NY"),
+    "021": ("Boston", "MA"),
+    "770": ("Houston", "TX"),
+    "331": ("Miami", "FL"),
+    "850": ("Tallahassee", "FL"),
+    "191": ("Philadelphia", "PA"),
+    "980": ("Seattle", "WA"),
+    "303": ("Atlanta", "GA"),
+    "852": ("Phoenix", "AZ"),
+    "956": ("Sacramento", "CA"),
+    "432": ("Columbus", "OH"),
+    "462": ("Indianapolis", "IN"),
+    "802": ("Denver", "CO"),
+    "972": ("Portland", "OR"),
+    "891": ("Las Vegas", "NV"),
+    "museum": ("", ""),  # placeholder removed below; never emitted
+}
+ZIP_PREFIXES.pop("museum")
+
+#: Telephone / fax area code -> state (Table 3's phone-number -> state PFDs).
+#: Every state has at least two area codes so that the reverse dependency
+#: (state -> area code) genuinely does not hold, as in the real world.
+AREA_CODES: dict[str, str] = {
+    "850": "FL", "607": "NY", "404": "GA", "217": "IL", "860": "CT",
+    "213": "CA", "312": "IL", "212": "NY", "617": "MA", "713": "TX",
+    "305": "FL", "215": "PA", "206": "WA", "602": "AZ", "614": "OH",
+    "317": "IN", "303": "CO", "503": "OR", "702": "NV", "916": "CA",
+    "470": "GA", "203": "CT", "413": "MA", "512": "TX", "717": "PA",
+    "509": "WA", "520": "AZ", "440": "OH", "812": "IN", "719": "CO",
+    "541": "OR", "775": "NV",
+}
+
+#: US state abbreviations used when drawing noise values.
+STATES: tuple[str, ...] = tuple(sorted({state for state in AREA_CODES.values()} | {
+    "OK", "TX", "SC", "MI", "MN", "WI", "MO", "KY", "AL", "VA",
+}))
+
+#: Employee-ID prefix -> department (the paper's introductory F-9-107 example:
+#: the leading letter determines the Finance department).
+EMPLOYEE_ID_PREFIXES: dict[str, str] = {
+    "F": "Finance",
+    "H": "Human Resources",
+    "E": "Engineering",
+    "M": "Marketing",
+    "L": "Legal",
+    "O": "Operations",
+    "R": "Research",
+    "S": "Sales",
+}
+
+#: Grant-ID program prefixes for the data.gov-style grants table.
+GRANT_PROGRAMS: dict[str, str] = {
+    "EDU": "Education",
+    "ENV": "Environment",
+    "HLT": "Health",
+    "TRN": "Transportation",
+    "AGR": "Agriculture",
+    "DEF": "Defense",
+}
+
+#: Agency codes for data.gov-style tables.
+AGENCIES: dict[str, str] = {
+    "EPA": "Environmental Protection Agency",
+    "DOT": "Department of Transportation",
+    "HHS": "Health and Human Services",
+    "DOE": "Department of Energy",
+    "USDA": "Department of Agriculture",
+    "DOD": "Department of Defense",
+}
+
+#: ChEMBL-style protein target families: pref_name prefix -> protein class.
+PROTEIN_FAMILIES: dict[str, str] = {
+    "Nicotinic acetylcholine receptor": "ion channel lgic ach chrn",
+    "Dopamine receptor": "membrane receptor 7tm1 monoamine",
+    "Serotonin receptor": "membrane receptor 7tm1 monoamine",
+    "Cytochrome P450": "enzyme cytochrome p450",
+    "Carbonic anhydrase": "enzyme lyase",
+    "Tyrosine-protein kinase": "enzyme kinase protein tyrosine",
+    "Sodium channel": "ion channel vgc sodium",
+    "Histone deacetylase": "enzyme eraser hdac",
+}
+
+#: Molecule types and assay types for the ChEMBL-style tables.
+MOLECULE_TYPES: tuple[str, ...] = ("Small molecule", "Protein", "Antibody", "Oligonucleotide")
+ASSAY_TYPES: dict[str, str] = {
+    "B": "Binding",
+    "F": "Functional",
+    "A": "ADMET",
+    "T": "Toxicity",
+}
+STANDARD_TYPES: dict[str, str] = {
+    "IC50": "nM",
+    "Ki": "nM",
+    "EC50": "nM",
+    "Potency": "nM",
+    "Inhibition": "%",
+    "Activity": "%",
+}
+
+#: Journals for the ChEMBL documents table: journal -> ISSN prefix.
+JOURNALS: dict[str, str] = {
+    "J. Med. Chem.": "0022-2623",
+    "Bioorg. Med. Chem. Lett.": "0960-894X",
+    "Eur. J. Med. Chem.": "0223-5234",
+    "ACS Med. Chem. Lett.": "1948-5875",
+    "MedChemComm": "2040-2503",
+}
+
+#: University course prefixes -> department, and level bands.
+COURSE_DEPARTMENTS: dict[str, str] = {
+    "CS": "Computer Science",
+    "EE": "Electrical Engineering",
+    "ME": "Mechanical Engineering",
+    "BIO": "Biology",
+    "CHEM": "Chemistry",
+    "MATH": "Mathematics",
+    "HIST": "History",
+    "ECON": "Economics",
+    "PSY": "Psychology",
+}
+
+#: Email domain -> campus for the university tables.
+EMAIL_DOMAINS: dict[str, str] = {
+    "main.univ.edu": "Main Campus",
+    "med.univ.edu": "Medical Campus",
+    "law.univ.edu": "Law School",
+    "biz.univ.edu": "Business School",
+}
+
+#: Department -> building (university staff/payroll tables).
+DEPARTMENT_BUILDINGS: dict[str, str] = {
+    "Computer Science": "Turing Hall",
+    "Electrical Engineering": "Maxwell Hall",
+    "Mechanical Engineering": "Watt Hall",
+    "Biology": "Darwin Hall",
+    "Chemistry": "Curie Hall",
+    "Mathematics": "Gauss Hall",
+    "History": "Herodotus Hall",
+    "Economics": "Keynes Hall",
+    "Psychology": "James Hall",
+    "Finance": "Ledger Hall",
+    "Human Resources": "People Hall",
+}
+
+#: Salary grades -> salary bands (quantitative column driver).
+SALARY_GRADES: dict[str, tuple[int, int]] = {
+    "G1": (30_000, 45_000),
+    "G2": (45_000, 65_000),
+    "G3": (65_000, 90_000),
+    "G4": (90_000, 130_000),
+    "G5": (130_000, 180_000),
+}
+
+
+def first_name_gender_oracle() -> dict[str, str]:
+    """The ground-truth first-name -> gender mapping (validation oracle)."""
+    mapping = {name: "M" for name in MALE_FIRST_NAMES}
+    mapping.update({name: "F" for name in FEMALE_FIRST_NAMES})
+    return mapping
+
+
+def zip_prefix_city_oracle() -> dict[str, str]:
+    """Zip prefix (3 digits) -> city."""
+    return {prefix: city for prefix, (city, _state) in ZIP_PREFIXES.items()}
+
+
+def zip_prefix_state_oracle() -> dict[str, str]:
+    """Zip prefix (3 digits) -> state."""
+    return {prefix: state for prefix, (_city, state) in ZIP_PREFIXES.items()}
+
+
+def area_code_state_oracle() -> dict[str, str]:
+    """Telephone / fax area code -> state."""
+    return dict(AREA_CODES)

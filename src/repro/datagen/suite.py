@@ -1,0 +1,95 @@
+"""The 15-table benchmark suite (the stand-in for the paper's GOV/CHE/UDW
+tables) plus helpers to materialize it to CSV.
+
+``benchmark_suite(scale=...)`` returns the fifteen :class:`GeneratedTable`
+objects keyed ``T1`` … ``T15``.  ``scale`` multiplies every table's row
+count, so experiments can be run at laptop speed (``scale=0.25``) or closer
+to the paper's sizes (``scale=5``) without touching the generators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..dataset.csvio import write_csv
+from .generators import (
+    GeneratedTable,
+    _scaled,
+    build_che_activities,
+    build_che_assays,
+    build_che_compounds,
+    build_che_docs,
+    build_che_targets,
+    build_gov_addresses,
+    build_gov_contacts,
+    build_gov_employees,
+    build_gov_facilities,
+    build_gov_grants,
+    build_udw_alumni,
+    build_udw_courses,
+    build_udw_payroll,
+    build_udw_staff,
+    build_udw_students,
+)
+
+#: Table id -> (builder, base row count).
+_SUITE_SPEC: dict[str, tuple[Callable[..., GeneratedTable], int]] = {
+    "T1": (build_gov_contacts, 800),
+    "T2": (build_gov_addresses, 600),
+    "T3": (build_gov_employees, 450),
+    "T4": (build_gov_facilities, 500),
+    "T5": (build_gov_grants, 450),
+    "T6": (build_che_compounds, 700),
+    "T7": (build_che_targets, 500),
+    "T8": (build_che_assays, 600),
+    "T9": (build_che_activities, 800),
+    "T10": (build_che_docs, 450),
+    "T11": (build_udw_students, 900),
+    "T12": (build_udw_courses, 450),
+    "T13": (build_udw_staff, 500),
+    "T14": (build_udw_alumni, 800),
+    "T15": (build_udw_payroll, 500),
+}
+
+TABLE_IDS: tuple[str, ...] = tuple(_SUITE_SPEC)
+
+
+def build_table(
+    table_id: str,
+    scale: float = 1.0,
+    seed_offset: int = 0,
+    dirt_rate: Optional[float] = None,
+) -> GeneratedTable:
+    """Build a single suite table by id (``"T1"`` … ``"T15"``)."""
+    builder, base_rows = _SUITE_SPEC[table_id]
+    kwargs = {"rows": _scaled(base_rows, scale), "seed": int(table_id[1:]) + seed_offset}
+    if dirt_rate is not None:
+        kwargs["dirt_rate"] = dirt_rate
+    return builder(**kwargs)
+
+
+def benchmark_suite(
+    scale: float = 1.0,
+    seed_offset: int = 0,
+    dirt_rate: Optional[float] = None,
+    table_ids: Optional[tuple[str, ...]] = None,
+) -> dict[str, GeneratedTable]:
+    """Build the full 15-table suite (or a subset via ``table_ids``)."""
+    selected = table_ids or TABLE_IDS
+    return {
+        table_id: build_table(table_id, scale=scale, seed_offset=seed_offset, dirt_rate=dirt_rate)
+        for table_id in selected
+    }
+
+
+def materialize_suite(directory: str | Path, scale: float = 1.0) -> list[Path]:
+    """Write every suite table to ``directory`` as CSV; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for table_id, table in benchmark_suite(scale=scale).items():
+        path = directory / f"{table_id.lower()}_{table.relation.name}.csv"
+        write_csv(table.relation, path)
+        paths.append(path)
+    return paths

@@ -1,0 +1,56 @@
+"""Relational substrate: schemas, relations, CSV I/O, profiling, and the
+partial-value inverted index used by PFD discovery."""
+
+from .csvio import (
+    read_csv,
+    relation_from_csv_string,
+    relation_to_csv_string,
+    write_csv,
+)
+from .index import AttributeIndex, PatternIndex
+from .profiler import (
+    ColumnProfile,
+    TableProfile,
+    candidate_attributes,
+    profile_column,
+    profile_relation,
+)
+from .relation import Relation, concat
+from .schema import Attribute, AttributeRole, Schema
+from .tokenizer import (
+    Part,
+    extract_parts,
+    has_separators,
+    iter_column_parts,
+    ngrams,
+    prefix_ngrams,
+    token_texts,
+    tokenize,
+)
+
+__all__ = [
+    "read_csv",
+    "relation_from_csv_string",
+    "relation_to_csv_string",
+    "write_csv",
+    "AttributeIndex",
+    "PatternIndex",
+    "ColumnProfile",
+    "TableProfile",
+    "candidate_attributes",
+    "profile_column",
+    "profile_relation",
+    "Relation",
+    "concat",
+    "Attribute",
+    "AttributeRole",
+    "Schema",
+    "Part",
+    "extract_parts",
+    "has_separators",
+    "iter_column_parts",
+    "ngrams",
+    "prefix_ngrams",
+    "token_texts",
+    "tokenize",
+]

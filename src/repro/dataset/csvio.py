@@ -1,0 +1,127 @@
+"""CSV import / export for :class:`~repro.dataset.relation.Relation`.
+
+The experiment datasets ship as generated relations, but downstream users of
+the library will want to run discovery on their own files, so the reader
+handles the usual CSV dialects (delimiter sniffing, optional header) and the
+writer is lossless for the string-valued relations this library uses.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..exceptions import SchemaError
+from .relation import Relation
+from .schema import Schema
+
+
+def read_csv(
+    source: Union[str, Path, io.TextIOBase],
+    name: Optional[str] = None,
+    delimiter: Optional[str] = None,
+    has_header: bool = True,
+    column_names: Optional[Sequence[str]] = None,
+) -> Relation:
+    """Read a CSV file (or open text stream) into a relation.
+
+    Parameters
+    ----------
+    source:
+        Path or readable text stream.
+    name:
+        Relation name; defaults to the file stem or ``"R"`` for streams.
+    delimiter:
+        Field delimiter; sniffed from the first 4 KiB when omitted.
+    has_header:
+        Whether the first row holds column names.
+    column_names:
+        Explicit column names (required when ``has_header`` is False and
+        useful to override a header).
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        inferred_name = name or path.stem
+    else:
+        text = source.read()
+        inferred_name = name or "R"
+
+    if delimiter is None:
+        delimiter = _sniff_delimiter(text)
+
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError(f"CSV source {inferred_name!r} contains no rows")
+
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        data_rows = rows[1:]
+    else:
+        header = []
+        data_rows = rows
+
+    if column_names is not None:
+        header = list(column_names)
+    elif not has_header:
+        width = max(len(row) for row in data_rows)
+        header = [f"column_{i + 1}" for i in range(width)]
+
+    schema = Schema(header, name=inferred_name)
+    relation = Relation(schema)
+    for row in data_rows:
+        padded = list(row) + [""] * (len(header) - len(row))
+        relation.append_row(padded[: len(header)])
+    return relation
+
+
+def write_csv(
+    relation: Relation,
+    destination: Union[str, Path, io.TextIOBase],
+    delimiter: str = ",",
+    include_header: bool = True,
+) -> None:
+    """Write ``relation`` to a CSV file or open text stream."""
+    if isinstance(destination, (str, Path)):
+        path = Path(destination)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            _write_csv_to(relation, handle, delimiter, include_header)
+    else:
+        _write_csv_to(relation, destination, delimiter, include_header)
+
+
+def _write_csv_to(
+    relation: Relation, handle, delimiter: str, include_header: bool
+) -> None:
+    writer = csv.writer(handle, delimiter=delimiter, lineterminator="\n")
+    if include_header:
+        writer.writerow(relation.schema.attribute_names)
+    for row in relation.iter_rows():
+        writer.writerow(row)
+
+
+def relation_to_csv_string(relation: Relation, delimiter: str = ",") -> str:
+    """The relation serialized as a CSV string (round-trips via read_csv)."""
+    buffer = io.StringIO()
+    _write_csv_to(relation, buffer, delimiter, include_header=True)
+    return buffer.getvalue()
+
+
+def relation_from_csv_string(
+    text: str, name: str = "R", delimiter: Optional[str] = None
+) -> Relation:
+    """Parse a CSV string into a relation (inverse of the writer)."""
+    return read_csv(io.StringIO(text), name=name, delimiter=delimiter)
+
+
+def _sniff_delimiter(text: str) -> str:
+    sample = text[:4096]
+    try:
+        dialect = csv.Sniffer().sniff(sample, delimiters=",;\t|")
+        return dialect.delimiter
+    except csv.Error:
+        return ","

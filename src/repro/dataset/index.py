@@ -1,0 +1,193 @@
+"""The hash-based inverted pattern index of the discovery algorithm.
+
+Figure 4 (lines 5-12) builds, per attribute, a hash map from
+``(substring, position)`` to the list of tuple ids whose value contains that
+substring at that position.  Section 5.4 additionally mentions a second index
+from ``(tuple id, attribute)`` to the parts appearing in that cell, which
+speeds up the per-group frequent-pattern lookups; both are implemented here.
+
+Section 4.4's *substring pruning* is also implemented: an entry whose tuple-id
+list is identical to that of a longer entry that contains it (same position)
+carries no extra information, and only the most specific entry is kept.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from .profiler import TableProfile, profile_relation
+from .relation import Relation
+from .tokenizer import Part, extract_parts
+
+
+#: Key of an index entry: the partial value and the position it occupies.
+PartKey = tuple[str, int]
+
+
+@dataclasses.dataclass
+class AttributeIndex:
+    """Inverted list for a single attribute.
+
+    ``entries`` maps ``(text, position)`` to the sorted list of row ids in
+    which that partial value occurs; ``row_parts`` maps a row id to the keys
+    extracted from that row's cell.
+    """
+
+    attribute: str
+    strategy: str
+    entries: dict[PartKey, list[int]]
+    row_parts: dict[int, list[PartKey]]
+
+    def ids(self, key: PartKey) -> list[int]:
+        return self.entries.get(key, [])
+
+    def support(self, key: PartKey) -> int:
+        return len(self.entries.get(key, ()))
+
+    def frequent_keys(self, minimum_support: int) -> list[PartKey]:
+        """Keys appearing in at least ``minimum_support`` rows, ordered by
+        descending support and then by descending specificity (longer text
+        first) so that the most informative patterns are examined first."""
+        keys = [
+            key
+            for key, ids in self.entries.items()
+            if len(ids) >= minimum_support
+        ]
+        keys.sort(key=lambda key: (-len(self.entries[key]), -len(key[0]), key[0], key[1]))
+        return keys
+
+    def keys_for_rows(self, row_ids: Iterable[int]) -> dict[PartKey, int]:
+        """Histogram of part keys over the given rows (uses the row index)."""
+        histogram: dict[PartKey, int] = defaultdict(int)
+        for row_id in row_ids:
+            for key in self.row_parts.get(row_id, ()):
+                histogram[key] += 1
+        return dict(histogram)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.entries)
+
+
+class PatternIndex:
+    """The full inverted index over every usable attribute of a relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        profile: Optional[TableProfile] = None,
+        prune_substrings: bool = True,
+        prefixes_only: bool = True,
+    ):
+        self.relation = relation
+        self.profile = profile or profile_relation(relation)
+        self.prune_substrings = prune_substrings
+        self.prefixes_only = prefixes_only
+        self._attributes: dict[str, AttributeIndex] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        for column in self.profile.usable_columns:
+            self._attributes[column] = self._build_attribute(column)
+
+    def _build_attribute(self, attribute: str) -> AttributeIndex:
+        strategy = self.profile.strategy(attribute)
+        values = self.relation.column(attribute)
+        max_gram = self.profile.column(attribute).max_length
+        entries: dict[PartKey, list[int]] = defaultdict(list)
+        row_parts: dict[int, list[PartKey]] = defaultdict(list)
+        for row_id, value in enumerate(values):
+            if not value:
+                continue
+            parts = extract_parts(
+                value,
+                strategy,
+                max_gram_length=max_gram,
+                prefixes_only=self.prefixes_only,
+            )
+            seen_keys: set[PartKey] = set()
+            for part in parts:
+                key = self._part_key(part)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                entries[key].append(row_id)
+                row_parts[row_id].append(key)
+        if self.prune_substrings:
+            entries, row_parts = _prune_dominated_entries(entries, row_parts)
+        return AttributeIndex(
+            attribute=attribute,
+            strategy=strategy,
+            entries=dict(entries),
+            row_parts=dict(row_parts),
+        )
+
+    @staticmethod
+    def _part_key(part: Part) -> PartKey:
+        return (part.text, part.position)
+
+    # -- lookup --------------------------------------------------------------
+
+    def attribute_index(self, attribute: str) -> AttributeIndex:
+        return self._attributes[attribute]
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self._attributes)
+
+    def strategy(self, attribute: str) -> str:
+        return self._attributes[attribute].strategy
+
+    def frequent_keys(self, attribute: str, minimum_support: int) -> list[PartKey]:
+        return self._attributes[attribute].frequent_keys(minimum_support)
+
+    def ids(self, attribute: str, key: PartKey) -> list[int]:
+        return self._attributes[attribute].ids(key)
+
+    def total_entries(self) -> int:
+        return sum(index.entry_count for index in self._attributes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PatternIndex(relation={self.relation.name!r}, "
+            f"attributes={len(self._attributes)}, entries={self.total_entries()})"
+        )
+
+
+def _prune_dominated_entries(
+    entries: dict[PartKey, list[int]],
+    row_parts: dict[int, list[PartKey]],
+) -> tuple[dict[PartKey, list[int]], dict[int, list[PartKey]]]:
+    """Substring pruning (Section 4.4).
+
+    If two entries at the same position have identical tuple-id lists and one
+    text is a prefix of the other, the shorter one is dominated and dropped:
+    the longer (more specific) entry carries strictly more information about
+    the same set of rows.
+    """
+    # Group by (position, tuple-id list identity).
+    by_signature: dict[tuple[int, tuple[int, ...]], list[str]] = defaultdict(list)
+    for (text, position), ids in entries.items():
+        by_signature[(position, tuple(ids))].append(text)
+    dominated: set[PartKey] = set()
+    for (position, _ids), texts in by_signature.items():
+        if len(texts) < 2:
+            continue
+        longest = max(texts, key=len)
+        for text in texts:
+            if text != longest and longest.startswith(text):
+                dominated.add((text, position))
+    if not dominated:
+        return entries, row_parts
+    kept_entries = {
+        key: ids for key, ids in entries.items() if key not in dominated
+    }
+    kept_row_parts = {
+        row_id: [key for key in keys if key not in dominated]
+        for row_id, keys in row_parts.items()
+    }
+    return kept_entries, kept_row_parts

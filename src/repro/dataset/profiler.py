@@ -1,0 +1,209 @@
+"""Column profiling.
+
+The first step of the discovery algorithm (Figure 4, line 1-3) profiles the
+table to decide, per column,
+
+* whether the column can participate in PFDs at all — purely *quantitative*
+  columns (measurements, counts) are dropped, while *code* columns
+  (zip codes, phone numbers, identifiers) are kept even though they look
+  numeric (Section 5.4), and
+* how partial values are extracted from the column — tokenization when the
+  values contain separator characters, n-grams otherwise, or the whole value
+  for short categorical columns (Section 4.2, restriction (i)).
+
+The profiler is heuristic by design (the paper's is too); every decision can
+be overridden by declaring a role on the schema or passing explicit
+strategies to the discoverer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Optional
+
+from ..patterns.induction import column_shape_histogram
+from .relation import Relation
+from .schema import AttributeRole
+from .tokenizer import has_separators
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnProfile:
+    """Summary statistics and decisions for one column."""
+
+    name: str
+    role: AttributeRole
+    strategy: str
+    distinct_count: int
+    non_empty_count: int
+    max_length: int
+    mean_length: float
+    distinct_ratio: float
+    separator_fraction: float
+    numeric_fraction: float
+    dominant_shape_fraction: float
+
+    @property
+    def usable_for_pfd(self) -> bool:
+        """Columns dropped by the profiler do not take part in discovery."""
+        return self.role is not AttributeRole.QUANTITATIVE and self.non_empty_count > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class TableProfile:
+    """Profiles for every column of a relation."""
+
+    relation_name: str
+    columns: tuple[ColumnProfile, ...]
+
+    def column(self, name: str) -> ColumnProfile:
+        for profile in self.columns:
+            if profile.name == name:
+                return profile
+        raise KeyError(name)
+
+    @property
+    def usable_columns(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.columns if p.usable_for_pfd)
+
+    def strategy(self, name: str) -> str:
+        return self.column(name).strategy
+
+
+#: Columns with at most this many distinct values (and short values) are
+#: treated as categorical: the whole value is the only meaningful "part".
+_CATEGORICAL_DISTINCT_LIMIT = 60
+_CATEGORICAL_LENGTH_LIMIT = 24
+
+#: Fraction of numeric-looking values above which a column is numeric-ish.
+_NUMERIC_FRACTION_THRESHOLD = 0.9
+
+#: Numeric columns whose value lengths take at most this many distinct
+#: lengths are considered *codes* (zip = 5 or 9 digits, phone = 10, ...).
+_CODE_LENGTH_VARIETY_LIMIT = 3
+
+
+def _looks_numeric(value: str) -> bool:
+    stripped = value.strip().replace(",", "")
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False
+
+
+def _looks_like_code(values: list[str]) -> bool:
+    """Integer-looking values whose lengths are highly regular (zip, phone,
+    ID columns).  Decimal points or huge length variety indicate a genuine
+    measurement instead."""
+    lengths: set[int] = set()
+    for value in values:
+        stripped = value.strip()
+        if not stripped:
+            continue
+        digits_only = stripped.replace("-", "").replace(" ", "").replace("(", "").replace(")", "")
+        if not digits_only.isdigit():
+            return False
+        lengths.add(len(stripped))
+    return 0 < len(lengths) <= _CODE_LENGTH_VARIETY_LIMIT
+
+
+def profile_column(relation: Relation, name: str) -> ColumnProfile:
+    """Profile a single column of ``relation``."""
+    values = relation.column(name)
+    non_empty = [value for value in values if value]
+    declared_role = relation.schema.role(name)
+    distinct = len(set(non_empty))
+    non_empty_count = len(non_empty)
+    max_length = max((len(v) for v in non_empty), default=0)
+    mean_length = statistics.fmean([len(v) for v in non_empty]) if non_empty else 0.0
+    distinct_ratio = distinct / non_empty_count if non_empty_count else 0.0
+    separator_fraction = (
+        sum(1 for v in non_empty if has_separators(v)) / non_empty_count
+        if non_empty_count
+        else 0.0
+    )
+    numeric_fraction = (
+        sum(1 for v in non_empty if _looks_numeric(v)) / non_empty_count
+        if non_empty_count
+        else 0.0
+    )
+    shape_histogram = column_shape_histogram(non_empty)
+    dominant_fraction = (
+        max(shape_histogram.values()) / non_empty_count if shape_histogram else 0.0
+    )
+
+    role = declared_role
+    if role is AttributeRole.UNKNOWN:
+        role = _infer_role(non_empty, numeric_fraction)
+
+    strategy = _choose_strategy(
+        role=role,
+        distinct=distinct,
+        non_empty_count=non_empty_count,
+        max_length=max_length,
+        separator_fraction=separator_fraction,
+    )
+
+    return ColumnProfile(
+        name=name,
+        role=role,
+        strategy=strategy,
+        distinct_count=distinct,
+        non_empty_count=non_empty_count,
+        max_length=max_length,
+        mean_length=mean_length,
+        distinct_ratio=distinct_ratio,
+        separator_fraction=separator_fraction,
+        numeric_fraction=numeric_fraction,
+        dominant_shape_fraction=dominant_fraction,
+    )
+
+
+def _infer_role(non_empty: list[str], numeric_fraction: float) -> AttributeRole:
+    if not non_empty:
+        return AttributeRole.QUALITATIVE
+    if numeric_fraction >= _NUMERIC_FRACTION_THRESHOLD:
+        if _looks_like_code(non_empty):
+            return AttributeRole.CODE
+        return AttributeRole.QUANTITATIVE
+    return AttributeRole.QUALITATIVE
+
+
+def _choose_strategy(
+    role: AttributeRole,
+    distinct: int,
+    non_empty_count: int,
+    max_length: int,
+    separator_fraction: float,
+) -> str:
+    if role is AttributeRole.QUANTITATIVE:
+        return "value"
+    is_categorical = (
+        distinct <= _CATEGORICAL_DISTINCT_LIMIT
+        and max_length <= _CATEGORICAL_LENGTH_LIMIT
+        and non_empty_count > 0
+        and distinct < non_empty_count
+    )
+    if is_categorical and separator_fraction < 0.5:
+        return "value"
+    if separator_fraction >= 0.5:
+        return "tokenize"
+    return "ngrams"
+
+
+def profile_relation(relation: Relation) -> TableProfile:
+    """Profile every column of ``relation`` (Figure 4, lines 1-3)."""
+    profiles = tuple(profile_column(relation, name) for name in relation.attribute_names)
+    return TableProfile(relation_name=relation.name, columns=profiles)
+
+
+def candidate_attributes(
+    relation: Relation, profile: Optional[TableProfile] = None
+) -> list[str]:
+    """Attributes that survive profiling and may appear in a PFD."""
+    profile = profile or profile_relation(relation)
+    return list(profile.usable_columns)

@@ -1,0 +1,256 @@
+"""The :class:`Relation` — the library's in-memory table.
+
+A relation is column-oriented: each attribute maps to a list of string cell
+values.  Every cell is a string (the pattern machinery is purely textual);
+``None`` / missing values are stored as the empty string.  Row identity is
+positional (row ``i`` of every column belongs to tuple ``i``), matching the
+tuple-id lists used by the discovery algorithm's inverted index.
+
+Relations are cheap to project, filter, and copy, and support the handful of
+relational operations the discovery / cleaning pipelines need.  They are not
+a general-purpose dataframe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from ..exceptions import SchemaError
+from .schema import Attribute, AttributeRole, Schema
+
+
+def _normalize_cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, str):
+        return value
+    return str(value)
+
+
+class Relation:
+    """A named, schema-typed, column-oriented table of strings."""
+
+    def __init__(self, schema: Schema, columns: Optional[Mapping[str, Sequence[str]]] = None):
+        self.schema = schema
+        self._columns: dict[str, list[str]] = {
+            name: list(columns[name]) if columns and name in columns else []
+            for name in schema.attribute_names
+        }
+        lengths = {len(column) for column in self._columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Union[Schema, Sequence[str]],
+        rows: Iterable[Sequence[object]],
+        name: str = "R",
+    ) -> "Relation":
+        """Build a relation from an iterable of row tuples.
+
+        ``schema`` may be a :class:`Schema` or a plain list of column names.
+        """
+        if not isinstance(schema, Schema):
+            schema = Schema(schema, name=name)
+        relation = cls(schema)
+        for row in rows:
+            relation.append_row(row)
+        return relation
+
+    @classmethod
+    def from_dicts(
+        cls,
+        rows: Sequence[Mapping[str, object]],
+        schema: Optional[Schema] = None,
+        name: str = "R",
+    ) -> "Relation":
+        """Build a relation from a list of dict rows.
+
+        When ``schema`` is omitted, the keys of the first row define it.
+        """
+        if schema is None:
+            if not rows:
+                raise SchemaError("cannot infer a schema from zero dict rows")
+            schema = Schema(list(rows[0].keys()), name=name)
+        relation = cls(schema)
+        for row in rows:
+            relation.append_row([row.get(name, "") for name in schema.attribute_names])
+        return relation
+
+    # -- size / access ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.schema.attribute_names
+
+    @property
+    def row_count(self) -> int:
+        first = self.schema.attribute_names[0]
+        return len(self._columns[first])
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def column(self, name: str) -> list[str]:
+        """The full column ``name`` (a direct reference, do not mutate)."""
+        self.schema.position(name)
+        return self._columns[name]
+
+    def cell(self, row_id: int, name: str) -> str:
+        """The value of attribute ``name`` in tuple ``row_id``."""
+        return self._columns[name][row_id]
+
+    def row(self, row_id: int) -> tuple[str, ...]:
+        """Tuple ``row_id`` in schema order."""
+        return tuple(self._columns[name][row_id] for name in self.schema.attribute_names)
+
+    def row_dict(self, row_id: int) -> dict[str, str]:
+        """Tuple ``row_id`` as an attribute → value dict."""
+        return {name: self._columns[name][row_id] for name in self.schema.attribute_names}
+
+    def iter_rows(self) -> Iterator[tuple[str, ...]]:
+        for row_id in range(self.row_count):
+            yield self.row(row_id)
+
+    def iter_row_dicts(self) -> Iterator[dict[str, str]]:
+        for row_id in range(self.row_count):
+            yield self.row_dict(row_id)
+
+    # -- mutation ------------------------------------------------------------
+
+    def append_row(self, row: Union[Sequence[object], Mapping[str, object]]) -> int:
+        """Append one tuple; returns its row id."""
+        if isinstance(row, Mapping):
+            values = [_normalize_cell(row.get(name, "")) for name in self.schema.attribute_names]
+        else:
+            if len(row) != len(self.schema):
+                raise SchemaError(
+                    f"row has {len(row)} values, schema {self.schema.name!r} "
+                    f"has {len(self.schema)} attributes"
+                )
+            values = [_normalize_cell(value) for value in row]
+        for name, value in zip(self.schema.attribute_names, values):
+            self._columns[name].append(value)
+        return self.row_count - 1
+
+    def set_cell(self, row_id: int, name: str, value: object) -> None:
+        """Overwrite one cell (used by error injection and repair)."""
+        self.schema.position(name)
+        self._columns[name][row_id] = _normalize_cell(value)
+
+    # -- derivation ----------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """A deep copy (new column lists, same schema object)."""
+        schema = self.schema if name is None else Schema(self.schema.attributes, name=name)
+        return Relation(schema, {n: list(c) for n, c in self._columns.items()})
+
+    def project(self, names: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """A new relation with only the columns in ``names``."""
+        schema = self.schema.project(names, name=name)
+        return Relation(schema, {n: list(self._columns[n]) for n in names})
+
+    def select_rows(self, row_ids: Sequence[int], name: Optional[str] = None) -> "Relation":
+        """A new relation with only the given rows, in the given order."""
+        schema = self.schema if name is None else Schema(self.schema.attributes, name=name)
+        columns = {
+            attr: [self._columns[attr][row_id] for row_id in row_ids]
+            for attr in self.schema.attribute_names
+        }
+        return Relation(schema, columns)
+
+    def filter_rows(
+        self, predicate: Callable[[dict[str, str]], bool], name: Optional[str] = None
+    ) -> "Relation":
+        """Rows for which ``predicate(row_dict)`` is true."""
+        keep = [i for i in range(self.row_count) if predicate(self.row_dict(i))]
+        return self.select_rows(keep, name=name)
+
+    def sample_rows(self, count: int, seed: int = 0, name: Optional[str] = None) -> "Relation":
+        """A deterministic random sample of ``count`` rows (without replacement)."""
+        rng = random.Random(seed)
+        count = min(count, self.row_count)
+        row_ids = rng.sample(range(self.row_count), count)
+        return self.select_rows(sorted(row_ids), name=name)
+
+    def distinct_values(self, name: str) -> list[str]:
+        """Distinct non-empty values of a column, in first-seen order."""
+        seen: dict[str, None] = {}
+        for value in self.column(name):
+            if value and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def value_counts(self, name: str) -> dict[str, int]:
+        """Histogram of the values of a column (including empty strings)."""
+        counts: dict[str, int] = {}
+        for value in self.column(name):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def active_domain(self, name: str) -> set[str]:
+        """The active domain of ``name``: the set of non-empty values present."""
+        return {value for value in self.column(name) if value}
+
+    # -- convenience ---------------------------------------------------------
+
+    def declare_role(self, name: str, role: AttributeRole) -> None:
+        """Declare the semantic role of a column in place."""
+        self.schema = self.schema.with_role(name, role)
+
+    def rename(self, name: str) -> "Relation":
+        """A shallow-schema renamed copy of the relation."""
+        return self.copy(name=name)
+
+    def head(self, count: int = 5) -> list[dict[str, str]]:
+        """The first ``count`` rows as dicts (handy in examples / debugging)."""
+        return [self.row_dict(i) for i in range(min(count, self.row_count))]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Relation({self.schema.name!r}, rows={self.row_count}, "
+            f"columns={list(self.schema.attribute_names)})"
+        )
+
+    def pretty(self, limit: int = 10) -> str:
+        """A fixed-width textual rendering of the first ``limit`` rows."""
+        names = list(self.schema.attribute_names)
+        rows = [self.row(i) for i in range(min(limit, self.row_count))]
+        widths = [len(n) for n in names]
+        for row in rows:
+            for i, value in enumerate(row):
+                widths[i] = max(widths[i], len(value))
+        header = "  ".join(n.ljust(widths[i]) for i, n in enumerate(names))
+        separator = "  ".join("-" * widths[i] for i in range(len(names)))
+        lines = [header, separator]
+        for row in rows:
+            lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+        if self.row_count > limit:
+            lines.append(f"... ({self.row_count - limit} more rows)")
+        return "\n".join(lines)
+
+
+def concat(relations: Sequence[Relation], name: Optional[str] = None) -> Relation:
+    """Concatenate relations with identical attribute names."""
+    if not relations:
+        raise SchemaError("concat needs at least one relation")
+    first = relations[0]
+    for other in relations[1:]:
+        if other.attribute_names != first.attribute_names:
+            raise SchemaError(
+                "cannot concat relations with different attributes: "
+                f"{first.attribute_names} vs {other.attribute_names}"
+            )
+    result = first.copy(name=name or first.name)
+    for other in relations[1:]:
+        for row in other.iter_rows():
+            result.append_row(row)
+    return result

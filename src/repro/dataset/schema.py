@@ -1,0 +1,156 @@
+"""Relational schema objects.
+
+A :class:`Schema` is an ordered collection of named :class:`Attribute`\\ s.
+Attribute order matters (it is the column order of the relation) and names
+must be unique.  Attributes may carry an optional declared role that the
+profiler would otherwise infer (quantitative, qualitative, or code).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from ..exceptions import SchemaError
+
+
+class AttributeRole(enum.Enum):
+    """Semantic role of a column, following Section 2.1's remark.
+
+    * ``QUANTITATIVE`` — numeric measurements/counts; PFDs do not apply.
+    * ``QUALITATIVE`` — categorical / textual values; PFDs apply.
+    * ``CODE`` — integer-looking values that are really identifiers (zip
+      codes, phone numbers, employee IDs); PFDs apply (Section 5.4 keeps
+      these despite being numeric).
+    * ``UNKNOWN`` — not declared; the profiler decides.
+    """
+
+    QUANTITATIVE = "quantitative"
+    QUALITATIVE = "qualitative"
+    CODE = "code"
+    UNKNOWN = "unknown"
+
+
+@dataclasses.dataclass(frozen=True)
+class Attribute:
+    """A named column with an optional declared role."""
+
+    name: str
+    role: AttributeRole = AttributeRole.UNKNOWN
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name may not be empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Schema:
+    """An ordered, uniquely named collection of attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute objects or bare names (bare names get role ``UNKNOWN``).
+    name:
+        Optional relation name (used in printed constraints, e.g.
+        ``Zip([zip] -> [city])``).
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[Union[Attribute, str]],
+        name: str = "R",
+    ):
+        self.name = name
+        resolved: list[Attribute] = []
+        for attribute in attributes:
+            if isinstance(attribute, str):
+                attribute = Attribute(attribute)
+            resolved.append(attribute)
+        self._attributes: tuple[Attribute, ...] = tuple(resolved)
+        self._index: dict[str, int] = {}
+        for position, attribute in enumerate(self._attributes):
+            if attribute.name in self._index:
+                raise SchemaError(f"duplicate attribute name {attribute.name!r}")
+            self._index[attribute.name] = position
+        if not self._attributes:
+            raise SchemaError("a schema needs at least one attribute")
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def position(self, name: str) -> int:
+        """Column index of ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If the attribute does not exist.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {name!r} is not part of schema {self.attribute_names}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self._attributes[self.position(name)]
+
+    def role(self, name: str) -> AttributeRole:
+        return self.attribute(name).role
+
+    def validate_attributes(self, names: Sequence[str]) -> None:
+        """Raise :class:`SchemaError` unless every name exists in the schema."""
+        for name in names:
+            self.position(name)
+
+    # -- derivation ---------------------------------------------------------
+
+    def project(self, names: Sequence[str], name: Optional[str] = None) -> "Schema":
+        """A new schema containing only ``names`` (in the given order)."""
+        self.validate_attributes(names)
+        return Schema(
+            [self.attribute(n) for n in names],
+            name=name or self.name,
+        )
+
+    def with_role(self, name: str, role: AttributeRole) -> "Schema":
+        """A copy of the schema with the role of ``name`` replaced."""
+        position = self.position(name)
+        attributes = list(self._attributes)
+        attributes[position] = Attribute(name, role)
+        return Schema(attributes, name=self.name)
+
+    # -- equality / repr ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.name == other.name and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(self.attribute_names)
+        return f"Schema({self.name}: {names})"

@@ -1,0 +1,208 @@
+"""Partial-value extraction: tokenization and n-grams.
+
+Restriction (i) of Section 4.2: special characters such as ``-`` in
+``F-9-107`` or the space in ``John Charles`` are strong signals for
+meaningful substrings, so when they are present a value is *tokenized* on
+them.  Columns without such separators (zip codes, phone numbers, single
+words) instead contribute *n-grams*: all prefixes/substrings up to the
+length of the longest value in the column (Section 4.3).
+
+Every extracted part carries its position so that the inverted index can key
+entries by ``(substring, position)`` exactly as in the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Sequence
+
+from ..patterns.alphabet import is_word_char
+
+
+@dataclasses.dataclass(frozen=True)
+class Part:
+    """A partial value: a substring together with where it came from.
+
+    Attributes
+    ----------
+    text:
+        The substring itself.
+    position:
+        For tokens: the index of the token within the value (0-based).
+        For n-grams: the character offset at which the gram starts.
+    kind:
+        ``"token"`` or ``"ngram"``.
+    start:
+        Character offset of the part inside the original value.
+    includes_separator:
+        For tokens only: whether ``text`` includes the separator that follows
+        the token (``"John "`` rather than ``"John"``).  Keeping the
+        separator makes induced patterns anchor on token boundaries, which is
+        how the paper writes its name patterns (``John\\ \\A*``).
+    """
+
+    text: str
+    position: int
+    kind: str = "token"
+    start: int = 0
+    includes_separator: bool = False
+
+
+def has_separators(value: str) -> bool:
+    """True if the value contains at least one non-word character between
+    word characters (i.e. it naturally splits into several tokens)."""
+    seen_word = False
+    seen_separator_after_word = False
+    for char in value:
+        if is_word_char(char):
+            if seen_separator_after_word:
+                return True
+            seen_word = True
+        elif seen_word:
+            seen_separator_after_word = True
+    return False
+
+
+def tokenize(value: str, keep_separator: bool = True) -> list[Part]:
+    """Split ``value`` into word tokens at non-word characters.
+
+    Each returned part is a token; when ``keep_separator`` is True the token
+    text additionally includes the separator characters that directly follow
+    it (so ``"John Charles"`` yields ``"John "`` and ``"Charles"``), which is
+    what anchors the discovered name patterns on a full first token.
+    """
+    parts: list[Part] = []
+    token_start: int | None = None
+    index = 0
+    position = 0
+    length = len(value)
+    while index < length:
+        char = value[index]
+        if is_word_char(char):
+            if token_start is None:
+                token_start = index
+            index += 1
+            continue
+        if token_start is not None:
+            token_end = index
+            separator_end = index
+            if keep_separator:
+                while separator_end < length and not is_word_char(value[separator_end]):
+                    separator_end += 1
+            parts.append(
+                Part(
+                    text=value[token_start:separator_end] if keep_separator else value[token_start:token_end],
+                    position=position,
+                    kind="token",
+                    start=token_start,
+                    includes_separator=keep_separator and separator_end > token_end,
+                )
+            )
+            position += 1
+            token_start = None
+            index = separator_end if keep_separator else index + 1
+            continue
+        index += 1
+    if token_start is not None:
+        parts.append(
+            Part(
+                text=value[token_start:],
+                position=position,
+                kind="token",
+                start=token_start,
+            )
+        )
+    return parts
+
+
+def token_texts(value: str, keep_separator: bool = False) -> list[str]:
+    """Just the token strings of ``value`` (no positions)."""
+    return [part.text for part in tokenize(value, keep_separator=keep_separator)]
+
+
+def ngrams(
+    value: str,
+    max_length: int | None = None,
+    min_length: int = 1,
+    prefixes_only: bool = False,
+) -> list[Part]:
+    """All n-grams of ``value`` with their character offsets.
+
+    Parameters
+    ----------
+    value:
+        The cell value.
+    max_length:
+        Longest gram to produce; defaults to ``len(value)`` (the paper's
+        "up to the length of the largest value in the column" is enforced by
+        the caller, which knows the column).
+    min_length:
+        Shortest gram to produce.
+    prefixes_only:
+        When True only grams starting at offset 0 are produced.  Code-like
+        columns (zips, phones) carry their signal in prefixes, and limiting
+        to prefixes keeps the index linear in the value length instead of
+        quadratic; this implements the single-semantics positional-grouping
+        optimization of Section 4.4 at extraction time.
+    """
+    if max_length is None:
+        max_length = len(value)
+    grams: list[Part] = []
+    starts: Iterable[int] = (0,) if prefixes_only else range(len(value))
+    for start in starts:
+        longest = min(max_length, len(value) - start)
+        for gram_length in range(min_length, longest + 1):
+            grams.append(
+                Part(
+                    text=value[start : start + gram_length],
+                    position=start,
+                    kind="ngram",
+                    start=start,
+                )
+            )
+    return grams
+
+
+def prefix_ngrams(value: str, max_length: int | None = None, min_length: int = 1) -> list[Part]:
+    """Prefix n-grams only (shorthand for ``ngrams(..., prefixes_only=True)``)."""
+    return ngrams(value, max_length=max_length, min_length=min_length, prefixes_only=True)
+
+
+def extract_parts(
+    value: str,
+    strategy: str,
+    max_gram_length: int | None = None,
+    prefixes_only: bool = True,
+) -> list[Part]:
+    """Extract partial values using the given strategy.
+
+    ``strategy`` is ``"tokenize"``, ``"ngrams"`` or ``"value"`` (the whole
+    value as a single part, used for short categorical columns such as a
+    gender or state column where partial values add nothing).
+    """
+    if not value:
+        return []
+    if strategy == "tokenize":
+        return tokenize(value)
+    if strategy == "ngrams":
+        return ngrams(value, max_length=max_gram_length, prefixes_only=prefixes_only)
+    if strategy == "value":
+        return [Part(text=value, position=0, kind="value", start=0)]
+    raise ValueError(f"unknown extraction strategy {strategy!r}")
+
+
+def iter_column_parts(
+    values: Sequence[str],
+    strategy: str,
+    max_gram_length: int | None = None,
+    prefixes_only: bool = True,
+) -> Iterator[tuple[int, Part]]:
+    """Yield ``(row_id, part)`` for every part of every value in a column."""
+    for row_id, value in enumerate(values):
+        for part in extract_parts(
+            value,
+            strategy,
+            max_gram_length=max_gram_length,
+            prefixes_only=prefixes_only,
+        ):
+            yield row_id, part

@@ -1,0 +1,63 @@
+"""Discovery of PFDs from dirty data (Section 4) plus the FDep and CFDFinder
+baselines used by the evaluation (Section 5)."""
+
+from .brute_force import (
+    BruteForceResult,
+    SubstringGroup,
+    brute_force_discover,
+    default_decision_function,
+    enumerate_substring_groups,
+)
+from .cfdfinder import CFDFinder, CFDFinderResult, discover_cfds
+from .config import PAPER_DEFAULTS, DiscoveryConfig
+from .fdep import FDepDiscoverer, FDepResult, discover_fds
+from .generalization import (
+    GeneralizationOutcome,
+    generalize_lhs_cells,
+    generalize_tableau,
+)
+from .lattice import CandidateLattice
+from .pfd_discovery import (
+    DiscoveredDependency,
+    DiscoveryResult,
+    PFDDiscoverer,
+    discover_pfds,
+)
+from .selection import (
+    DependencyScore,
+    ValidationReport,
+    oracle_from_mapping,
+    rank_dependencies,
+    score_dependency,
+    validate_against_oracle,
+)
+
+__all__ = [
+    "BruteForceResult",
+    "SubstringGroup",
+    "brute_force_discover",
+    "default_decision_function",
+    "enumerate_substring_groups",
+    "CFDFinder",
+    "CFDFinderResult",
+    "discover_cfds",
+    "PAPER_DEFAULTS",
+    "DiscoveryConfig",
+    "FDepDiscoverer",
+    "FDepResult",
+    "discover_fds",
+    "GeneralizationOutcome",
+    "generalize_lhs_cells",
+    "generalize_tableau",
+    "CandidateLattice",
+    "DiscoveredDependency",
+    "DiscoveryResult",
+    "PFDDiscoverer",
+    "discover_pfds",
+    "DependencyScore",
+    "ValidationReport",
+    "oracle_from_mapping",
+    "rank_dependencies",
+    "score_dependency",
+    "validate_against_oracle",
+]

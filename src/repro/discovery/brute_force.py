@@ -1,0 +1,138 @@
+"""The brute-force PFD discovery of Section 4.1.
+
+The naive algorithm enumerates *all* substrings of the LHS values, groups the
+RHS values by common LHS substring (bag semantics), and applies a decision
+function.  It is exponential in practice (challenges C1–C3), but it is the
+reference against which the efficient algorithm's recall can be measured on
+tiny tables, and the paper walks through it in Example 7 — so it is part of
+the reproduction, guarded by hard limits on the input size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Callable, Optional
+
+from ..core.pfd import PFD
+from ..core.tableau import PatternTableau
+from ..dataset.relation import Relation
+from ..exceptions import DiscoveryError
+from ..patterns.ast import ClassAtom, ConstrainedGroup, Literal, Pattern, Repeat
+from ..patterns.alphabet import CharClass
+
+#: Hard limits keeping the quadratic substring enumeration tractable.
+_MAX_ROWS = 500
+_MAX_VALUE_LENGTH = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class SubstringGroup:
+    """One entry of Step 2 of Example 7: an LHS substring with the bag of
+    RHS values of the tuples containing it."""
+
+    substring: str
+    rhs_values: tuple[str, ...]
+    row_ids: tuple[int, ...]
+
+    @property
+    def support(self) -> int:
+        return len(self.row_ids)
+
+    def majority(self) -> tuple[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for value in self.rhs_values:
+            counts[value] += 1
+        value, count = max(counts.items(), key=lambda item: (item[1], item[0]))
+        return value, count
+
+
+def default_decision_function(group: SubstringGroup) -> bool:
+    """The example decision function of Example 7: at most three distinct RHS
+    values and a majority of at least 50 %."""
+    distinct = len(set(group.rhs_values))
+    if distinct > 3:
+        return False
+    _, majority_count = group.majority()
+    return majority_count * 2 >= len(group.rhs_values)
+
+
+@dataclasses.dataclass
+class BruteForceResult:
+    """Discovered groups and the constant PFDs built from the accepted ones."""
+
+    groups: list[SubstringGroup]
+    accepted: list[SubstringGroup]
+    pfd: Optional[PFD]
+
+
+def enumerate_substring_groups(
+    relation: Relation, lhs: str, rhs: str, min_length: int = 1
+) -> list[SubstringGroup]:
+    """Steps 1–2 of the brute-force algorithm: all substrings with positions
+    collapsed (exact string matching), each with its RHS bag."""
+    if relation.row_count > _MAX_ROWS:
+        raise DiscoveryError(
+            f"brute-force discovery is limited to {_MAX_ROWS} rows "
+            f"(got {relation.row_count}); use PFDDiscoverer instead"
+        )
+    bags: dict[str, list[tuple[int, str]]] = defaultdict(list)
+    for row_id in range(relation.row_count):
+        value = relation.cell(row_id, lhs)
+        if not value:
+            continue
+        if len(value) > _MAX_VALUE_LENGTH:
+            value = value[:_MAX_VALUE_LENGTH]
+        rhs_value = relation.cell(row_id, rhs)
+        seen: set[str] = set()
+        for start in range(len(value)):
+            for end in range(start + min_length, len(value) + 1):
+                substring = value[start:end]
+                if substring in seen:
+                    continue
+                seen.add(substring)
+                bags[substring].append((row_id, rhs_value))
+    groups = [
+        SubstringGroup(
+            substring=substring,
+            rhs_values=tuple(rhs_value for _, rhs_value in entries),
+            row_ids=tuple(row_id for row_id, _ in entries),
+        )
+        for substring, entries in bags.items()
+    ]
+    groups.sort(key=lambda group: (-group.support, -len(group.substring), group.substring))
+    return groups
+
+
+def brute_force_discover(
+    relation: Relation,
+    lhs: str,
+    rhs: str,
+    decision_function: Optional[Callable[[SubstringGroup], bool]] = None,
+    min_support: int = 2,
+) -> BruteForceResult:
+    """Run the brute-force algorithm for a single candidate ``lhs -> rhs``.
+
+    Accepted substring groups become constant tableau rows of the form
+    ``\\A*{{substring}}\\A* -> majority value``.
+    """
+    decision_function = decision_function or default_decision_function
+    groups = enumerate_substring_groups(relation, lhs, rhs)
+    accepted = [
+        group
+        for group in groups
+        if group.support >= min_support and decision_function(group)
+    ]
+    if not accepted:
+        return BruteForceResult(groups=groups, accepted=[], pfd=None)
+    any_star = Repeat(ClassAtom(CharClass.ANY), 0, None)
+    rows = []
+    for group in accepted:
+        majority_value, _ = group.majority()
+        lhs_pattern = Pattern(
+            (any_star, ConstrainedGroup(tuple(Literal(c) for c in group.substring)), any_star)
+        )
+        rhs_pattern = Pattern(tuple(Literal(c) for c in majority_value))
+        rows.append({lhs: lhs_pattern, rhs: rhs_pattern})
+    pfd = PFD((lhs,), (rhs,), PatternTableau(rows), relation.name)
+    return BruteForceResult(groups=groups, accepted=accepted, pfd=pfd)

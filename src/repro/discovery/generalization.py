@@ -1,0 +1,205 @@
+"""Generalizing constant PFDs into variable PFDs (Section 4.3, ``Generalize``).
+
+After the discoverer has collected a tableau of constant PFD rows for an
+embedded dependency (``Tayseer  -> F``, ``Noor  -> M``, ...), it attempts to
+find a single *variable* PFD that represents all of them: the constrained
+constants of each LHS attribute are generalized to a common pattern via
+:func:`repro.patterns.induction.induce_pattern`, the RHS becomes the wildcard
+``⊥`` (or stays constant when all rows agree), and the resulting PFD is
+validated against the whole relation.  Only when the validation passes — the
+violation ratio stays below the configured threshold — does the variable PFD
+replace the constants (the paper's λ₄/λ₅ and the λ of Example 8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..core.pfd import PFD
+from ..core.tableau import PatternTableau, PatternTuple, WILDCARD, Wildcard
+from ..dataset.relation import Relation
+from ..patterns.ast import ClassAtom, ConstrainedGroup, Pattern, Repeat
+from ..patterns.alphabet import CharClass
+from ..patterns.induction import induce_pattern
+from .config import DiscoveryConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneralizationOutcome:
+    """Result of a generalization attempt."""
+
+    pfd: Optional[PFD]
+    violation_ratio: float = 0.0
+    support: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.pfd is not None
+
+
+def _constrained_constant(cell) -> Optional[str]:
+    """The constant constrained part of a tableau cell, if it has one."""
+    if isinstance(cell, Wildcard):
+        return None
+    group = cell.constrained_subpattern()
+    if group is None or not group.is_constant():
+        return None
+    return group.constant_value()
+
+
+def _remainder_elements(cell: Pattern) -> tuple:
+    """The elements following the constrained group of a pattern cell."""
+    index = cell.constrained_group_index
+    if index is None:
+        return tuple(cell.elements)
+    return tuple(cell.elements[index + 1 :])
+
+
+def _prefix_elements(cell: Pattern) -> tuple:
+    """The elements preceding the constrained group of a pattern cell."""
+    index = cell.constrained_group_index
+    if index is None:
+        return ()
+    return tuple(cell.elements[:index])
+
+
+def _is_uninformative(pattern: Pattern) -> bool:
+    """A generalized pattern that accepts essentially anything carries no
+    information and must not replace the constants (Section 2.2's warning
+    that generalization is a double-edged sword)."""
+    for element in pattern.elements:
+        if isinstance(element, Repeat):
+            if isinstance(element.atom, ClassAtom) and element.atom.cls is CharClass.ANY:
+                continue
+            return False
+        return False
+    return True
+
+
+def generalize_lhs_cells(
+    constants: Sequence[str],
+    remainder: tuple,
+    prefix: tuple = (),
+) -> Optional[Pattern]:
+    """Induce a variable constrained pattern covering all LHS constants.
+
+    ``prefix`` and ``remainder`` are the element tuples that surrounded the
+    constrained group in the constant rows (typically ``\\A*\\S`` and
+    ``\\A*``); they are re-attached unchanged.  When the constants do not
+    share a run shape, a second attempt is made with trailing separator
+    characters stripped (``"Donald "`` vs ``"David"`` both reduce to a
+    letters-only token).  Returns ``None`` when no informative common pattern
+    exists.
+    """
+    if len(set(constants)) < 2:
+        return None
+    induced = induce_pattern(list(constants), keep_literals=False)
+    effective_remainder = tuple(remainder)
+    if induced is None:
+        stripped = [constant.rstrip(" ,.;:-_/") for constant in constants]
+        if any(not constant for constant in stripped):
+            return None
+        induced = induce_pattern(stripped, keep_literals=False)
+        if induced is not None:
+            # The stripped separator has to be re-absorbed by the remainder.
+            any_star = Repeat(ClassAtom(CharClass.ANY), 0, None)
+            effective_remainder = (any_star,)
+    if induced is None or _is_uninformative(induced):
+        return None
+    group = ConstrainedGroup(tuple(induced.elements))
+    return Pattern(tuple(prefix) + (group,) + effective_remainder)
+
+
+def generalize_tableau(
+    relation: Relation,
+    lhs: Sequence[str],
+    rhs: Sequence[str],
+    tableau: PatternTableau,
+    config: DiscoveryConfig,
+    relation_name: Optional[str] = None,
+) -> GeneralizationOutcome:
+    """Attempt to replace a constant tableau with a single variable row.
+
+    Returns an outcome whose ``pfd`` is ``None`` when generalization is not
+    possible (fewer than two distinct constants, no common shape, or too many
+    violations on the full relation).
+    """
+    if len(tableau) < 2:
+        return GeneralizationOutcome(None)
+    relation_name = relation_name or relation.name
+
+    # Rows may mix structurally different LHS patterns (prefix-anchored vs
+    # separator-anchored constants, e.g. a few lucky last-name rows next to
+    # the first-name rows).  Generalization works on the largest structurally
+    # homogeneous subgroup; the variable PFD it produces is then validated on
+    # the *whole* relation, so the discarded rows still count as evidence or
+    # violations there.
+    def structure_signature(row: PatternTuple) -> tuple:
+        signature = []
+        for attribute in lhs:
+            cell = row.cell(attribute)
+            if isinstance(cell, Wildcard):
+                signature.append(("wildcard",))
+            else:
+                signature.append((_prefix_elements(cell), _remainder_elements(cell)))
+        return tuple(signature)
+
+    by_structure: dict[tuple, list[PatternTuple]] = {}
+    for row in tableau:
+        by_structure.setdefault(structure_signature(row), []).append(row)
+    rows = max(by_structure.values(), key=len)
+    if len(rows) < 2:
+        return GeneralizationOutcome(None)
+
+    cells: dict[str, object] = {}
+    for attribute in lhs:
+        constants: list[str] = []
+        remainder: tuple = ()
+        prefix: tuple = ()
+        for row in rows:
+            cell = row.cell(attribute)
+            constant = _constrained_constant(cell)
+            if constant is None:
+                return GeneralizationOutcome(None)
+            constants.append(constant)
+            if not isinstance(cell, Wildcard):
+                remainder = _remainder_elements(cell)
+                prefix = _prefix_elements(cell)
+        if len(set(constants)) == 1:
+            # All rows agree on this attribute: keep the constant cell.
+            cells[attribute] = rows[0].cell(attribute)
+            continue
+        generalized = generalize_lhs_cells(constants, remainder, prefix)
+        if generalized is None:
+            return GeneralizationOutcome(None)
+        cells[attribute] = generalized
+
+    for attribute in rhs:
+        rhs_constants = []
+        for row in rows:
+            cell = row.cell(attribute)
+            if isinstance(cell, Wildcard):
+                rhs_constants.append(None)
+            elif cell.is_constant():
+                rhs_constants.append(cell.constant_value())
+            else:
+                rhs_constants.append(None)
+        if None not in rhs_constants and len(set(rhs_constants)) == 1:
+            cells[attribute] = rows[0].cell(attribute)
+        else:
+            cells[attribute] = WILDCARD
+
+    candidate = PFD(
+        tuple(lhs),
+        tuple(rhs),
+        PatternTableau([PatternTuple.from_mapping(cells)]),
+        relation_name,
+    )
+    support = candidate.support(relation)
+    if support < config.min_support:
+        return GeneralizationOutcome(None, support=support)
+    ratio = candidate.violation_ratio(relation)
+    if ratio > config.effective_generalization_noise:
+        return GeneralizationOutcome(None, violation_ratio=ratio, support=support)
+    return GeneralizationOutcome(candidate, violation_ratio=ratio, support=support)

@@ -1,0 +1,85 @@
+"""The attribute-set lattice used to enumerate candidate LHS sets.
+
+Restriction (iv) of Section 4.2 adopts the attribute-set lattice of TANE
+(Huhtala et al.): level ``n`` of the lattice contains the candidate LHS sets
+with ``n`` attributes.  Discovery proceeds level by level; once a dependency
+``X -> B`` has been reported, every superset of ``X`` is pruned for RHS ``B``
+(a superset could only yield redundant, less general dependencies), and
+candidates whose frequent-pattern coverage can no longer reach the minimum
+coverage are skipped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+
+class CandidateLattice:
+    """Level-wise enumeration of candidate dependencies ``X -> B``.
+
+    Parameters
+    ----------
+    attributes:
+        The attributes eligible for the LHS.
+    rhs_attributes:
+        The attributes eligible for the RHS (defaults to ``attributes``).
+    max_level:
+        Largest LHS size to enumerate.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rhs_attributes: Sequence[str] | None = None,
+        max_level: int = 1,
+    ):
+        self.attributes = tuple(attributes)
+        self.rhs_attributes = tuple(rhs_attributes if rhs_attributes is not None else attributes)
+        self.max_level = max_level
+        #: RHS attribute -> set of LHS sets already satisfied (for pruning).
+        self._satisfied: dict[str, list[frozenset[str]]] = {}
+        #: candidates explicitly pruned (e.g. coverage bound cannot be met).
+        self._pruned: set[tuple[frozenset[str], str]] = set()
+
+    # -- pruning ------------------------------------------------------------
+
+    def mark_satisfied(self, lhs: Iterable[str], rhs: str) -> None:
+        """Record that ``lhs -> rhs`` was reported; supersets get pruned."""
+        self._satisfied.setdefault(rhs, []).append(frozenset(lhs))
+
+    def prune(self, lhs: Iterable[str], rhs: str) -> None:
+        """Explicitly prune a single candidate (coverage bound, etc.)."""
+        self._pruned.add((frozenset(lhs), rhs))
+
+    def is_pruned(self, lhs: Iterable[str], rhs: str) -> bool:
+        lhs_set = frozenset(lhs)
+        if (lhs_set, rhs) in self._pruned:
+            return True
+        for satisfied in self._satisfied.get(rhs, ()):
+            if satisfied < lhs_set:
+                return True
+        return False
+
+    # -- enumeration ---------------------------------------------------------
+
+    def level(self, size: int) -> Iterator[tuple[tuple[str, ...], str]]:
+        """Candidates ``(X, B)`` with ``|X| == size``, in deterministic order,
+        skipping pruned candidates and trivial dependencies (``B ∈ X``)."""
+        for lhs in itertools.combinations(self.attributes, size):
+            lhs_set = frozenset(lhs)
+            for rhs in self.rhs_attributes:
+                if rhs in lhs_set:
+                    continue
+                if self.is_pruned(lhs_set, rhs):
+                    continue
+                yield lhs, rhs
+
+    def __iter__(self) -> Iterator[tuple[tuple[str, ...], str]]:
+        """All candidates level by level up to ``max_level``."""
+        for size in range(1, self.max_level + 1):
+            yield from self.level(size)
+
+    def candidate_count(self, size: int) -> int:
+        """Number of (unpruned) candidates at a level (mostly for reporting)."""
+        return sum(1 for _ in self.level(size))

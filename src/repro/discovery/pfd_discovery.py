@@ -1,0 +1,449 @@
+"""The efficient PFD discovery algorithm (Figure 4 of the paper).
+
+Pipeline, mirroring the pseudo-code:
+
+1. **Profile** the table; drop quantitative columns, decide tokenize vs
+   n-grams per attribute (lines 1–3).
+2. **Index**: build the hash-based inverted list from ``(part, position)``
+   to tuple ids for every usable attribute (lines 5–12).
+3. **Candidates**: enumerate candidate dependencies ``X -> B`` level by level
+   over the attribute-set lattice (restriction (iv)).
+4. For each candidate, walk the frequent patterns of the LHS driver
+   attribute; for each pattern with support ≥ K find the dominant RHS
+   pattern among the same tuples and accept the pair when the agreement is
+   at least ``support - δ·support`` (the decision function ``f``,
+   restriction (iii)); accepted pairs become constant tableau rows
+   (lines 13–21).
+5. When the accumulated tableau covers at least γ of the table, try to
+   **generalize** the constants into a single variable PFD and report either
+   the generalized PFD or the constant one (lines 22–28); reported
+   dependencies prune their lattice supersets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from ..core.pfd import PFD
+from ..core.tableau import PatternTableau, PatternTuple
+from ..dataset.index import PatternIndex
+from ..dataset.profiler import TableProfile, profile_relation
+from ..dataset.relation import Relation
+from ..patterns.ast import (
+    ClassAtom,
+    ConstrainedGroup,
+    Literal,
+    Pattern,
+    Repeat,
+)
+from ..patterns.alphabet import CharClass
+from ..patterns.induction import induce_pattern
+from .config import DiscoveryConfig
+from .generalization import generalize_tableau
+from .lattice import CandidateLattice
+
+
+@dataclasses.dataclass(frozen=True)
+class DiscoveredDependency:
+    """One reported dependency: the embedded FD plus its PFD tableau."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+    pfd: PFD
+    coverage: float
+    support: int
+    is_variable: bool
+
+    @property
+    def key(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        return (tuple(sorted(self.lhs)), (self.rhs,))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "variable" if self.is_variable else "constant"
+        lhs = ", ".join(self.lhs)
+        return f"[{lhs}] -> [{self.rhs}] ({kind}, coverage={self.coverage:.2f})"
+
+
+@dataclasses.dataclass
+class DiscoveryResult:
+    """Everything the discoverer found, plus bookkeeping."""
+
+    relation_name: str
+    config: DiscoveryConfig
+    dependencies: list[DiscoveredDependency]
+    runtime_seconds: float
+    candidate_count: int
+    index_entries: int
+
+    @property
+    def pfds(self) -> list[PFD]:
+        return [dependency.pfd for dependency in self.dependencies]
+
+    @property
+    def dependency_keys(self) -> set[tuple[tuple[str, ...], tuple[str, ...]]]:
+        return {dependency.key for dependency in self.dependencies}
+
+    @property
+    def variable_count(self) -> int:
+        return sum(1 for dependency in self.dependencies if dependency.is_variable)
+
+    def dependency_for(self, lhs: Sequence[str], rhs: str) -> Optional[DiscoveredDependency]:
+        key = (tuple(sorted(lhs)), (rhs,))
+        for dependency in self.dependencies:
+            if dependency.key == key:
+                return dependency
+        return None
+
+    def summary(self) -> str:
+        lines = [
+            f"PFD discovery on {self.relation_name!r}: "
+            f"{len(self.dependencies)} dependencies "
+            f"({self.variable_count} variable) in {self.runtime_seconds:.2f}s"
+        ]
+        for dependency in self.dependencies:
+            lines.append(f"  {dependency}")
+        return "\n".join(lines)
+
+
+class PFDDiscoverer:
+    """Discover PFDs from (possibly dirty) data.
+
+    Example
+    -------
+    >>> from repro.discovery import PFDDiscoverer, DiscoveryConfig
+    >>> result = PFDDiscoverer(DiscoveryConfig(min_support=2)).discover(relation)
+    >>> for dependency in result.dependencies:
+    ...     print(dependency.pfd.describe())
+    """
+
+    def __init__(self, config: Optional[DiscoveryConfig] = None):
+        self.config = config or DiscoveryConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def discover(
+        self,
+        relation: Relation,
+        profile: Optional[TableProfile] = None,
+    ) -> DiscoveryResult:
+        """Run the full discovery pipeline on ``relation``."""
+        start = time.perf_counter()
+        config = self.config
+        profile = profile or profile_relation(relation)
+        index = PatternIndex(
+            relation,
+            profile=profile,
+            prune_substrings=config.prune_substrings,
+            prefixes_only=config.prefixes_only,
+        )
+        attributes = self._eligible_attributes(profile)
+        lattice = CandidateLattice(attributes, max_level=config.max_lhs_size)
+
+        dependencies: list[DiscoveredDependency] = []
+        candidate_count = 0
+        for level in range(1, config.max_lhs_size + 1):
+            for lhs, rhs in lattice.level(level):
+                candidate_count += 1
+                dependency = self._evaluate_candidate(relation, index, lhs, rhs)
+                if dependency is None:
+                    continue
+                dependencies.append(dependency)
+                lattice.mark_satisfied(lhs, rhs)
+        runtime = time.perf_counter() - start
+        return DiscoveryResult(
+            relation_name=relation.name,
+            config=config,
+            dependencies=dependencies,
+            runtime_seconds=runtime,
+            candidate_count=candidate_count,
+            index_entries=index.total_entries(),
+        )
+
+    # -- candidate evaluation ---------------------------------------------------
+
+    def _eligible_attributes(self, profile: TableProfile) -> list[str]:
+        config = self.config
+        names = list(profile.usable_columns)
+        if config.include_attributes is not None:
+            allowed = set(config.include_attributes)
+            names = [name for name in names if name in allowed]
+        names = [name for name in names if name not in set(config.exclude_attributes)]
+        return names
+
+    def _evaluate_candidate(
+        self,
+        relation: Relation,
+        index: PatternIndex,
+        lhs: tuple[str, ...],
+        rhs: str,
+    ) -> Optional[DiscoveredDependency]:
+        """Lines 13–28 of Figure 4 for one candidate dependency ``X -> B``."""
+        config = self.config
+        rows, covered = self._collect_constant_rows(relation, index, lhs, rhs)
+        if not rows:
+            return None
+        coverage = len(covered) / relation.row_count if relation.row_count else 0.0
+        if coverage < config.min_coverage:
+            return None
+        tableau = PatternTableau(rows)
+        support = len(covered)
+
+        if config.generalize:
+            outcome = generalize_tableau(
+                relation, lhs, (rhs,), tableau, config, relation_name=relation.name
+            )
+            if outcome.succeeded and outcome.pfd is not None:
+                return DiscoveredDependency(
+                    lhs=lhs,
+                    rhs=rhs,
+                    pfd=outcome.pfd,
+                    coverage=outcome.support / relation.row_count if relation.row_count else 0.0,
+                    support=outcome.support,
+                    is_variable=True,
+                )
+
+        pfd = PFD(lhs, (rhs,), tableau, relation.name)
+        return DiscoveredDependency(
+            lhs=lhs,
+            rhs=rhs,
+            pfd=pfd,
+            coverage=coverage,
+            support=support,
+            is_variable=False,
+        )
+
+    def _collect_constant_rows(
+        self,
+        relation: Relation,
+        index: PatternIndex,
+        lhs: tuple[str, ...],
+        rhs: str,
+    ) -> tuple[list[PatternTuple], set[int]]:
+        """Walk the frequent LHS patterns and build constant tableau rows."""
+        config = self.config
+        driver = self._driver_attribute(index, lhs)
+        driver_index = index.attribute_index(driver)
+        other_lhs = [attribute for attribute in lhs if attribute != driver]
+        collected: list[tuple[PatternTuple, list[int], int]] = []
+        frequent = driver_index.frequent_keys(config.min_support)
+        frequent = frequent[: config.max_patterns_per_attribute]
+        claimed: set[int] = set()
+        for key in frequent:
+            if len(collected) >= config.max_tableau_rows:
+                break
+            ids = driver_index.ids(key)
+            fresh_ids = [row_id for row_id in ids if row_id not in claimed]
+            if len(fresh_ids) < config.min_support:
+                continue
+            for lhs_assignment, group_ids in self._expand_lhs(
+                relation, index, driver, key, other_lhs, fresh_ids
+            ):
+                if len(group_ids) < config.min_support:
+                    continue
+                rhs_cell = self._dominant_rhs_cell(relation, index, rhs, group_ids)
+                if rhs_cell is None:
+                    continue
+                cells = dict(lhs_assignment)
+                cells[rhs] = rhs_cell
+                collected.append((PatternTuple.from_mapping(cells), list(group_ids), key[1]))
+                claimed.update(group_ids)
+                if len(collected) >= config.max_tableau_rows:
+                    break
+        if config.positional_grouping and collected:
+            collected = self._select_dominant_position(collected, driver)
+        rows = [row for row, _ids, _pos in collected]
+        covered: set[int] = set()
+        for _row, group_ids, _pos in collected:
+            covered.update(group_ids)
+        return rows, covered
+
+    @staticmethod
+    def _select_dominant_position(
+        collected: list[tuple[PatternTuple, list[int], int]],
+        driver: str,
+    ) -> list[tuple[PatternTuple, list[int], int]]:
+        """Single-semantics positional grouping (Section 4.4).
+
+        When the driver attribute contributed patterns from several token
+        positions (first-name tokens at position 1 *and* a few lucky
+        last-name tokens at position 0), only one semantic explanation can be
+        right; the rows whose position covers the most records are kept.
+        """
+        coverage_by_position: dict[int, int] = defaultdict(int)
+        for _row, group_ids, position in collected:
+            coverage_by_position[position] += len(group_ids)
+        best_position = max(
+            coverage_by_position.items(), key=lambda item: (item[1], -item[0])
+        )[0]
+        return [entry for entry in collected if entry[2] == best_position]
+
+    def _driver_attribute(self, index: PatternIndex, lhs: tuple[str, ...]) -> str:
+        """The LHS attribute with the most frequent patterns (Figure 4, line 15)."""
+        config = self.config
+
+        def frequent_count(attribute: str) -> int:
+            return len(index.attribute_index(attribute).frequent_keys(config.min_support))
+
+        return max(lhs, key=lambda attribute: (frequent_count(attribute), attribute))
+
+    def _expand_lhs(
+        self,
+        relation: Relation,
+        index: PatternIndex,
+        driver: str,
+        driver_key: tuple[str, int],
+        other_lhs: Sequence[str],
+        ids: Sequence[int],
+    ) -> Iterable[tuple[dict[str, Pattern], list[int]]]:
+        """Combine the driver pattern with frequent patterns of the remaining
+        LHS attributes (the sub-table walk of Example 8)."""
+        config = self.config
+        driver_cell = self._lhs_cell(relation, index, driver, driver_key, ids)
+        if driver_cell is None:
+            return
+        if not other_lhs:
+            yield {driver: driver_cell}, list(ids)
+            return
+        attribute = other_lhs[0]
+        remaining = other_lhs[1:]
+        attr_index = index.attribute_index(attribute)
+        histogram = attr_index.keys_for_rows(ids)
+        candidates = [
+            (key, count)
+            for key, count in histogram.items()
+            if count >= config.min_support
+        ]
+        candidates.sort(key=lambda item: (-item[1], -len(item[0][0]), item[0]))
+        id_set = set(ids)
+        for key, _count in candidates[:50]:
+            subgroup = [row_id for row_id in attr_index.ids(key) if row_id in id_set]
+            if len(subgroup) < config.min_support:
+                continue
+            cell = self._lhs_cell(relation, index, attribute, key, subgroup)
+            if cell is None:
+                continue
+            for assignment, group_ids in self._expand_lhs(
+                relation, index, driver, driver_key, remaining, subgroup
+            ):
+                combined = dict(assignment)
+                combined[attribute] = cell
+                yield combined, group_ids
+
+    # -- pattern construction ------------------------------------------------------
+
+    def _lhs_cell(
+        self,
+        relation: Relation,
+        index: PatternIndex,
+        attribute: str,
+        key: tuple[str, int],
+        ids: Sequence[int],
+    ) -> Optional[Pattern]:
+        """Build the constrained LHS pattern for a frequent part key."""
+        text, position = key
+        strategy = index.strategy(attribute)
+        if strategy == "value":
+            return Pattern((ConstrainedGroup(tuple(Literal(char) for char in text)),))
+        if strategy == "tokenize" and position > 0:
+            # Non-leading token, e.g. the first name inside "Holloway, Donald E.":
+            # anchor it behind a separator character so the constant cannot match
+            # in the middle of another token (the paper writes \A*,\ Donald\A*).
+            stripped = text.rstrip(" ,.;:-_/")
+            if not stripped:
+                return None
+            group = ConstrainedGroup(tuple(Literal(char) for char in stripped))
+            any_star = Repeat(ClassAtom(CharClass.ANY), 0, None)
+            separator = ClassAtom(CharClass.SYMBOL)
+            return Pattern((any_star, separator, group, any_star))
+        group = ConstrainedGroup(tuple(Literal(char) for char in text))
+        # Prefix part (token at position 0, or an n-gram prefix): describe the
+        # suffix by inducing its shape from the covered values so the pattern
+        # stays as specific as the data allows (e.g. {{900}}\D{2}).
+        suffixes = []
+        for row_id in ids:
+            value = relation.cell(row_id, attribute)
+            if not value.startswith(text):
+                suffixes = None
+                break
+            suffixes.append(value[len(text):])
+        remainder: tuple
+        if suffixes is None:
+            remainder = (Repeat(ClassAtom(CharClass.ANY), 0, None),)
+        elif all(suffix == "" for suffix in suffixes):
+            remainder = ()
+        else:
+            induced = induce_pattern(
+                [suffix for suffix in suffixes if suffix], keep_literals=False
+            )
+            if induced is not None and all(suffix for suffix in suffixes):
+                remainder = tuple(induced.elements)
+            else:
+                remainder = (Repeat(ClassAtom(CharClass.ANY), 0, None),)
+        return Pattern((group,) + remainder)
+
+    def _dominant_rhs_cell(
+        self,
+        relation: Relation,
+        index: PatternIndex,
+        rhs: str,
+        ids: Sequence[int],
+    ) -> Optional[Pattern]:
+        """The decision function ``f``: find the dominant RHS pattern.
+
+        First the full values are tried (the common case: the RHS of a
+        constant PFD is a whole value such as a city or a gender); when no
+        full value is dominant enough, the most frequent RHS *part* is tried,
+        yielding a prefix/infix pattern on the RHS.
+        """
+        config = self.config
+        support = len(ids)
+        required = config.required_rhs_agreement(support)
+
+        counts: dict[str, int] = defaultdict(int)
+        for row_id in ids:
+            value = relation.cell(row_id, rhs)
+            if value:
+                counts[value] += 1
+        if counts:
+            top_value, top_count = max(counts.items(), key=lambda item: (item[1], item[0]))
+            if top_count >= required:
+                return Pattern(tuple(Literal(char) for char in top_value))
+
+        if rhs not in index.attributes:
+            return None
+        rhs_index = index.attribute_index(rhs)
+        histogram = rhs_index.keys_for_rows(ids)
+        if not histogram:
+            return None
+        # Drop "ubiquitous" parts: a part carried by (almost) every row of the
+        # whole column (the "St" of a street column, a shared unit suffix)
+        # says nothing about the dependency and would otherwise make every
+        # LHS pattern appear to determine the RHS.
+        row_count = relation.row_count or 1
+        informative = {
+            key: count
+            for key, count in histogram.items()
+            if len(rhs_index.ids(key)) / row_count < 0.8
+        }
+        if not informative:
+            return None
+        (text, position), count = max(
+            informative.items(), key=lambda item: (item[1], len(item[0][0]), item[0])
+        )
+        if count < required or not text:
+            return None
+        group = ConstrainedGroup(tuple(Literal(char) for char in text))
+        any_star = Repeat(ClassAtom(CharClass.ANY), 0, None)
+        if position > 0:
+            return Pattern((any_star, ClassAtom(CharClass.SYMBOL), group, any_star))
+        return Pattern((group, any_star))
+
+
+def discover_pfds(
+    relation: Relation, config: Optional[DiscoveryConfig] = None
+) -> DiscoveryResult:
+    """Module-level convenience wrapper around :class:`PFDDiscoverer`."""
+    return PFDDiscoverer(config).discover(relation)

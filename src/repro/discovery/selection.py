@@ -1,0 +1,153 @@
+"""Selecting and ranking discovered PFDs (Section 4.5).
+
+Discovery is syntactic: it produces true positives and false positives alike,
+and the paper argues the practical workflow is *discover, rank, then let a
+human validate*.  This module provides the ranking and filtering machinery
+that sits between the discoverer and the (simulated) human validator:
+
+* :func:`score_dependency` — an interpretable score combining coverage,
+  support, tableau compactness, and the violation ratio;
+* :func:`rank_dependencies` — discovered dependencies ordered by that score;
+* :func:`validate_against_oracle` — the automated stand-in for the paper's
+  manual validation against external services (gender-api, uszipcode, ...):
+  a ground-truth oracle mapping is consulted for each constant PFD row, and
+  precision / coverage are reported exactly as in Table 8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..core.pfd import PFD
+from ..core.tableau import Wildcard
+from ..dataset.relation import Relation
+from .pfd_discovery import DiscoveredDependency
+
+
+@dataclasses.dataclass(frozen=True)
+class DependencyScore:
+    """Score breakdown for one discovered dependency."""
+
+    dependency: DiscoveredDependency
+    coverage: float
+    support: int
+    tableau_size: int
+    violation_ratio: float
+    score: float
+
+
+def score_dependency(
+    dependency: DiscoveredDependency,
+    relation: Relation,
+    coverage_weight: float = 0.5,
+    compactness_weight: float = 0.2,
+    cleanliness_weight: float = 0.3,
+) -> DependencyScore:
+    """Interpretable quality score in ``[0, 1]``.
+
+    Higher coverage, smaller tableaux (a variable PFD with one row beats 400
+    constants), and fewer violations all increase the score.
+    """
+    coverage = dependency.coverage
+    tableau_size = len(dependency.pfd.tableau)
+    compactness = 1.0 / tableau_size
+    violation_ratio = dependency.pfd.violation_ratio(relation)
+    cleanliness = 1.0 - violation_ratio
+    score = (
+        coverage_weight * coverage
+        + compactness_weight * compactness
+        + cleanliness_weight * cleanliness
+    )
+    return DependencyScore(
+        dependency=dependency,
+        coverage=coverage,
+        support=dependency.support,
+        tableau_size=tableau_size,
+        violation_ratio=violation_ratio,
+        score=score,
+    )
+
+
+def rank_dependencies(
+    dependencies: Sequence[DiscoveredDependency],
+    relation: Relation,
+) -> list[DependencyScore]:
+    """Dependencies ordered from most to least trustworthy."""
+    scored = [score_dependency(dependency, relation) for dependency in dependencies]
+    scored.sort(key=lambda item: (-item.score, -item.support))
+    return scored
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """Precision and coverage of a set of constant PFD rows against an
+    oracle, as reported per dependency in Table 8 of the paper."""
+
+    dependency_name: str
+    pfd_count: int
+    correct_count: int
+    covered_rows: int
+    total_rows: int
+
+    @property
+    def precision(self) -> float:
+        if self.pfd_count == 0:
+            return 0.0
+        return self.correct_count / self.pfd_count
+
+    @property
+    def coverage(self) -> float:
+        if self.total_rows == 0:
+            return 0.0
+        return self.covered_rows / self.total_rows
+
+
+def validate_against_oracle(
+    pfd: PFD,
+    relation: Relation,
+    oracle: Callable[[str], Optional[str]],
+    dependency_name: str = "",
+) -> ValidationReport:
+    """Validate the constant rows of ``pfd`` against a ground-truth oracle.
+
+    ``oracle`` maps the constrained LHS constant of a tableau row (e.g. the
+    first name ``"David"`` or the zip prefix ``"606"``) to the RHS value it
+    should determine, or ``None`` when the oracle has no opinion.  A row is
+    counted correct when the oracle agrees with the row's RHS constant.
+    """
+    lhs = pfd.lhs[0]
+    rhs = pfd.rhs[0]
+    pfd_count = 0
+    correct = 0
+    covered: set[int] = set()
+    for row in pfd.tableau:
+        lhs_cell = row.cell(lhs)
+        rhs_cell = row.cell(rhs)
+        if isinstance(lhs_cell, Wildcard) or isinstance(rhs_cell, Wildcard):
+            continue
+        lhs_group = lhs_cell.constrained_subpattern()
+        if lhs_group is None or not lhs_group.is_constant() or not rhs_cell.is_constant():
+            continue
+        key = lhs_group.constant_value()
+        expected = oracle(key.strip())
+        pfd_count += 1
+        if expected is not None and expected == rhs_cell.constant_value():
+            correct += 1
+        covered.update(pfd.matching_rows(relation, row))
+    return ValidationReport(
+        dependency_name=dependency_name or f"{lhs} -> {rhs}",
+        pfd_count=pfd_count,
+        correct_count=correct,
+        covered_rows=len(covered),
+        total_rows=relation.row_count,
+    )
+
+
+def oracle_from_mapping(mapping: Mapping[str, str]) -> Callable[[str], Optional[str]]:
+    """Build an oracle function from a plain ground-truth dict."""
+
+    def oracle(key: str) -> Optional[str]:
+        return mapping.get(key)
+
+    return oracle

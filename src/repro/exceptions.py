@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro (PFD) library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PatternError(ReproError):
+    """Base class for errors in the pattern sub-system."""
+
+
+class PatternSyntaxError(PatternError):
+    """A pattern string could not be parsed.
+
+    Attributes
+    ----------
+    pattern:
+        The offending pattern string.
+    position:
+        Zero-based index into ``pattern`` where parsing failed.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: int = -1):
+        super().__init__(message)
+        self.pattern = pattern
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.pattern:
+            return f"{base} (pattern={self.pattern!r}, position={self.position})"
+        return base
+
+
+class PatternMatchError(PatternError):
+    """A pattern match ran into a resource limit (e.g. backtracking budget)."""
+
+
+class SchemaError(ReproError):
+    """A relation or constraint referenced an attribute that does not exist,
+    or the shape of the data does not agree with the declared schema."""
+
+
+class ConstraintError(ReproError):
+    """A constraint (FD / CFD / PFD) is malformed."""
+
+
+class TableauError(ConstraintError):
+    """A pattern tableau row does not agree with its constraint's schema."""
+
+
+class InferenceError(ReproError):
+    """An axiom application or closure computation received invalid input."""
+
+
+class InconsistentPFDSetError(InferenceError):
+    """Raised when a set of PFDs is detected to be inconsistent and an
+    operation that requires consistency was requested."""
+
+
+class DiscoveryError(ReproError):
+    """PFD/FD/CFD discovery was configured or invoked incorrectly."""
+
+
+class CleaningError(ReproError):
+    """Error detection / repair was configured or invoked incorrectly."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""

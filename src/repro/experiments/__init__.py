@@ -1,0 +1,56 @@
+"""Experiment runners that regenerate every table and figure of the paper's
+evaluation section (see DESIGN.md for the experiment index)."""
+
+from .efficiency import EfficiencyPoint, EfficiencyResult, run_efficiency
+from .figures import (
+    DEFAULT_ERROR_RATES,
+    DEFAULT_NOISE_RATIOS,
+    DEFAULT_SUPPORTS,
+    FigureResult,
+    SweepPoint,
+    evaluate_point,
+    run_figure,
+    run_figure5,
+    run_figure6,
+)
+from .table3 import DependencyShowcase, Table3Result, run_table3
+from .table7 import (
+    ErrorDetectionRow,
+    MethodRow,
+    Table7Result,
+    TableResult,
+    evaluate_table,
+    run_table7,
+)
+from .table8 import Table8Result, Table8Row, run_table8
+from .reporting import format_percent, format_seconds, format_table
+
+__all__ = [
+    "EfficiencyPoint",
+    "EfficiencyResult",
+    "run_efficiency",
+    "DEFAULT_ERROR_RATES",
+    "DEFAULT_NOISE_RATIOS",
+    "DEFAULT_SUPPORTS",
+    "FigureResult",
+    "SweepPoint",
+    "evaluate_point",
+    "run_figure",
+    "run_figure5",
+    "run_figure6",
+    "DependencyShowcase",
+    "Table3Result",
+    "run_table3",
+    "ErrorDetectionRow",
+    "MethodRow",
+    "Table7Result",
+    "TableResult",
+    "evaluate_table",
+    "run_table7",
+    "Table8Result",
+    "Table8Row",
+    "run_table8",
+    "format_percent",
+    "format_seconds",
+    "format_table",
+]

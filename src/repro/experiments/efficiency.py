@@ -1,0 +1,85 @@
+"""Efficiency study (Section 5.4): discovery runtime as the table grows.
+
+The paper's qualitative claim is an ordering — FDep is faster than
+CFDFinder, which is faster than single-LHS PFD discovery, which is faster
+than multi-LHS PFD discovery — while all stay "reasonable".  The runner
+measures all four on increasingly large instances of the same generated
+table and reports the series; the benchmark harness asserts the ordering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Sequence
+
+from ..datagen.generators import build_udw_alumni
+from ..discovery.cfdfinder import CFDFinder
+from ..discovery.config import DiscoveryConfig
+from ..discovery.fdep import FDepDiscoverer
+from ..discovery.pfd_discovery import PFDDiscoverer
+from .reporting import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class EfficiencyPoint:
+    """Runtimes (seconds) of the four methods at one table size."""
+
+    rows: int
+    fdep_seconds: float
+    cfd_seconds: float
+    pfd_seconds: float
+    pfd_multi_seconds: float
+
+
+@dataclasses.dataclass
+class EfficiencyResult:
+    points: list[EfficiencyPoint]
+
+    def render(self) -> str:
+        headers = ["rows", "FDep (s)", "CFDFinder (s)", "PFD (s)", "PFD multi-LHS (s)"]
+        rows = [
+            [point.rows, point.fdep_seconds, point.cfd_seconds, point.pfd_seconds, point.pfd_multi_seconds]
+            for point in self.points
+        ]
+        return format_table(headers, rows, title="Section 5.4 — discovery runtime scaling")
+
+
+def run_efficiency(
+    row_counts: Sequence[int] = (250, 500, 1000, 2000),
+    seed: int = 21,
+    config: DiscoveryConfig | None = None,
+) -> EfficiencyResult:
+    """Measure discovery runtimes over growing instances of the alumni table."""
+    config = config or DiscoveryConfig(min_support=5, noise_ratio=0.05, min_coverage=0.10)
+    points: list[EfficiencyPoint] = []
+    for rows in row_counts:
+        table = build_udw_alumni(rows=rows, seed=seed)
+        relation = table.relation
+
+        start = time.perf_counter()
+        FDepDiscoverer(max_lhs_size=1, max_violation_ratio=0.005).discover(relation)
+        fdep_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        CFDFinder(confidence=0.995, min_support=config.min_support).discover(relation)
+        cfd_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        PFDDiscoverer(config).discover(relation)
+        pfd_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        PFDDiscoverer(config.with_overrides(max_lhs_size=2)).discover(relation)
+        pfd_multi_seconds = time.perf_counter() - start
+
+        points.append(
+            EfficiencyPoint(
+                rows=rows,
+                fdep_seconds=fdep_seconds,
+                cfd_seconds=cfd_seconds,
+                pfd_seconds=pfd_seconds,
+                pfd_multi_seconds=pfd_multi_seconds,
+            )
+        )
+    return EfficiencyResult(points=points)

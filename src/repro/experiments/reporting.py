@@ -1,0 +1,51 @@
+"""Small formatting helpers shared by the experiment runners.
+
+Every experiment produces plain Python data (lists of dataclasses / dicts);
+these helpers render them as fixed-width text tables so the benchmark harness
+can print rows directly comparable to the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    rendered_rows = [[_render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    """``0.784`` becomes ``"78.4%"`` (the paper reports percentages)."""
+    return f"{100.0 * value:.1f}%"
+
+
+def format_seconds(value: float) -> str:
+    return f"{value:.2f}s"
+
+
+def format_mapping(mapping: Mapping[str, object], indent: str = "  ") -> str:
+    """Key/value listing used for experiment metadata blocks."""
+    return "\n".join(f"{indent}{key}: {value}" for key, value in mapping.items())
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,105 @@
+"""Table 3 reproduction: qualitative examples of real-world PFDs and the
+errors they uncover.
+
+Table 3 of the paper lists, for four embedded dependencies (phone -> state,
+full name -> gender, zip -> city, zip -> state), a few representative PFD
+tableau rows together with concrete erroneous tuples they flag.  The runner
+builds the corresponding synthetic tables with a sprinkle of typos /
+swapped values, discovers PFDs, and reports sample tableau rows and the
+errors detected with them — the same qualitative evidence as the paper's
+table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..cleaning.detector import detect_errors
+from ..datagen.generators import (
+    build_gov_contacts,
+    build_name_gender_table,
+    build_udw_alumni,
+)
+from ..discovery.config import DiscoveryConfig
+from ..discovery.pfd_discovery import PFDDiscoverer
+from .reporting import format_table
+
+
+@dataclasses.dataclass
+class DependencyShowcase:
+    """Sample PFDs and detected errors for one embedded dependency."""
+
+    dependency: str
+    sample_patterns: list[str]
+    detected_errors: list[str]
+    detected_count: int
+    true_error_count: int
+
+
+@dataclasses.dataclass
+class Table3Result:
+    showcases: list[DependencyShowcase]
+
+    def render(self) -> str:
+        rows = []
+        for showcase in self.showcases:
+            patterns = "; ".join(showcase.sample_patterns[:3]) or "-"
+            errors = "; ".join(showcase.detected_errors[:3]) or "-"
+            rows.append([
+                showcase.dependency,
+                patterns,
+                errors,
+                f"{showcase.detected_count}/{showcase.true_error_count}",
+            ])
+        headers = ["Dependency", "Pattern tableau (sample)", "Errors (sample)", "detected/true"]
+        return format_table(headers, rows, title="Table 3 — Real-world PFDs and errors")
+
+
+def _showcase(
+    table,
+    lhs: str,
+    rhs: str,
+    dependency_name: str,
+    config: Optional[DiscoveryConfig] = None,
+    max_samples: int = 5,
+) -> DependencyShowcase:
+    config = config or DiscoveryConfig(min_support=4, noise_ratio=0.05, min_coverage=0.05)
+    relation = table.relation
+    result = PFDDiscoverer(config.with_overrides(generalize=False)).discover(relation)
+    dependency = result.dependency_for((lhs,), rhs)
+    patterns: list[str] = []
+    detected: list[str] = []
+    detected_count = 0
+    if dependency is not None:
+        for row in dependency.pfd.tableau.rows[:max_samples]:
+            patterns.append(row.render((lhs,), (rhs,)))
+        report = detect_errors(relation, [dependency.pfd])
+        detected_count = len(report.errors)
+        for error in report.errors[:max_samples]:
+            row_values = relation.row_dict(error.cell.row_id)
+            detected.append(
+                f"{row_values[lhs]} — {row_values[rhs]}"
+                + (f" (should be {error.suggested_value})" if error.suggested_value else "")
+            )
+    return DependencyShowcase(
+        dependency=dependency_name,
+        sample_patterns=patterns,
+        detected_errors=detected,
+        detected_count=detected_count,
+        true_error_count=len(table.error_cells),
+    )
+
+
+def run_table3(scale: float = 1.0) -> Table3Result:
+    """Reproduce the qualitative Table 3 on the synthetic counterparts."""
+    contacts = build_gov_contacts(rows=max(300, int(800 * scale)), dirt_rate=0.02)
+    names = build_name_gender_table(rows=max(300, int(600 * scale)), dirt_rate=0.02)
+    alumni = build_udw_alumni(rows=max(300, int(800 * scale)), dirt_rate=0.02)
+    showcases = [
+        _showcase(contacts, "phone", "state", "Phone Number -> State"),
+        _showcase(names, "full_name", "gender", "Full Name -> Gender"),
+        _showcase(alumni, "zip", "city", "ZIP -> CITY"),
+        _showcase(alumni, "zip", "state", "ZIP -> STATE"),
+    ]
+    return Table3Result(showcases=showcases)

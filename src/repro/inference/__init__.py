@@ -1,0 +1,44 @@
+"""Inference system for PFDs: the six axioms, PFD-closure, implication, and
+consistency analysis (Section 3 of the paper)."""
+
+from .axioms import (
+    augmentation,
+    inconsistency_efq,
+    lhs_generalization,
+    reduction,
+    reflexivity,
+    transitivity,
+)
+from .closure import PFDClosure, closure_implies, compute_closure
+from .consistency import (
+    ConsistencyResult,
+    attribute_values_consistent,
+    check_consistency,
+    tuple_satisfies,
+)
+from .implication import (
+    equivalent_pfd_sets,
+    find_counterexample,
+    implies,
+    minimal_cover,
+)
+
+__all__ = [
+    "augmentation",
+    "inconsistency_efq",
+    "lhs_generalization",
+    "reduction",
+    "reflexivity",
+    "transitivity",
+    "PFDClosure",
+    "closure_implies",
+    "compute_closure",
+    "ConsistencyResult",
+    "attribute_values_consistent",
+    "check_consistency",
+    "tuple_satisfies",
+    "equivalent_pfd_sets",
+    "find_counterexample",
+    "implies",
+    "minimal_cover",
+]

@@ -1,0 +1,199 @@
+"""The six inference axioms for PFDs (Figure 3 of the paper).
+
+Each axiom is a function that takes the premise PFDs (normalized to a single
+tableau row — the paper notes that tableau rows can be reasoned about
+independently) and returns the derived PFD, raising
+:class:`~repro.exceptions.InferenceError` when the side conditions do not
+hold.  The axioms are:
+
+* **Reflexivity** — ``A ∈ X`` derives ``R(X -> A, tp)`` with
+  ``tp[A_L] ⊑ tp[A_R]``.
+* **Inconsistency-EFQ** — if a set of values for ``B`` is not consistent
+  with the current PFD set, anything follows for that set (ex falso
+  quodlibet).
+* **Augmentation** — ``R(X -> Y, tp)`` and ``A ∉ XY`` derive
+  ``R(XA -> YA, tp')`` with the same patterns on ``XY`` and identical
+  patterns on ``A_L`` and ``A_R``.
+* **Transitivity** — ``R(X -> Y, tp)`` and ``R(Y -> Z, tp')`` with
+  ``tp[A] ⊑ tp'[A]`` for all ``A ∈ Y`` derive ``R(X -> Z, tp'')``.
+* **Reduction** — ``R(XB -> A, tp)`` with ``tp[B] = ⊥`` and ``tp[A]``
+  constant derives ``R(X -> A, tp')``.
+* **LHS-Generalization** — two PFDs over the same ``XB -> Y`` whose patterns
+  agree on ``XY`` combine their ``B`` patterns.  Because the pattern
+  language has no union operator, the combined PFD is represented by a
+  two-row tableau, which has exactly the semantics of the union pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..core.pfd import PFD
+from ..core.tableau import (
+    PatternTableau,
+    PatternTuple,
+    WILDCARD,
+    Wildcard,
+    cell_is_restriction,
+)
+from ..exceptions import InferenceError
+from ..patterns.ast import Pattern
+
+
+def _single_row(pfd: PFD) -> PatternTuple:
+    if len(pfd.tableau) != 1:
+        raise InferenceError(
+            "axioms operate on single-row PFDs; normalize the tableau first "
+            f"(got {len(pfd.tableau)} rows)"
+        )
+    return pfd.tableau[0]
+
+
+def _cell_restriction_holds(
+    specific: Union[Pattern, Wildcard], general: Union[Pattern, Wildcard]
+) -> bool:
+    """``specific ⊑ general`` lifted to tableau cells (⊥ acts as ``{{\\A*}}``)."""
+    return cell_is_restriction(specific, general)
+
+
+def reflexivity(
+    lhs: Sequence[str],
+    row: PatternTuple,
+    attribute: str,
+    rhs_cell: Optional[Union[Pattern, Wildcard, str]] = None,
+    relation_name: str = "R",
+) -> PFD:
+    """Reflexivity: ``A ∈ X`` gives ``R(X -> A, tp)`` with ``tp[A_L] ⊑ tp[A_R]``.
+
+    ``rhs_cell`` is the pattern for the RHS copy of ``attribute``; it defaults
+    to the LHS pattern itself (which is trivially a restriction of itself).
+    """
+    if attribute not in lhs:
+        raise InferenceError(f"reflexivity requires {attribute!r} to be in the LHS {lhs}")
+    lhs_cell = row.cell(attribute)
+    if rhs_cell is None:
+        resolved_rhs: Union[Pattern, Wildcard] = lhs_cell
+    else:
+        resolved_rhs = PatternTuple.from_mapping({attribute: rhs_cell}).cell(attribute)
+    if not _cell_restriction_holds(lhs_cell, resolved_rhs):
+        raise InferenceError(
+            "reflexivity requires the LHS pattern to be a restriction of the RHS pattern"
+        )
+    # The PFD class does not distinguish A_L from A_R for a shared attribute,
+    # so the derived row keeps the (tighter) LHS pattern for the shared cell;
+    # its restriction into the requested RHS pattern has been verified above.
+    derived_cells = {name: row.cell(name) for name in lhs}
+    derived_cells[attribute] = resolved_rhs if isinstance(lhs_cell, Wildcard) else lhs_cell
+    return PFD(tuple(lhs), (attribute,), PatternTableau([derived_cells]), relation_name)
+
+
+def inconsistency_efq(
+    attribute: str,
+    inconsistent_cell: Union[Pattern, Wildcard, str],
+    rhs: Sequence[str],
+    rhs_cells: dict[str, Union[Pattern, Wildcard, str]],
+    relation_name: str = "R",
+) -> PFD:
+    """Inconsistency-EFQ: from an inconsistent value set anything follows.
+
+    The caller is responsible for having established (via
+    :func:`repro.inference.consistency.attribute_values_consistent`) that no
+    instance can place a value matching ``inconsistent_cell`` in
+    ``attribute``; the axiom then derives ``R(attribute -> Y, tp)`` for the
+    requested ``Y`` and patterns.
+    """
+    cells: dict[str, Union[Pattern, Wildcard, str]] = {attribute: inconsistent_cell}
+    for name in rhs:
+        if name not in rhs_cells:
+            raise InferenceError(f"missing RHS pattern for {name!r}")
+        cells[name] = rhs_cells[name]
+    return PFD((attribute,), tuple(rhs), PatternTableau([cells]), relation_name)
+
+
+def augmentation(
+    pfd: PFD, attribute: str, cell: Union[Pattern, Wildcard, str] = WILDCARD
+) -> PFD:
+    """Augmentation: ``R(X -> Y, tp)`` and ``A ∉ XY`` give ``R(XA -> YA, tp')``.
+
+    The new attribute carries the same pattern on both sides (the paper's
+    ``tp'[A_L] = tp'[A_R]``), supplied by ``cell`` and defaulting to ``⊥``.
+    """
+    row = _single_row(pfd)
+    if attribute in pfd.lhs or attribute in pfd.rhs:
+        raise InferenceError(
+            f"augmentation requires {attribute!r} to be outside {pfd.lhs + pfd.rhs}"
+        )
+    resolved = PatternTuple.from_mapping({attribute: cell}).cell(attribute)
+    cells = {name: row.cell(name) for name in (*pfd.lhs, *pfd.rhs)}
+    cells[attribute] = resolved
+    return PFD(
+        (*pfd.lhs, attribute),
+        (*pfd.rhs, attribute),
+        PatternTableau([cells]),
+        pfd.relation_name,
+    )
+
+
+def transitivity(first: PFD, second: PFD) -> PFD:
+    """Transitivity: ``R(X -> Y, tp)``, ``R(Y -> Z, tp')`` with
+    ``tp[A] ⊑ tp'[A]`` for every ``A ∈ Y`` give ``R(X -> Z, tp'')``."""
+    row_first = _single_row(first)
+    row_second = _single_row(second)
+    if set(second.lhs) != set(first.rhs):
+        raise InferenceError(
+            f"transitivity requires the second PFD's LHS {second.lhs} to equal "
+            f"the first PFD's RHS {first.rhs}"
+        )
+    for attribute in first.rhs:
+        if not _cell_restriction_holds(row_first.cell(attribute), row_second.cell(attribute)):
+            raise InferenceError(
+                f"transitivity requires tp[{attribute}] to be a restriction of tp'[{attribute}]"
+            )
+    cells = {name: row_first.cell(name) for name in first.lhs}
+    for name in second.rhs:
+        cells[name] = row_second.cell(name)
+    return PFD(first.lhs, second.rhs, PatternTableau([cells]), first.relation_name)
+
+
+def reduction(pfd: PFD, attribute: str) -> PFD:
+    """Reduction: drop a wildcard LHS attribute when the RHS is constant."""
+    row = _single_row(pfd)
+    if attribute not in pfd.lhs:
+        raise InferenceError(f"reduction requires {attribute!r} to be in the LHS")
+    if len(pfd.lhs) < 2:
+        raise InferenceError("reduction cannot remove the only LHS attribute")
+    if not row.is_wildcard(attribute):
+        raise InferenceError(f"reduction requires tp[{attribute}] to be the wildcard ⊥")
+    for rhs_attr in pfd.rhs:
+        cell = row.cell(rhs_attr)
+        if isinstance(cell, Wildcard) or not cell.is_constant():
+            raise InferenceError("reduction requires a constant RHS pattern")
+    remaining = tuple(name for name in pfd.lhs if name != attribute)
+    cells = {name: row.cell(name) for name in (*remaining, *pfd.rhs)}
+    return PFD(remaining, pfd.rhs, PatternTableau([cells]), pfd.relation_name)
+
+
+def lhs_generalization(first: PFD, second: PFD, attribute: str) -> PFD:
+    """LHS-Generalization: combine the ``B`` patterns of two PFDs that agree
+    everywhere else.
+
+    The pattern language has no union operator, so the derived PFD carries a
+    two-row tableau ``{tp, tp'}`` — a value matches the union of the two
+    ``B`` patterns exactly when it matches the ``B`` pattern of one of the
+    rows, so the semantics coincide with the axiom's ``tp[B] ∪ tp'[B]``.
+    """
+    row_first = _single_row(first)
+    row_second = _single_row(second)
+    if first.lhs != second.lhs or first.rhs != second.rhs:
+        raise InferenceError("LHS-generalization requires identical embedded FDs")
+    if attribute not in first.lhs:
+        raise InferenceError(f"{attribute!r} must be an LHS attribute")
+    for name in (*first.lhs, *first.rhs):
+        if name == attribute:
+            continue
+        if row_first.cell(name) != row_second.cell(name):
+            raise InferenceError(
+                f"LHS-generalization requires identical patterns on {name!r}"
+            )
+    tableau = PatternTableau([row_first, row_second])
+    return PFD(first.lhs, first.rhs, tableau, first.relation_name)

@@ -1,0 +1,170 @@
+"""PFD-closure computation (the algorithm of Figure 7 in the paper).
+
+Given a set ``Ψ`` of PFDs and a "seed" ``(X, tp[X])`` — a set of attributes
+together with the constrained patterns attached to them — the closure is the
+set of pairs ``(A, t_W[A])`` such that ``Ψ`` implies ``R(X -> A, tp)`` with
+pattern ``t_W[A]`` on ``A``.  The closure drives the implication test
+(Theorem 1 shows the inference system is sound and complete, and the closure
+is how completeness is proved constructively).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..core.pfd import PFD
+from ..core.tableau import PatternTuple, Wildcard, cell_is_restriction
+from ..exceptions import InferenceError
+from ..patterns.ast import Pattern
+
+#: A closure cell: the pattern currently known to be forced on an attribute.
+ClosureCell = Union[Pattern, Wildcard]
+
+
+@dataclasses.dataclass
+class PFDClosure:
+    """The closure ``(X, tp[X])^Ψ`` as a mapping attribute -> pattern."""
+
+    seed_attributes: tuple[str, ...]
+    cells: dict[str, ClosureCell]
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(self.cells)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self.cells
+
+    def cell(self, attribute: str) -> ClosureCell:
+        return self.cells[attribute]
+
+    def covers(self, attribute: str, required: ClosureCell) -> bool:
+        """True if the closure forces ``attribute`` at least as tightly as
+        ``required`` (i.e. the closure pattern is a restriction of it)."""
+        if attribute not in self.cells:
+            return False
+        return _cell_is_restriction(self.cells[attribute], required)
+
+
+def _cell_is_restriction(specific: ClosureCell, general: ClosureCell) -> bool:
+    return cell_is_restriction(specific, general)
+
+
+def _normalize(psis: Iterable[PFD]) -> list[PFD]:
+    """Split every PFD into single-RHS-attribute, single-tableau-row PFDs."""
+    flat: list[PFD] = []
+    for pfd in psis:
+        for normalized in pfd.normalized():
+            for row in normalized.tableau:
+                flat.append(
+                    PFD(
+                        normalized.lhs,
+                        normalized.rhs,
+                        [ {name: row.cell(name) for name in (*normalized.lhs, *normalized.rhs)} ],
+                        normalized.relation_name,
+                    )
+                )
+    return flat
+
+
+def compute_closure(
+    psis: Iterable[PFD],
+    seed: Union[PatternTuple, Mapping[str, object]],
+    seed_attributes: Optional[Sequence[str]] = None,
+) -> PFDClosure:
+    """Compute the PFD-closure of ``(X, tp[X])`` under ``psis``.
+
+    Parameters
+    ----------
+    psis:
+        The PFD set ``Ψ``.
+    seed:
+        The seed patterns, as a :class:`PatternTuple` or a mapping from
+        attribute name to pattern / pattern string / ``⊥``.
+    seed_attributes:
+        The attribute set ``X``; defaults to the attributes of ``seed``.
+    """
+    if not isinstance(seed, PatternTuple):
+        seed = PatternTuple.from_mapping(dict(seed))
+    if seed_attributes is None:
+        seed_attributes = seed.attributes()
+    closure: dict[str, ClosureCell] = {
+        attribute: seed.cell(attribute) for attribute in seed_attributes
+    }
+    unused = _normalize(psis)
+
+    changed = True
+    while changed:
+        changed = False
+        remaining: list[PFD] = []
+        for pfd in unused:
+            if _can_apply(pfd, closure):
+                target = pfd.rhs[0]
+                new_cell = pfd.tableau[0].cell(target)
+                if target not in closure:
+                    closure[target] = new_cell
+                    changed = True
+                elif _cell_is_restriction(new_cell, closure[target]) and new_cell != closure[target]:
+                    # The new pattern is tighter than what we had; keep it.
+                    closure[target] = new_cell
+                    changed = True
+                # The rule has been consumed either way (Figure 7, line 7).
+            else:
+                remaining.append(pfd)
+        unused = remaining
+    return PFDClosure(seed_attributes=tuple(seed_attributes), cells=closure)
+
+
+def _can_apply(pfd: PFD, closure: Mapping[str, ClosureCell]) -> bool:
+    """Condition (a.i)/(b) of Figure 7 for extending the closure with ``pfd``.
+
+    Condition (a.ii) — extension via inconsistent pattern differences — is
+    delegated to the consistency module and not applied automatically here:
+    it only fires for inconsistent PFD sets, for which the implication test
+    short-circuits anyway (everything is implied).
+    """
+    row = pfd.tableau[0]
+    lhs = pfd.lhs
+    all_present = all(attribute in closure for attribute in lhs)
+    if all_present:
+        return all(
+            _cell_is_restriction(closure[attribute], row.cell(attribute))
+            for attribute in lhs
+        )
+    # Condition (b): constant RHS and wildcards on every LHS attribute that is
+    # not (yet) in the closure.
+    rhs_cell = row.cell(pfd.rhs[0])
+    rhs_is_constant = not isinstance(rhs_cell, Wildcard) and rhs_cell.is_constant()
+    if not rhs_is_constant:
+        return False
+    for attribute in lhs:
+        if attribute in closure:
+            if not _cell_is_restriction(closure[attribute], row.cell(attribute)):
+                return False
+        else:
+            if not isinstance(row.cell(attribute), Wildcard):
+                return False
+    return True
+
+
+def closure_implies(
+    psis: Iterable[PFD],
+    candidate: PFD,
+) -> bool:
+    """Does ``Ψ`` imply ``candidate``, judged via the closure construction?
+
+    The candidate may have multiple tableau rows; each row is checked
+    independently (rows are independent, Section 3.1).
+    """
+    results = []
+    for normalized in candidate.normalized():
+        for row in normalized.tableau:
+            seed = PatternTuple.from_mapping(
+                {attribute: row.cell(attribute) for attribute in normalized.lhs}
+            )
+            closure = compute_closure(psis, seed, normalized.lhs)
+            target = normalized.rhs[0]
+            results.append(closure.covers(target, row.cell(target)))
+    if not results:
+        raise InferenceError("candidate PFD has an empty tableau")
+    return all(results)

@@ -1,0 +1,208 @@
+"""Consistency analysis for PFD sets (Section 3.2 and the proof in 7.3).
+
+The consistency problem asks whether a nonempty instance exists that
+satisfies every PFD in a set ``Ψ``.  The paper proves a small-model property:
+``Ψ`` is consistent iff a *single-tuple* instance satisfies it, with each
+attribute value drawn from strings no longer than the summed pattern lengths.
+This module implements exactly that search:
+
+* candidate witness values per attribute are generated from the patterns that
+  mention the attribute (example strings of LHS/RHS patterns, their constants,
+  and a few "neutral" strings that match no LHS pattern),
+* a backtracking search assigns one candidate per attribute and checks the
+  single-tuple satisfaction condition of every PFD row (if the tuple matches
+  every LHS pattern of a row, it must match every RHS pattern of that row).
+
+Optional per-attribute *domain patterns* restrict which witness values are
+admissible; they model the "infinite domains of strings consisting of lower
+case letters and digits" style restrictions of the NP-hardness reduction and
+let users encode genuine domain knowledge (e.g. a zip column only ever holds
+``\\D{5}`` values).  The search is exponential in the number of attributes in
+the worst case — as the NP-completeness result requires — but the candidate
+sets are tiny in practice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..core.pfd import PFD
+from ..core.tableau import Wildcard
+from ..patterns.ast import Pattern
+from ..patterns.matcher import compile_pattern
+from ..patterns.nfa import example_string
+from ..patterns.parser import parse_pattern
+
+#: Neutral witness values tried for every attribute; one of them almost
+#: always fails to match any LHS pattern, making the PFDs vacuous on it.
+_NEUTRAL_VALUES = ("", "zz99", "Qx7-", "#", "unmatched value 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsistencyResult:
+    """Outcome of a consistency check."""
+
+    consistent: bool
+    witness: Optional[dict[str, str]] = None
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def _as_pattern(value: Union[Pattern, str]) -> Pattern:
+    if isinstance(value, Pattern):
+        return value
+    return parse_pattern(value)
+
+
+def _normalized_rows(psis: Iterable[PFD]) -> list[tuple[PFD, int]]:
+    rows: list[tuple[PFD, int]] = []
+    for pfd in psis:
+        for index in range(len(pfd.tableau)):
+            rows.append((pfd, index))
+    return rows
+
+
+def _mentioned_attributes(psis: Sequence[PFD]) -> list[str]:
+    seen: dict[str, None] = {}
+    for pfd in psis:
+        for attribute in pfd.attributes():
+            seen.setdefault(attribute, None)
+    return list(seen)
+
+
+def _candidate_values(
+    psis: Sequence[PFD],
+    attribute: str,
+    domain_pattern: Optional[Pattern],
+) -> list[str]:
+    """Witness candidates for one attribute (bounded, deterministic)."""
+    candidates: dict[str, None] = {}
+
+    def consider(value: Optional[str]) -> None:
+        if value is None:
+            return
+        if domain_pattern is not None and not compile_pattern(domain_pattern).matches(value):
+            return
+        candidates.setdefault(value, None)
+
+    if domain_pattern is not None:
+        consider(example_string(domain_pattern))
+    for pfd in psis:
+        for row in pfd.tableau:
+            if attribute not in (*pfd.lhs, *pfd.rhs):
+                continue
+            cell = row.cell(attribute)
+            if isinstance(cell, Wildcard):
+                continue
+            consider(example_string(cell))
+            if cell.is_constant():
+                consider(cell.constant_value())
+    for neutral in _NEUTRAL_VALUES:
+        consider(neutral)
+    return list(candidates)
+
+
+def tuple_satisfies(psis: Iterable[PFD], assignment: Mapping[str, str]) -> bool:
+    """Does the single-tuple instance ``{assignment}`` satisfy every PFD?
+
+    For every tableau row of every PFD: if the tuple matches every LHS
+    pattern of the row, it must also match every RHS pattern (taking
+    ``t1 = t2 = t`` in the pairwise semantics — equivalence with itself is
+    automatic, so only the format requirements remain).
+    """
+    for pfd in psis:
+        for row in pfd.tableau:
+            lhs_matches = True
+            for attribute in pfd.lhs:
+                value = assignment.get(attribute, "")
+                if not row.compiled(attribute).matches(value):
+                    lhs_matches = False
+                    break
+            if not lhs_matches:
+                continue
+            for attribute in pfd.rhs:
+                value = assignment.get(attribute, "")
+                if not row.compiled(attribute).matches(value):
+                    return False
+    return True
+
+
+def check_consistency(
+    psis: Sequence[PFD],
+    domains: Optional[Mapping[str, Union[Pattern, str]]] = None,
+    max_assignments: int = 200_000,
+) -> ConsistencyResult:
+    """Decide whether ``psis`` admits a nonempty satisfying instance.
+
+    Parameters
+    ----------
+    psis:
+        The PFD set ``Ψ``.
+    domains:
+        Optional attribute -> pattern restrictions every witness value must
+        match (models restricted domains; omit for unrestricted domains).
+    max_assignments:
+        Upper bound on the number of candidate assignments enumerated; the
+        search is reported inconsistent only when the space was fully
+        explored, otherwise a :class:`ConsistencyResult` with
+        ``consistent=False`` and ``witness=None`` is still returned but the
+        caller should treat the bound as the limiting factor.
+    """
+    psis = list(psis)
+    if not psis:
+        return ConsistencyResult(True, witness={})
+    domain_patterns: dict[str, Pattern] = {}
+    if domains:
+        domain_patterns = {name: _as_pattern(value) for name, value in domains.items()}
+    attributes = _mentioned_attributes(psis)
+    candidate_lists = [
+        _candidate_values(psis, attribute, domain_patterns.get(attribute))
+        for attribute in attributes
+    ]
+    if any(not candidates for candidates in candidate_lists):
+        # An attribute admits no candidate at all (e.g. an unsatisfiable
+        # domain pattern): no witness tuple can be built.
+        return ConsistencyResult(False)
+    total = 1
+    for candidates in candidate_lists:
+        total *= len(candidates)
+    if total > max_assignments:
+        # Explore a truncated product; soundness of a positive answer is
+        # preserved, a negative answer may be due to the truncation.
+        product = itertools.islice(itertools.product(*candidate_lists), max_assignments)
+    else:
+        product = itertools.product(*candidate_lists)
+    for values in product:
+        assignment = dict(zip(attributes, values))
+        if tuple_satisfies(psis, assignment):
+            return ConsistencyResult(True, witness=assignment)
+    return ConsistencyResult(False)
+
+
+def attribute_values_consistent(
+    psis: Sequence[PFD],
+    attribute: str,
+    value_pattern: Union[Pattern, str],
+    domains: Optional[Mapping[str, Union[Pattern, str]]] = None,
+) -> bool:
+    """Is ``attribute`` restricted to ``value_pattern`` still consistent?
+
+    This is the side condition of the Inconsistency-EFQ axiom: ``B ∈ S_B`` is
+    consistent w.r.t. ``Ψ`` iff some satisfying instance contains a ``B``
+    value in ``S_B``.  It reduces to a consistency check where the domain of
+    ``attribute`` is intersected with ``value_pattern``.
+    """
+    new_domains: dict[str, Union[Pattern, str]] = dict(domains or {})
+    new_domains[attribute] = _as_pattern(value_pattern)
+    if attribute in (domains or {}):
+        # Keep the tighter original restriction too by checking both: the
+        # witness must satisfy value_pattern and the original domain.
+        original = _as_pattern(dict(domains)[attribute])
+        result = check_consistency(psis, new_domains)
+        if not result.consistent or result.witness is None:
+            return False
+        return compile_pattern(original).matches(result.witness.get(attribute, ""))
+    return bool(check_consistency(psis, new_domains))

@@ -1,0 +1,172 @@
+"""Implication analysis for PFDs (Section 3.1, Theorems 1 and 2).
+
+``Ψ |= ψ`` asks whether every instance satisfying ``Ψ`` also satisfies
+``ψ``.  Two complementary procedures are provided:
+
+* :func:`implies` — the constructive test via the PFD-closure of Figure 7
+  (sound and complete by Theorem 1 for consistent ``Ψ``; if ``Ψ`` is
+  inconsistent everything is implied and the function short-circuits).
+* :func:`find_counterexample` — a bounded search for a two-tuple witness
+  instance that satisfies ``Ψ`` but violates ``ψ`` (the small-model property
+  used in the coNP membership proof, Section 7.2).  It is used by the test
+  suite to cross-check the closure-based answer and exposed because a
+  concrete counterexample is far more useful to a user than a bare "not
+  implied".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..core.pfd import PFD
+from ..core.tableau import Wildcard
+from ..dataset.relation import Relation
+from ..dataset.schema import Schema
+from ..patterns.ast import Pattern
+from ..patterns.matcher import compile_pattern
+from ..patterns.nfa import example_string
+from .closure import closure_implies
+from .consistency import check_consistency
+
+#: Mutations applied to example strings when searching for a disagreeing RHS
+#: value in the counterexample search.
+_VALUE_VARIANTS = ("X", "0", "z", "Q9")
+
+
+def implies(
+    psis: Sequence[PFD],
+    candidate: PFD,
+    domains: Optional[Mapping[str, Union[Pattern, str]]] = None,
+) -> bool:
+    """Closure-based implication test ``Ψ |= ψ``.
+
+    If ``Ψ`` is inconsistent (no satisfying instance exists) the implication
+    holds vacuously for any candidate.
+    """
+    psis = list(psis)
+    if not check_consistency(psis, domains=domains):
+        return True
+    return closure_implies(psis, candidate)
+
+
+def _attributes_of(psis: Sequence[PFD], candidate: PFD) -> list[str]:
+    seen: dict[str, None] = {}
+    for pfd in (*psis, candidate):
+        for attribute in pfd.attributes():
+            seen.setdefault(attribute, None)
+    return list(seen)
+
+
+def _candidate_values_for_attribute(
+    psis: Sequence[PFD], candidate: PFD, attribute: str
+) -> list[str]:
+    values: dict[str, None] = {}
+
+    def consider(value: Optional[str]) -> None:
+        if value is not None:
+            values.setdefault(value, None)
+
+    for pfd in (*psis, candidate):
+        if attribute not in pfd.attributes():
+            continue
+        for row in pfd.tableau:
+            cell = row.cell(attribute)
+            if isinstance(cell, Wildcard):
+                continue
+            base = example_string(cell)
+            consider(base)
+            if cell.is_constant():
+                consider(cell.constant_value())
+            if base is not None:
+                for variant in _VALUE_VARIANTS:
+                    consider(base + variant)
+    consider("")
+    consider("neutral")
+    return list(values)
+
+
+def find_counterexample(
+    psis: Sequence[PFD],
+    candidate: PFD,
+    max_assignments: int = 100_000,
+    relation_name: str = "R",
+) -> Optional[Relation]:
+    """Search for a two-tuple instance with ``T |= Ψ`` but ``T not|= ψ``.
+
+    Returns the witness relation, or ``None`` when no counterexample was
+    found within the (bounded) search space.  A ``None`` answer is *not* a
+    proof of implication — use :func:`implies` for that — but the bound is
+    generous for the pattern sizes the paper works with.
+    """
+    psis = list(psis)
+    attributes = _attributes_of(psis, candidate)
+    per_attribute = [
+        _candidate_values_for_attribute(psis, candidate, attribute)
+        for attribute in attributes
+    ]
+    schema = Schema(attributes, name=relation_name)
+
+    # Enumerate pairs of value assignments; to keep the space tractable the
+    # two tuples only differ on the candidate's attributes (a violation of
+    # the candidate only needs disagreement there).
+    varying = [a for a in attributes if a in candidate.attributes()]
+    fixed = [a for a in attributes if a not in varying]
+    fixed_candidates = [per_attribute[attributes.index(a)] for a in fixed]
+    varying_candidates = [per_attribute[attributes.index(a)] for a in varying]
+
+    budget = max_assignments
+    fixed_space = itertools.product(*fixed_candidates) if fixed else [()]
+    for fixed_values in fixed_space:
+        pair_space = itertools.product(
+            itertools.product(*varying_candidates),
+            itertools.product(*varying_candidates),
+        )
+        for first_values, second_values in pair_space:
+            budget -= 1
+            if budget <= 0:
+                return None
+            rows = []
+            for values in (first_values, second_values):
+                row = dict(zip(varying, values))
+                row.update(dict(zip(fixed, fixed_values)))
+                rows.append([row.get(a, "") for a in attributes])
+            relation = Relation.from_rows(schema, rows, name=relation_name)
+            if candidate.holds_on(relation):
+                continue
+            if all(pfd.holds_on(relation) for pfd in psis):
+                return relation
+    return None
+
+
+def equivalent_pfd_sets(
+    first: Sequence[PFD],
+    second: Sequence[PFD],
+    domains: Optional[Mapping[str, Union[Pattern, str]]] = None,
+) -> bool:
+    """Two PFD sets are equivalent when each implies every member of the other."""
+    return all(implies(first, pfd, domains) for pfd in second) and all(
+        implies(second, pfd, domains) for pfd in first
+    )
+
+
+def minimal_cover(
+    psis: Sequence[PFD],
+    domains: Optional[Mapping[str, Union[Pattern, str]]] = None,
+) -> list[PFD]:
+    """A subset of ``psis`` with the same logical consequences.
+
+    Greedy reduction: drop any PFD already implied by the remaining ones.
+    Used to de-duplicate discovery output before presenting it to a user.
+    """
+    kept = list(psis)
+    changed = True
+    while changed:
+        changed = False
+        for index, pfd in enumerate(kept):
+            rest = kept[:index] + kept[index + 1 :]
+            if rest and implies(rest, pfd, domains):
+                kept = rest
+                changed = True
+                break
+    return kept

@@ -1,0 +1,112 @@
+"""The pattern language of PFDs.
+
+This package implements the regex-like pattern language of Section 2.1 of
+the paper: the generalization tree over the alphabet, the pattern AST and its
+textual syntax, matching with constrained-part extraction, NFA construction
+with containment / equivalence decisions, the restriction relation between
+constrained patterns, and pattern induction from example strings.
+
+Quick tour::
+
+    >>> from repro.patterns import parse_pattern, compile_pattern
+    >>> p = parse_pattern(r"{{900}}\\D{2}")
+    >>> compile_pattern(p).matches("90001")
+    True
+    >>> compile_pattern(r"{{\\LU\\LL*\\ }}\\A*").extract("John Charles")
+    'John '
+"""
+
+from .alphabet import (
+    BASE_CLASSES,
+    CharClass,
+    char_matches_class,
+    classify_char,
+    class_subsumes,
+    generalize_chars,
+    generalize_classes,
+)
+from .ast import (
+    ClassAtom,
+    ConstrainedGroup,
+    Literal,
+    Pattern,
+    Repeat,
+    any_string_pattern,
+    literal_pattern,
+)
+from .containment import is_generalization_of, is_restriction_of, patterns_compatible
+from .induction import (
+    Run,
+    column_shape_histogram,
+    dominant_shape,
+    induce_pattern,
+    induce_prefix_pattern,
+    signature,
+    string_runs,
+)
+from .matcher import (
+    CompiledPattern,
+    MatchResult,
+    compile_pattern,
+    equivalent,
+    extract_constrained,
+    matches,
+    reference_match,
+)
+from .nfa import (
+    DFA,
+    NFA,
+    determinize,
+    example_string,
+    language_contains,
+    language_equivalent,
+    language_nonempty_intersection,
+    pattern_to_nfa,
+    symbolic_alphabet,
+)
+from .parser import parse_pattern, try_parse_pattern
+
+__all__ = [
+    "BASE_CLASSES",
+    "CharClass",
+    "char_matches_class",
+    "classify_char",
+    "class_subsumes",
+    "generalize_chars",
+    "generalize_classes",
+    "ClassAtom",
+    "ConstrainedGroup",
+    "Literal",
+    "Pattern",
+    "Repeat",
+    "any_string_pattern",
+    "literal_pattern",
+    "is_generalization_of",
+    "is_restriction_of",
+    "patterns_compatible",
+    "Run",
+    "column_shape_histogram",
+    "dominant_shape",
+    "induce_pattern",
+    "induce_prefix_pattern",
+    "signature",
+    "string_runs",
+    "CompiledPattern",
+    "MatchResult",
+    "compile_pattern",
+    "equivalent",
+    "extract_constrained",
+    "matches",
+    "reference_match",
+    "DFA",
+    "NFA",
+    "determinize",
+    "example_string",
+    "language_contains",
+    "language_equivalent",
+    "language_nonempty_intersection",
+    "pattern_to_nfa",
+    "symbolic_alphabet",
+    "parse_pattern",
+    "try_parse_pattern",
+]

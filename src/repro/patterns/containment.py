@@ -1,0 +1,135 @@
+"""Restriction / generalization relation between (constrained) patterns.
+
+Section 2.1 of the paper defines: a constrained pattern ``Q`` is a
+*restricted* pattern of ``Q'`` (written ``Q [= Q'``) if for any two strings
+``s, s'``, ``s ==_Q s'`` implies ``s ==_{Q'} s'``; ``Q'`` is then a
+*generalized* pattern of ``Q``.
+
+Deciding this relation exactly for arbitrary regular constrained patterns is
+involved; for the single-constrained-group, concatenation-only pattern class
+used throughout the paper the following *sound* criterion captures every case
+that occurs in discovery, inference, and the paper's own examples:
+
+``is_restriction_of(q, q_general)`` holds when
+
+1. the language of ``q`` is contained in the language of ``q_general``
+   (every string constrained by ``q`` is also in scope for ``q_general``),
+   and
+2. one of
+   a. ``q_general`` has no constrained group (it constrains nothing, so the
+      implication is vacuous on the right),
+   b. both constrained groups are *anchored prefixes* (the group is the
+      first element of the pattern) and the group language of ``q`` is
+      contained in the group language of ``q_general`` while the remainder
+      languages are also contained — then equality of the ``q``-prefix
+      forces equality of the ``q_general``-prefix because the
+      ``q_general`` group's greedy extent is determined by the ``q``
+      group's content, or
+   c. ``q`` is a constant pattern whose unique value matches
+      ``q_general`` — two strings equivalent under a constant ``q`` are
+      *identical on the whole string*, hence equivalent under any pattern
+      they match.
+
+Case (c) is what licenses generalizing constant PFD tableau rows (e.g.
+``{{John\\ }}\\A*``) under a variable row (``{{\\LU\\LL*\\ }}\\A*``); case (b)
+covers wildcard-style comparisons between variable rows.  The criterion is
+sound (never claims a restriction that does not hold) and is complete on the
+anchored-prefix patterns produced by this library's discovery algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .ast import ConstrainedGroup, Pattern
+from .matcher import compile_pattern
+from .nfa import language_contains
+from .parser import parse_pattern
+
+
+def _as_pattern(pattern: Union[Pattern, str]) -> Pattern:
+    if isinstance(pattern, str):
+        return parse_pattern(pattern)
+    return pattern
+
+
+def _group_is_prefix(pattern: Pattern) -> bool:
+    """True if the constrained group is the first top-level element."""
+    index = pattern.constrained_group_index
+    return index == 0
+
+
+def _remainder_pattern(pattern: Pattern) -> Pattern:
+    """The pattern consisting of everything after the constrained group."""
+    index = pattern.constrained_group_index
+    if index is None:
+        return pattern
+    return Pattern(tuple(pattern.elements[index + 1 :]))
+
+
+def is_restriction_of(
+    restricted: Union[Pattern, str], general: Union[Pattern, str]
+) -> bool:
+    """Sound test for ``restricted [= general`` (see module docstring).
+
+    Parameters
+    ----------
+    restricted:
+        The candidate more-specific constrained pattern (``Q``).
+    general:
+        The candidate more-general constrained pattern (``Q'``).
+    """
+    q_restricted = _as_pattern(restricted)
+    q_general = _as_pattern(general)
+
+    # Condition 1: language containment of the embedded patterns.
+    if not language_contains(q_general.embedded(), q_restricted.embedded()):
+        return False
+
+    # Condition 2a: the general pattern constrains nothing.
+    if not q_general.has_constrained_group:
+        return True
+
+    # Condition 2c: a constant restricted pattern pins the whole value.
+    if q_restricted.is_constant():
+        constant = q_restricted.constant_value()
+        return compile_pattern(q_general).matches(constant)
+
+    # Condition 2c': constant constrained group that spans a prefix also pins
+    # the part the general group can capture, provided both are prefixes.
+    if not q_restricted.has_constrained_group:
+        # The restricted pattern does not constrain anything, so equivalence
+        # under it only requires both strings to match; that does not imply
+        # equality of any substring unless the general group is constant
+        # across the language, i.e. the general group is a constant pattern.
+        general_group = q_general.constrained_subpattern()
+        return general_group is not None and general_group.is_constant()
+
+    # Condition 2b: aligned prefix groups with containment of both the group
+    # languages and the remainder languages.
+    if not (_group_is_prefix(q_restricted) and _group_is_prefix(q_general)):
+        return False
+    restricted_group = q_restricted.constrained_subpattern()
+    general_group = q_general.constrained_subpattern()
+    assert restricted_group is not None and general_group is not None
+    if not language_contains(general_group.embedded(), restricted_group.embedded()):
+        return False
+    restricted_rest = _remainder_pattern(q_restricted)
+    general_rest = _remainder_pattern(q_general)
+    return language_contains(general_rest.embedded(), restricted_rest.embedded())
+
+
+def is_generalization_of(
+    general: Union[Pattern, str], restricted: Union[Pattern, str]
+) -> bool:
+    """Symmetric convenience wrapper: ``general`` generalizes ``restricted``."""
+    return is_restriction_of(restricted, general)
+
+
+def patterns_compatible(first: Union[Pattern, str], second: Union[Pattern, str]) -> bool:
+    """True if one of the patterns is a restriction of the other.
+
+    Used by the inference axioms (Transitivity requires the middle patterns
+    to be comparable) and by tableau normalization.
+    """
+    return is_restriction_of(first, second) or is_restriction_of(second, first)

@@ -1,0 +1,171 @@
+"""Pattern induction: learn a pattern that covers a set of example strings.
+
+Discovery needs this in two places (Section 4.3 of the paper):
+
+* **Generalize** — after constant PFDs have been found (e.g. ``John ``,
+  ``Susan ``, ``Tayseer `` each determining a gender), the algorithm looks
+  for a single variable pattern that represents all of the constants
+  (``\\LU\\LL*\\ ``) and, if the variable PFD holds on the whole column with
+  few violations, replaces the constants with it.
+* **Column formats** — the profiler summarizes a column by the pattern shape
+  of its values (e.g. every zip code matches ``\\D{5}``), which drives the
+  tokenize-vs-n-grams decision and the "code column" heuristic of
+  Section 5.4.
+
+The induction is deterministic:
+
+1. Each string is split into maximal runs of characters of the same base
+   class (``John `` -> ``[UPPER x1, LOWER x3, SYMBOL x1]``).
+2. If all strings share the same run-class sequence, each run becomes one
+   pattern element: a literal sequence when the text is identical across all
+   strings, ``\\C{n}`` when only the length is fixed, and ``\\C+`` when the
+   length varies.
+3. Otherwise the strings do not share a shape and induction falls back to
+   ``None`` (callers then keep the constants or widen to ``\\A+``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+from .alphabet import CharClass, classify_char
+from .ast import ClassAtom, Literal, Pattern, Repeat
+
+
+@dataclasses.dataclass(frozen=True)
+class Run:
+    """A maximal run of same-class characters inside a string."""
+
+    cls: CharClass
+    text: str
+
+    @property
+    def length(self) -> int:
+        return len(self.text)
+
+
+def string_runs(value: str) -> tuple[Run, ...]:
+    """Split ``value`` into maximal same-class runs."""
+    runs: list[Run] = []
+    if not value:
+        return ()
+    current_cls = classify_char(value[0])
+    start = 0
+    for index in range(1, len(value)):
+        cls = classify_char(value[index])
+        if cls is not current_cls:
+            runs.append(Run(current_cls, value[start:index]))
+            current_cls = cls
+            start = index
+    runs.append(Run(current_cls, value[start:]))
+    return tuple(runs)
+
+
+def signature(value: str) -> tuple[CharClass, ...]:
+    """The run-class sequence of ``value`` (its *shape*)."""
+    return tuple(run.cls for run in string_runs(value))
+
+
+def induce_pattern(
+    values: Sequence[str],
+    keep_literals: bool = True,
+    max_literal_run: int = 24,
+) -> Optional[Pattern]:
+    """Induce a single pattern covering every string in ``values``.
+
+    Parameters
+    ----------
+    values:
+        Non-empty collection of example strings.
+    keep_literals:
+        When True, runs whose text is identical across all examples are kept
+        as literal characters (producing e.g. ``900\\D{2}`` rather than
+        ``\\D{5}``).
+    max_literal_run:
+        Literal runs longer than this are demoted to class runs, which keeps
+        induced patterns compact on long free-text values.
+
+    Returns
+    -------
+    Pattern or None
+        ``None`` when the examples do not share a common run shape.
+    """
+    values = [v for v in values if v]
+    if not values:
+        return None
+    run_lists = [string_runs(value) for value in values]
+    shape = tuple(run.cls for run in run_lists[0])
+    for runs in run_lists[1:]:
+        if tuple(run.cls for run in runs) != shape:
+            return None
+    elements: list = []
+    for position in range(len(shape)):
+        runs_here = [runs[position] for runs in run_lists]
+        elements.extend(
+            _induce_run_elements(runs_here, keep_literals, max_literal_run)
+        )
+    return Pattern(tuple(elements))
+
+
+def _induce_run_elements(
+    runs: Sequence[Run], keep_literals: bool, max_literal_run: int
+) -> list:
+    cls = runs[0].cls
+    texts = {run.text for run in runs}
+    lengths = {run.length for run in runs}
+    if keep_literals and len(texts) == 1:
+        text = next(iter(texts))
+        if len(text) <= max_literal_run:
+            return [Literal(char) for char in text]
+    atom = ClassAtom(cls)
+    if len(lengths) == 1:
+        count = next(iter(lengths))
+        if count == 1:
+            return [atom]
+        return [Repeat(atom, count, count)]
+    return [Repeat(atom, 1, None)]
+
+
+def induce_prefix_pattern(
+    values: Sequence[str],
+    prefix_lengths: Sequence[int],
+    keep_literals: bool = False,
+) -> Optional[Pattern]:
+    """Induce a pattern for the *prefixes* of ``values``.
+
+    ``prefix_lengths[i]`` gives the length of the meaningful prefix of
+    ``values[i]`` (for instance the first token plus its trailing separator).
+    The induced pattern describes only the prefixes; callers typically append
+    ``\\A*`` and wrap the prefix in a constrained group.
+    """
+    if len(values) != len(prefix_lengths):
+        raise ValueError("values and prefix_lengths must have the same length")
+    prefixes = [value[:length] for value, length in zip(values, prefix_lengths)]
+    return induce_pattern(prefixes, keep_literals=keep_literals)
+
+
+def column_shape_histogram(values: Iterable[str]) -> dict[tuple[CharClass, ...], int]:
+    """Histogram of run shapes over a column; used by the profiler."""
+    histogram: dict[tuple[CharClass, ...], int] = {}
+    for value in values:
+        if not value:
+            continue
+        shape = signature(value)
+        histogram[shape] = histogram.get(shape, 0) + 1
+    return histogram
+
+
+def dominant_shape(
+    values: Sequence[str], minimum_fraction: float = 0.5
+) -> Optional[tuple[CharClass, ...]]:
+    """The most common run shape if it covers at least ``minimum_fraction``
+    of the non-empty values, else ``None``."""
+    histogram = column_shape_histogram(values)
+    if not histogram:
+        return None
+    total = sum(histogram.values())
+    shape, count = max(histogram.items(), key=lambda item: (item[1], len(item[0])))
+    if count / total >= minimum_fraction:
+        return shape
+    return None

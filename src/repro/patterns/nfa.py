@@ -1,0 +1,379 @@
+"""Non-deterministic finite automata for the pattern language.
+
+The paper observes (Section 2.1) that its patterns can be converted to NFAs
+in polynomial time, and that acceptance, equivalence, and containment are all
+decidable in PTIME for this simple class.  This module implements exactly
+that machinery:
+
+* :func:`pattern_to_nfa` — Thompson construction over the pattern AST,
+* :class:`NFA` — epsilon-closure simulation for acceptance,
+* :func:`determinize` — subset construction over a *symbolic alphabet*,
+* :func:`language_contains` / :func:`language_equivalent` — decided on the
+  product of the determinized automata.
+
+Because the concrete alphabet (all of Unicode) is huge, automata operate on a
+**symbolic alphabet**: the finitely many literal characters mentioned by the
+patterns under consideration, plus one "residual" symbol per base character
+class (an upper-case letter that is none of the mentioned literals, and so
+on).  This partition is exact for the pattern language of the paper — every
+transition predicate is either a single literal or a whole class — so
+containment decided over the symbolic alphabet coincides with containment
+over the concrete alphabet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import FrozenSet, Iterable, Optional, Union
+
+from .alphabet import BASE_CLASSES, CharClass, classify_char
+from .ast import ClassAtom, Literal, Pattern, Repeat
+from .parser import parse_pattern
+
+# ---------------------------------------------------------------------------
+# Symbolic alphabet
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Symbol:
+    """One element of the symbolic alphabet.
+
+    ``kind`` is ``"lit"`` for a concrete literal character (``char`` is set)
+    or ``"residual"`` for "some character of ``base`` that is none of the
+    literals under consideration".
+    """
+
+    kind: str
+    base: CharClass
+    char: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "lit":
+            return f"Sym({self.char!r})"
+        return f"Sym(residual:{self.base.name})"
+
+
+def symbolic_alphabet(patterns: Iterable[Pattern]) -> tuple[Symbol, ...]:
+    """The partition of the character universe induced by ``patterns``."""
+    literals: set[str] = set()
+    for pattern in patterns:
+        for element in pattern.flattened_elements():
+            atom = element.atom if isinstance(element, Repeat) else element
+            if isinstance(atom, Literal):
+                literals.add(atom.char)
+    symbols = [Symbol("lit", classify_char(char), char) for char in sorted(literals)]
+    symbols.extend(Symbol("residual", base) for base in BASE_CLASSES)
+    return tuple(symbols)
+
+
+def _atom_accepts_symbol(atom: Union[Literal, ClassAtom], symbol: Symbol) -> bool:
+    if isinstance(atom, Literal):
+        return symbol.kind == "lit" and symbol.char == atom.char
+    if atom.cls is CharClass.ANY:
+        return True
+    return symbol.base is atom.cls
+
+
+# ---------------------------------------------------------------------------
+# NFA
+# ---------------------------------------------------------------------------
+
+
+class NFA:
+    """An epsilon-NFA over atom predicates.
+
+    States are integers.  ``transitions[state]`` is a list of
+    ``(atom, target)`` pairs where ``atom`` is a :class:`Literal` or
+    :class:`ClassAtom`; ``epsilon[state]`` is a list of targets reachable by
+    an epsilon move.
+    """
+
+    def __init__(self) -> None:
+        self.transitions: dict[int, list[tuple[Union[Literal, ClassAtom], int]]] = {}
+        self.epsilon: dict[int, list[int]] = {}
+        self.start: int = 0
+        self.accepting: set[int] = set()
+        self._next_state = 0
+
+    # -- construction ------------------------------------------------------
+
+    def new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        self.transitions.setdefault(state, [])
+        self.epsilon.setdefault(state, [])
+        return state
+
+    def add_transition(self, source: int, atom: Union[Literal, ClassAtom], target: int) -> None:
+        self.transitions[source].append((atom, target))
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon[source].append(target)
+
+    @property
+    def state_count(self) -> int:
+        return self._next_state
+
+    # -- simulation --------------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        stack = list(states)
+        seen = set(stack)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def accepts(self, value: str) -> bool:
+        """Simulate the NFA on ``value`` (anchored acceptance)."""
+        current = self.epsilon_closure([self.start])
+        for char in value:
+            following: set[int] = set()
+            for state in current:
+                for atom, target in self.transitions[state]:
+                    if _atom_matches_char(atom, char):
+                        following.add(target)
+            if not following:
+                return False
+            current = self.epsilon_closure(following)
+        return bool(current & self.accepting)
+
+    def step_symbol(self, states: FrozenSet[int], symbol: Symbol) -> FrozenSet[int]:
+        """One symbolic step (used by the subset construction)."""
+        following: set[int] = set()
+        for state in states:
+            for atom, target in self.transitions[state]:
+                if _atom_accepts_symbol(atom, symbol):
+                    following.add(target)
+        return self.epsilon_closure(following)
+
+
+def _atom_matches_char(atom: Union[Literal, ClassAtom], char: str) -> bool:
+    if isinstance(atom, Literal):
+        return char == atom.char
+    if atom.cls is CharClass.ANY:
+        return True
+    return classify_char(char) is atom.cls
+
+
+def pattern_to_nfa(pattern: Union[Pattern, str]) -> NFA:
+    """Thompson construction: build an epsilon-NFA for ``pattern``.
+
+    The constrained group plays no role for the generated language, so the
+    construction works on the embedded (flattened) element sequence.
+    """
+    if isinstance(pattern, str):
+        pattern = parse_pattern(pattern)
+    nfa = NFA()
+    start = nfa.new_state()
+    nfa.start = start
+    current = start
+    for element in pattern.flattened_elements():
+        if isinstance(element, Repeat):
+            current = _add_repeat(nfa, current, element)
+        else:
+            target = nfa.new_state()
+            nfa.add_transition(current, element, target)
+            current = target
+    nfa.accepting = {current}
+    return nfa
+
+
+def _add_repeat(nfa: NFA, entry: int, repeat: Repeat) -> int:
+    """Append states implementing ``repeat`` after ``entry``; return exit."""
+    current = entry
+    # Mandatory copies.
+    for _ in range(repeat.min_count):
+        target = nfa.new_state()
+        nfa.add_transition(current, repeat.atom, target)
+        current = target
+    if repeat.max_count is None:
+        # A single looping state: exit via epsilon, loop on the atom.
+        loop = nfa.new_state()
+        exit_state = nfa.new_state()
+        nfa.add_epsilon(current, loop)
+        nfa.add_transition(loop, repeat.atom, loop)
+        nfa.add_epsilon(loop, exit_state)
+        return exit_state
+    # Bounded optional copies.
+    exit_state = nfa.new_state()
+    nfa.add_epsilon(current, exit_state)
+    for _ in range(repeat.max_count - repeat.min_count):
+        target = nfa.new_state()
+        nfa.add_transition(current, repeat.atom, target)
+        nfa.add_epsilon(target, exit_state)
+        current = target
+    return exit_state
+
+
+# ---------------------------------------------------------------------------
+# DFA over the symbolic alphabet
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class DFA:
+    """A deterministic automaton over a symbolic alphabet.
+
+    ``transitions[state][symbol_index]`` is the target state; the dead state
+    is represented explicitly so the transition function is total.
+    """
+
+    alphabet: tuple[Symbol, ...]
+    transitions: list[list[int]]
+    accepting: set[int]
+    start: int
+
+    @property
+    def state_count(self) -> int:
+        return len(self.transitions)
+
+    def accepts_symbols(self, symbols: Iterable[int]) -> bool:
+        """Acceptance of a word given as symbol indices (used in tests)."""
+        state = self.start
+        for index in symbols:
+            state = self.transitions[state][index]
+        return state in self.accepting
+
+
+def determinize(nfa: NFA, alphabet: tuple[Symbol, ...]) -> DFA:
+    """Subset construction of ``nfa`` over ``alphabet``."""
+    start_set = nfa.epsilon_closure([nfa.start])
+    state_ids: dict[FrozenSet[int], int] = {start_set: 0}
+    transitions: list[list[int]] = []
+    accepting: set[int] = set()
+    queue: deque[FrozenSet[int]] = deque([start_set])
+    ordered_sets: list[FrozenSet[int]] = [start_set]
+    while queue:
+        current = queue.popleft()
+        current_id = state_ids[current]
+        while len(transitions) <= current_id:
+            transitions.append([0] * len(alphabet))
+        if current & nfa.accepting:
+            accepting.add(current_id)
+        for index, symbol in enumerate(alphabet):
+            target = nfa.step_symbol(current, symbol)
+            if target not in state_ids:
+                state_ids[target] = len(state_ids)
+                ordered_sets.append(target)
+                queue.append(target)
+            transitions[current_id][index] = state_ids[target]
+    # Ensure every discovered state has a transition row (dead states at the
+    # end of the queue already got one, but guard anyway).
+    while len(transitions) < len(state_ids):
+        transitions.append([0] * len(alphabet))
+    return DFA(alphabet=alphabet, transitions=transitions, accepting=accepting, start=0)
+
+
+# ---------------------------------------------------------------------------
+# Language comparisons
+# ---------------------------------------------------------------------------
+
+
+def language_contains(general: Union[Pattern, str], specific: Union[Pattern, str]) -> bool:
+    """True iff every string generated by ``specific`` is generated by
+    ``general`` (``L(specific)`` is a subset of ``L(general)``)."""
+    if isinstance(general, str):
+        general = parse_pattern(general)
+    if isinstance(specific, str):
+        specific = parse_pattern(specific)
+    alphabet = symbolic_alphabet([general, specific])
+    general_dfa = determinize(pattern_to_nfa(general), alphabet)
+    specific_dfa = determinize(pattern_to_nfa(specific), alphabet)
+    return _product_containment(specific_dfa, general_dfa)
+
+
+def language_equivalent(first: Union[Pattern, str], second: Union[Pattern, str]) -> bool:
+    """True iff the two patterns generate exactly the same language."""
+    return language_contains(first, second) and language_contains(second, first)
+
+
+def language_nonempty_intersection(
+    first: Union[Pattern, str], second: Union[Pattern, str]
+) -> bool:
+    """True iff some string is generated by both patterns.
+
+    Used by the consistency checker to decide whether two tableau cells on
+    the same attribute can be witnessed by a single value.
+    """
+    if isinstance(first, str):
+        first = parse_pattern(first)
+    if isinstance(second, str):
+        second = parse_pattern(second)
+    alphabet = symbolic_alphabet([first, second])
+    first_dfa = determinize(pattern_to_nfa(first), alphabet)
+    second_dfa = determinize(pattern_to_nfa(second), alphabet)
+    for state_a, state_b in _reachable_product_states(first_dfa, second_dfa):
+        if state_a in first_dfa.accepting and state_b in second_dfa.accepting:
+            return True
+    return False
+
+
+def example_string(pattern: Union[Pattern, str], max_unbounded: int = 1) -> Optional[str]:
+    """A shortest-ish witness string generated by ``pattern``.
+
+    Unbounded repeats contribute ``max(min_count, max_unbounded)`` copies so
+    the witness is finite.  Returns ``None`` only for patterns whose language
+    is empty, which cannot happen for the pattern class of the paper.
+    """
+    if isinstance(pattern, str):
+        pattern = parse_pattern(pattern)
+    pieces: list[str] = []
+    for element in pattern.flattened_elements():
+        if isinstance(element, Repeat):
+            count = element.min_count
+            if element.max_count is None:
+                count = max(count, max_unbounded)
+            pieces.append(_atom_example(element.atom) * count)
+        else:
+            pieces.append(_atom_example(element))
+    return "".join(pieces)
+
+
+def _atom_example(atom: Union[Literal, ClassAtom]) -> str:
+    if isinstance(atom, Literal):
+        return atom.char
+    defaults = {
+        CharClass.ANY: "x",
+        CharClass.UPPER: "A",
+        CharClass.LOWER: "a",
+        CharClass.DIGIT: "0",
+        CharClass.SYMBOL: "-",
+    }
+    return defaults[atom.cls]
+
+
+def _reachable_product_states(first: DFA, second: DFA) -> Iterable[tuple[int, int]]:
+    """All reachable state pairs of the product automaton.
+
+    Both automata must share the same symbolic alphabet.
+    """
+    assert first.alphabet == second.alphabet
+    start = (first.start, second.start)
+    seen = {start}
+    queue: deque[tuple[int, int]] = deque([start])
+    while queue:
+        state_a, state_b = queue.popleft()
+        yield state_a, state_b
+        for index in range(len(first.alphabet)):
+            target = (
+                first.transitions[state_a][index],
+                second.transitions[state_b][index],
+            )
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+
+
+def _product_containment(specific: DFA, general: DFA) -> bool:
+    """True iff L(specific) is a subset of L(general)."""
+    for state_s, state_g in _reachable_product_states(specific, general):
+        if state_s in specific.accepting and state_g not in general.accepting:
+            return False
+    return True

@@ -1,0 +1,186 @@
+"""Parser for the textual pattern syntax.
+
+Grammar (informal)::
+
+    pattern     := element*
+    element     := group | quantified
+    group       := "{{" quantified* "}}"
+    quantified  := atom quantifier?
+    atom        := class | literal
+    class       := "\\A" | "\\LU" | "\\LL" | "\\D" | "\\S"
+    literal     := any character, or "\\" followed by the literal character
+    quantifier  := "*" | "+" | "{" N "}" | "{" M "," N? "}"
+
+Examples from the paper::
+
+    parse_pattern(r"{{900}}\\D{2}")          # zip prefix 900 determines LA
+    parse_pattern(r"{{John\\ }}\\A*")         # first name John
+    parse_pattern(r"{{\\LU\\LL*\\ }}\\A*")     # any first name (variable PFD)
+    parse_pattern(r"{{\\D{3}}}\\D{2}")         # first three digits of a zip
+
+The parser is a small hand-written recursive-descent scanner; errors carry
+the position of the offending character.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import PatternSyntaxError
+from .alphabet import ESCAPE_TO_CLASS
+from .ast import (
+    Atom,
+    ClassAtom,
+    ConstrainedGroup,
+    Element,
+    Literal,
+    Pattern,
+    Repeat,
+)
+
+#: Escapes that denote character classes (longest first so ``\\LU`` is tried
+#: before ``\\L`` would be).
+_CLASS_ESCAPES = ("LU", "LL", "D", "S", "A")
+
+
+class _Scanner:
+    """Cursor over the pattern string with error reporting."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def error(self, message: str) -> PatternSyntaxError:
+        return PatternSyntaxError(message, pattern=self.text, position=self.pos)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse ``text`` into a :class:`~repro.patterns.ast.Pattern`.
+
+    Raises
+    ------
+    PatternSyntaxError
+        If ``text`` is not a well-formed pattern.
+    """
+    scanner = _Scanner(text)
+    elements = _parse_elements(scanner, inside_group=False)
+    if not scanner.eof():
+        raise scanner.error(f"unexpected character {scanner.peek()!r}")
+    return Pattern(tuple(elements))
+
+
+def _parse_elements(scanner: _Scanner, inside_group: bool) -> list[Element]:
+    elements: list[Element] = []
+    while not scanner.eof():
+        if scanner.peek() == "}" and scanner.peek(1) == "}":
+            if inside_group:
+                return elements
+            raise scanner.error("'}}' without a matching '{{'")
+        if scanner.peek() == "{" and scanner.peek(1) == "{":
+            if inside_group:
+                raise scanner.error("constrained groups cannot be nested")
+            scanner.advance(2)
+            inner = _parse_elements(scanner, inside_group=True)
+            if scanner.peek() != "}" or scanner.peek(1) != "}":
+                raise scanner.error("unterminated constrained group, expected '}}'")
+            scanner.advance(2)
+            if not inner:
+                raise scanner.error("constrained group may not be empty")
+            elements.append(ConstrainedGroup(tuple(inner)))
+            continue
+        elements.append(_parse_quantified(scanner))
+    if inside_group:
+        raise scanner.error("unterminated constrained group, expected '}}'")
+    return elements
+
+
+def _parse_quantified(scanner: _Scanner) -> Element:
+    atom = _parse_atom(scanner)
+    char = scanner.peek()
+    if char == "*":
+        scanner.advance()
+        return Repeat(atom, 0, None)
+    if char == "+":
+        scanner.advance()
+        return Repeat(atom, 1, None)
+    if char == "{" and scanner.peek(1) != "{":
+        return _parse_braced_repeat(scanner, atom)
+    return atom
+
+
+def _parse_braced_repeat(scanner: _Scanner, atom: Atom) -> Repeat:
+    assert scanner.peek() == "{"
+    scanner.advance()
+    minimum = _parse_int(scanner)
+    if scanner.peek() == "}":
+        scanner.advance()
+        return Repeat(atom, minimum, minimum)
+    if scanner.peek() != ",":
+        raise scanner.error("expected ',' or '}' in repetition")
+    scanner.advance()
+    if scanner.peek() == "}":
+        scanner.advance()
+        return Repeat(atom, minimum, None)
+    maximum = _parse_int(scanner)
+    if scanner.peek() != "}":
+        raise scanner.error("expected '}' to close repetition")
+    scanner.advance()
+    return Repeat(atom, minimum, maximum)
+
+
+def _parse_int(scanner: _Scanner) -> int:
+    digits = ""
+    while scanner.peek().isdigit():
+        digits += scanner.advance()
+    if not digits:
+        raise scanner.error("expected a number in repetition")
+    return int(digits)
+
+
+def _parse_atom(scanner: _Scanner) -> Atom:
+    char = scanner.peek()
+    if char == "":
+        raise scanner.error("unexpected end of pattern")
+    if char in "*+":
+        raise scanner.error(f"quantifier {char!r} with nothing to repeat")
+    if char == "\\":
+        scanner.advance()
+        return _parse_escape(scanner)
+    if char == "{":
+        raise scanner.error("'{' must follow an atom or start a '{{' group")
+    if char == "}":
+        raise scanner.error("unexpected '}'")
+    scanner.advance()
+    return Literal(char)
+
+
+def _parse_escape(scanner: _Scanner) -> Atom:
+    for name in _CLASS_ESCAPES:
+        if scanner.text.startswith(name, scanner.pos):
+            scanner.advance(len(name))
+            return ClassAtom(ESCAPE_TO_CLASS[name])
+    char = scanner.peek()
+    if char == "":
+        raise scanner.error("dangling escape at end of pattern")
+    scanner.advance()
+    return Literal(char)
+
+
+def try_parse_pattern(text: str) -> Pattern | None:
+    """Parse ``text`` and return ``None`` instead of raising on failure."""
+    try:
+        return parse_pattern(text)
+    except PatternSyntaxError:
+        return None

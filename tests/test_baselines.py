@@ -1,0 +1,115 @@
+"""Tests for the FDep and CFDFinder baselines and for PFD selection/ranking."""
+
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.datagen.generators import build_gov_addresses
+from repro.discovery import (
+    CFDFinder,
+    DiscoveryConfig,
+    FDepDiscoverer,
+    discover_cfds,
+    discover_fds,
+    discover_pfds,
+    oracle_from_mapping,
+    rank_dependencies,
+    validate_against_oracle,
+)
+
+
+@pytest.fixture
+def type_units_relation():
+    rows = []
+    for index in range(40):
+        standard_type = ("IC50", "Ki", "EC50")[index % 3]
+        units = {"IC50": "nM", "Ki": "nM", "EC50": "uM"}[standard_type]
+        rows.append((str(index), standard_type, units))
+    return Relation.from_rows(["activity_id", "standard_type", "standard_units"], rows, name="Act")
+
+
+class TestFDep:
+    def test_exact_fd_discovery(self, type_units_relation):
+        result = discover_fds(type_units_relation)
+        keys = result.dependency_keys
+        assert (("standard_type",), ("standard_units",)) in keys
+        assert (("standard_units",), ("standard_type",)) not in keys
+
+    def test_approximate_tolerance(self, type_units_relation):
+        dirty = type_units_relation.copy()
+        dirty.set_cell(0, "standard_units", "WRONG")
+        exact = discover_fds(dirty, max_violation_ratio=0.0)
+        assert (("standard_type",), ("standard_units",)) not in exact.dependency_keys
+        approx = discover_fds(dirty, max_violation_ratio=0.05)
+        assert (("standard_type",), ("standard_units",)) in approx.dependency_keys
+
+    def test_minimality_with_multi_lhs(self, type_units_relation):
+        result = discover_fds(type_units_relation, max_lhs_size=2)
+        # standard_type -> standard_units is minimal; its supersets are skipped.
+        lhs_sizes = [len(fd.lhs) for fd in result.fds if fd.rhs == ("standard_units",)]
+        assert 1 in lhs_sizes
+        assert all(
+            size == 1
+            for fd, size in zip(result.fds, lhs_sizes)
+            if fd.rhs == ("standard_units",) and "standard_type" in fd.lhs
+        )
+
+    def test_exclude_keys(self, type_units_relation):
+        with_keys = discover_fds(type_units_relation)
+        without_keys = FDepDiscoverer(exclude_keys=True).discover(type_units_relation)
+        assert len(without_keys.fds) <= len(with_keys.fds)
+        assert all("activity_id" not in fd.lhs for fd in without_keys.fds)
+
+    def test_summary(self, type_units_relation):
+        assert "FDep" in discover_fds(type_units_relation).summary()
+
+
+class TestCFDFinder:
+    def test_constant_cfds_found(self, type_units_relation):
+        result = discover_cfds(type_units_relation, min_support=5, min_coverage=0.1)
+        assert (("standard_type",), ("standard_units",)) in result.dependency_keys
+
+    def test_high_coverage_becomes_variable_cfd(self, type_units_relation):
+        result = discover_cfds(type_units_relation, min_support=5)
+        cfd = next(
+            cfd for cfd in result.cfds
+            if cfd.lhs == ("standard_type",) and cfd.rhs == ("standard_units",)
+        )
+        assert not cfd.is_constant  # wildcard tableau: the FD holds outright
+
+    def test_unique_lhs_yields_nothing(self):
+        relation = Relation.from_rows(
+            ["id", "value"], [(str(i), "x") for i in range(30)]
+        )
+        result = CFDFinder(min_support=5).discover(relation)
+        assert not [cfd for cfd in result.cfds if cfd.lhs == ("id",)]
+
+    def test_confidence_threshold(self, type_units_relation):
+        dirty = type_units_relation.copy()
+        for row_id in range(0, 6):
+            dirty.set_cell(row_id, "standard_units", f"junk{row_id}")
+        strict = CFDFinder(confidence=0.995, min_support=5).discover(dirty)
+        lenient = CFDFinder(confidence=0.5, min_support=5).discover(dirty)
+        assert len(lenient.cfds) >= len(strict.cfds)
+
+
+class TestSelectionAndValidation:
+    def test_rank_dependencies(self):
+        table = build_gov_addresses(rows=200, seed=4)
+        result = discover_pfds(table.relation, DiscoveryConfig())
+        ranked = rank_dependencies(result.dependencies, table.relation)
+        assert ranked
+        scores = [entry.score for entry in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= entry.score <= 1.0 for entry in ranked)
+
+    def test_validate_against_oracle(self):
+        table = build_gov_addresses(rows=200, seed=4, dirt_rate=0.0)
+        config = DiscoveryConfig(generalize=False)
+        result = discover_pfds(table.relation, config)
+        dependency = result.dependency_for(("zip",), "city")
+        assert dependency is not None
+        oracle = oracle_from_mapping(table.oracles["zip_prefix_city"])
+        report = validate_against_oracle(dependency.pfd, table.relation, oracle)
+        assert report.pfd_count > 0
+        assert report.precision >= 0.9
+        assert 0.0 < report.coverage <= 1.0

@@ -1,0 +1,186 @@
+"""Tests for error injection, detection, repair, and the evaluation metrics."""
+
+import pytest
+
+from repro.cleaning import (
+    ErrorDetector,
+    PrecisionRecall,
+    Repairer,
+    cell_precision_recall,
+    dependency_precision_recall,
+    detect_errors,
+    inject_errors,
+    inject_errors_multi,
+    normalize_dependency,
+    repair_accuracy,
+    repair_errors,
+)
+from repro.constraints.base import CellRef
+from repro.core.pfd import make_pfd
+from repro.dataset.relation import Relation
+from repro.exceptions import CleaningError
+
+
+@pytest.fixture
+def zip_city_relation():
+    rows = []
+    for prefix, city in (("900", "Los Angeles"), ("606", "Chicago")):
+        for index in range(15):
+            rows.append((f"{prefix}{index:02d}", city))
+    return Relation.from_rows(["zip", "city"], rows, name="Zip")
+
+
+@pytest.fixture
+def zip_city_pfd():
+    return make_pfd("zip", "city", [{"zip": r"{{\D{3}}}\D{2}", "city": "⊥"}], "Zip")
+
+
+class TestInjection:
+    def test_outside_domain_injection(self, zip_city_relation):
+        result = inject_errors(zip_city_relation, "city", 0.2, mode="outside", seed=1)
+        assert len(result.errors) == 6
+        assert result.error_rate == pytest.approx(0.2)
+        domain = zip_city_relation.active_domain("city")
+        for error in result.errors:
+            assert error.injected_value not in domain
+            assert error.original_value in domain
+            assert result.relation.cell(error.cell.row_id, "city") == error.injected_value
+
+    def test_active_domain_injection(self, zip_city_relation):
+        result = inject_errors(zip_city_relation, "city", 0.1, mode="active", seed=2)
+        domain = zip_city_relation.active_domain("city")
+        for error in result.errors:
+            assert error.injected_value in domain
+            assert error.injected_value != error.original_value
+
+    def test_typo_injection(self, zip_city_relation):
+        result = inject_errors(zip_city_relation, "city", 0.1, mode="typo", seed=3)
+        for error in result.errors:
+            assert error.injected_value != error.original_value
+
+    def test_original_relation_untouched(self, zip_city_relation):
+        before = list(zip_city_relation.iter_rows())
+        inject_errors(zip_city_relation, "city", 0.5, seed=4)
+        assert list(zip_city_relation.iter_rows()) == before
+
+    def test_deterministic(self, zip_city_relation):
+        first = inject_errors(zip_city_relation, "city", 0.2, seed=7)
+        second = inject_errors(zip_city_relation, "city", 0.2, seed=7)
+        assert [e.cell for e in first.errors] == [e.cell for e in second.errors]
+
+    def test_zero_rate(self, zip_city_relation):
+        assert inject_errors(zip_city_relation, "city", 0.0).errors == []
+
+    def test_invalid_arguments(self, zip_city_relation):
+        with pytest.raises(CleaningError):
+            inject_errors(zip_city_relation, "city", 1.5)
+        with pytest.raises(CleaningError):
+            inject_errors(zip_city_relation, "city", 0.1, mode="bogus")
+
+    def test_active_mode_needs_two_values(self):
+        relation = Relation.from_rows(["a", "b"], [("1", "x"), ("2", "x")])
+        with pytest.raises(CleaningError):
+            inject_errors(relation, "b", 0.5, mode="active")
+
+    def test_multi_attribute_injection(self, zip_city_relation):
+        result = inject_errors_multi(zip_city_relation, ["zip", "city"], 0.1, seed=5)
+        attributes = {error.cell.attribute for error in result.errors}
+        assert attributes == {"zip", "city"}
+
+
+class TestDetection:
+    def test_detects_injected_errors(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, mode="outside", seed=1)
+        report = detect_errors(injected.relation, [zip_city_pfd])
+        assert report.error_cells == injected.error_cells
+        for error in report.errors:
+            assert error.suggested_value in ("Los Angeles", "Chicago")
+
+    def test_clean_table_yields_no_errors(self, zip_city_relation, zip_city_pfd):
+        report = detect_errors(zip_city_relation, [zip_city_pfd])
+        assert len(report) == 0
+
+    def test_min_evidence_filter(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, seed=1)
+        detector = ErrorDetector([zip_city_pfd], min_evidence=2)
+        report = detector.detect(injected.relation)
+        assert len(report) == 0  # a single PFD gives one violation per cell
+
+    def test_errors_in_and_summary(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, seed=1)
+        report = detect_errors(injected.relation, [zip_city_pfd])
+        assert report.errors_in("city") == report.errors
+        assert "suspected errors" in report.summary()
+
+
+class TestRepair:
+    def test_repair_restores_original_values(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, mode="outside", seed=1)
+        result = repair_errors(injected.relation, [zip_city_pfd])
+        for error in injected.errors:
+            assert result.relation.cell(error.cell.row_id, "city") == error.original_value
+        assert zip_city_pfd.holds_on(result.relation)
+
+    def test_dry_run_does_not_mutate(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, seed=1)
+        repairer = Repairer([zip_city_pfd], dry_run=True)
+        result = repairer.repair(injected.relation)
+        assert result.repairs
+        for error in injected.errors:
+            assert injected.relation.cell(error.cell.row_id, "city") == error.injected_value
+
+    def test_repairs_carry_justification(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, seed=1)
+        result = repair_errors(injected.relation, [zip_city_pfd])
+        for repair in result.repairs:
+            assert repair.justification
+        assert "repairs applied" in result.summary()
+
+    def test_repair_accuracy_metric(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, seed=1)
+        result = repair_errors(injected.relation, [zip_city_pfd])
+        truth = {error.cell: error.original_value for error in injected.errors}
+        accuracy = repair_accuracy(
+            [(repair.cell, repair.new_value) for repair in result.repairs], truth
+        )
+        assert accuracy == pytest.approx(1.0)
+
+
+class TestMetrics:
+    def test_precision_recall_counts(self):
+        metrics = PrecisionRecall(true_positives=3, false_positives=1, false_negatives=2)
+        assert metrics.precision == pytest.approx(0.75)
+        assert metrics.recall == pytest.approx(0.6)
+        assert 0 < metrics.f1 < 1
+        assert "P=" in str(metrics)
+
+    def test_zero_division(self):
+        metrics = PrecisionRecall(0, 0, 0)
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_dependency_precision_recall(self):
+        discovered = {(("zip",), ("city",)), (("zip",), ("street",))}
+        truth = {(("zip",), ("city",)), (("zip",), ("state",))}
+        metrics = dependency_precision_recall(discovered, truth)
+        assert metrics.true_positives == 1
+        assert metrics.false_positives == 1
+        assert metrics.false_negatives == 1
+
+    def test_cell_precision_recall(self):
+        detected = {CellRef(0, "a"), CellRef(1, "a")}
+        actual = {CellRef(1, "a"), CellRef(2, "a")}
+        metrics = cell_precision_recall(detected, actual)
+        assert metrics.true_positives == 1
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(0.5)
+
+    def test_normalize_dependency(self):
+        assert normalize_dependency(["b", "a"], "c") == (("a", "b"), ("c",))
+
+    def test_repair_accuracy_ignores_clean_cells(self):
+        truth = {CellRef(0, "a"): "x"}
+        repairs = [(CellRef(0, "a"), "x"), (CellRef(5, "a"), "whatever")]
+        assert repair_accuracy(repairs, truth) == pytest.approx(1.0)
+        assert repair_accuracy([], truth) == 0.0

@@ -1,0 +1,161 @@
+"""Tests for classical FDs and CFDs (the baselines' constraint classes)."""
+
+import pytest
+
+from repro.constraints.base import CellRef, Violation, embedded_dependency_key
+from repro.constraints.cfd import CFD, CFDTuple, WILDCARD, constant_cfd
+from repro.constraints.fd import FD, satisfied_fds, violation_ratio
+from repro.dataset.relation import Relation
+from repro.exceptions import ConstraintError, TableauError
+
+
+@pytest.fixture
+def name_table():
+    return Relation.from_rows(
+        ["name", "gender"],
+        [
+            ("John Charles", "M"),
+            ("John Bosco", "M"),
+            ("Susan Orlean", "F"),
+            ("Susan Boyle", "M"),
+        ],
+        name="Name",
+    )
+
+
+@pytest.fixture
+def zip_table():
+    return Relation.from_rows(
+        ["zip", "city"],
+        [
+            ("90001", "Los Angeles"),
+            ("90002", "Los Angeles"),
+            ("90003", "Los Angeles"),
+            ("90004", "New York"),
+        ],
+        name="Zip",
+    )
+
+
+class TestCellRefAndViolation:
+    def test_cellref_value_and_order(self, zip_table):
+        cell = CellRef(3, "city")
+        assert cell.value(zip_table) == "New York"
+        assert CellRef(1, "a") < CellRef(2, "a")
+        assert str(cell) == "t3[city]"
+
+    def test_violation_rows(self):
+        violation = Violation("FD", "x", (CellRef(2, "a"), CellRef(0, "b")))
+        assert violation.rows() == (0, 2)
+
+    def test_embedded_dependency_key_sorts(self):
+        assert embedded_dependency_key(["b", "a"], ["c"]) == (("a", "b"), ("c",))
+
+
+class TestFD:
+    def test_paper_example_1_no_violation(self, name_table, zip_table):
+        # Example 1: the FDs cannot detect the errors because no two tuples share the LHS.
+        assert FD("name", "gender", "Name").holds_on(name_table)
+        assert FD("zip", "city", "Zip").holds_on(zip_table)
+
+    def test_fd_violation_detection(self):
+        relation = Relation.from_rows(
+            ["zip", "city"],
+            [("90001", "LA"), ("90001", "NY"), ("90001", "LA")],
+        )
+        fd = FD("zip", "city")
+        assert not fd.holds_on(relation)
+        violations = fd.violations(relation)
+        assert len(violations) == 1
+        suspects = violations[0].suspect_cells
+        assert suspects == (CellRef(1, "city"),)
+        assert violations[0].expected_value == "LA"
+
+    def test_empty_lhs_values_ignored(self):
+        relation = Relation.from_rows(["a", "b"], [("", "1"), ("", "2")])
+        assert FD("a", "b").holds_on(relation)
+
+    def test_multi_attribute_fd(self):
+        relation = Relation.from_rows(
+            ["a", "b", "c"],
+            [("1", "x", "p"), ("1", "y", "q"), ("1", "x", "p")],
+        )
+        assert FD(("a", "b"), "c").holds_on(relation)
+        assert not FD("a", "c").holds_on(relation)
+
+    def test_trivial_and_normalized(self):
+        fd = FD(("a", "b"), ("a", "c"))
+        assert not fd.is_trivial
+        assert FD("a", "a").is_trivial
+        parts = fd.normalized()
+        assert [p.rhs for p in parts] == [("a",), ("c",)]
+
+    def test_requires_nonempty_sides(self):
+        with pytest.raises(ConstraintError):
+            FD((), "a")
+
+    def test_violation_ratio_and_satisfied(self):
+        relation = Relation.from_rows(
+            ["a", "b"], [("1", "x"), ("1", "x"), ("1", "y"), ("2", "z")]
+        )
+        fd = FD("a", "b")
+        assert violation_ratio(relation, fd) == pytest.approx(0.25)
+        assert satisfied_fds(relation, [fd, FD("b", "a")]) == [FD("b", "a")]
+
+    def test_str(self):
+        assert str(FD("zip", "city", "Zip")) == "Zip([zip] -> [city])"
+
+
+class TestCFD:
+    def test_constant_cfd_detects_error(self, zip_table):
+        # phi from Example 1: zip=90004 -> city=Los Angeles flags s4.
+        cfd = constant_cfd({"zip": "90004"}, {"city": "Los Angeles"}, "Zip")
+        violations = cfd.violations(zip_table)
+        assert len(violations) == 1
+        assert violations[0].suspect_cells == (CellRef(3, "city"),)
+        assert violations[0].expected_value == "Los Angeles"
+
+    def test_constant_cfd_holds(self, zip_table):
+        cfd = constant_cfd({"zip": "90001"}, {"city": "Los Angeles"}, "Zip")
+        assert cfd.holds_on(zip_table)
+
+    def test_variable_cfd_wildcards(self):
+        relation = Relation.from_rows(
+            ["type", "unit"],
+            [("IC50", "nM"), ("IC50", "nM"), ("IC50", "uM"), ("Ki", "nM")],
+        )
+        cfd = CFD(
+            ("type",),
+            ("unit",),
+            [{"type": WILDCARD, "unit": WILDCARD}],
+        )
+        violations = cfd.violations(relation)
+        assert len(violations) == 1
+        assert violations[0].suspect_cells == (CellRef(2, "unit"),)
+
+    def test_mixed_row_constant_rhs(self):
+        relation = Relation.from_rows(
+            ["type", "unit"], [("IC50", "nM"), ("IC50", "uM"), ("Ki", "x")]
+        )
+        cfd = CFD(("type",), ("unit",), [{"type": "IC50", "unit": "nM"}])
+        violations = cfd.violations(relation)
+        assert {cell.row_id for v in violations for cell in v.suspect_cells} == {1}
+
+    def test_tableau_validation(self):
+        with pytest.raises(TableauError):
+            CFD(("a",), ("b",), [{"a": "x"}])
+        with pytest.raises(ConstraintError):
+            CFD(("a",), ("b",), [])
+
+    def test_is_constant_flag(self):
+        constant = constant_cfd({"a": "1"}, {"b": "2"})
+        assert constant.is_constant
+        variable = CFD(("a",), ("b",), [{"a": WILDCARD, "b": WILDCARD}])
+        assert not variable.is_constant
+
+    def test_cfd_tuple_access(self):
+        row = CFDTuple.from_mapping({"a": "1", "b": "_"})
+        assert row.value("a") == "1"
+        assert not row.is_constant_on(["a", "b"])
+        with pytest.raises(TableauError):
+            row.value("missing")

@@ -1,0 +1,225 @@
+"""Tests for the PFD class: the paper's running examples from Sections 1-2."""
+
+import pytest
+
+from repro.constraints.base import CellRef
+from repro.core.pfd import PFD, make_pfd
+from repro.core.tableau import PatternTableau
+from repro.dataset.relation import Relation
+from repro.exceptions import ConstraintError
+
+
+@pytest.fixture
+def name_table():
+    """Table 1 of the paper (r4[gender] is the erroneous cell)."""
+    return Relation.from_rows(
+        ["name", "gender"],
+        [
+            ("John Charles", "M"),
+            ("John Bosco", "M"),
+            ("Susan Orlean", "F"),
+            ("Susan Boyle", "M"),
+        ],
+        name="Name",
+    )
+
+
+@pytest.fixture
+def zip_table():
+    """Table 2 of the paper (s4[city] is the erroneous cell)."""
+    return Relation.from_rows(
+        ["zip", "city"],
+        [
+            ("90001", "Los Angeles"),
+            ("90002", "Los Angeles"),
+            ("90003", "Los Angeles"),
+            ("90004", "New York"),
+        ],
+        name="Zip",
+    )
+
+
+@pytest.fixture
+def psi1():
+    """ψ1 = λ1 and λ2: constant first-name PFDs."""
+    return make_pfd(
+        "name",
+        "gender",
+        [
+            {"name": r"{{John\ }}\A*", "gender": "M"},
+            {"name": r"{{Susan\ }}\A*", "gender": "F"},
+        ],
+        "Name",
+    )
+
+
+@pytest.fixture
+def psi2():
+    """ψ2 = λ4: variable first-name PFD."""
+    return make_pfd("name", "gender", [{"name": r"{{\LU\LL*\ }}\A*", "gender": "⊥"}], "Name")
+
+
+@pytest.fixture
+def psi3():
+    """ψ3 = λ3: constant zip-prefix PFD."""
+    return make_pfd("zip", "city", [{"zip": r"{{900}}\D{2}", "city": r"Los\ Angeles"}], "Zip")
+
+
+@pytest.fixture
+def psi4():
+    """ψ4 = λ5: variable zip-prefix PFD."""
+    return make_pfd("zip", "city", [{"zip": r"{{\D{3}}}\D{2}", "city": "⊥"}], "Zip")
+
+
+class TestConstruction:
+    def test_requires_tableau(self):
+        with pytest.raises(ConstraintError):
+            PFD("a", "b", PatternTableau([]))
+
+    def test_requires_attributes(self):
+        with pytest.raises(ConstraintError):
+            PFD((), "b", PatternTableau([{"b": "x"}]))
+
+    def test_tableau_must_cover_attributes(self):
+        from repro.exceptions import TableauError
+
+        with pytest.raises(TableauError):
+            PFD("a", "b", PatternTableau([{"a": "x"}]))
+
+    def test_embedded_fd_and_keys(self, psi3):
+        assert psi3.embedded_fd.lhs == ("zip",)
+        assert psi3.dependency_key() == (("zip",), ("city",))
+        assert not psi3.is_trivial
+
+    def test_trivial_pfd(self):
+        pfd = make_pfd("a", "a", [{"a": "x"}])
+        assert pfd.is_trivial
+
+    def test_normalized_splits_rhs(self):
+        pfd = make_pfd("a", ("b", "c"), [{"a": "x", "b": "y", "c": "z"}])
+        parts = pfd.normalized()
+        assert [p.rhs for p in parts] == [("b",), ("c",)]
+        assert all(len(p.tableau) == 1 for p in parts)
+
+    def test_constant_vs_variable_rows(self, psi1, psi2):
+        assert psi1.is_constant and not psi1.is_variable
+        assert psi2.is_variable and not psi2.is_constant
+
+    def test_equality_and_hash(self, psi1):
+        clone = make_pfd(
+            "name",
+            "gender",
+            [
+                {"name": r"{{John\ }}\A*", "gender": "M"},
+                {"name": r"{{Susan\ }}\A*", "gender": "F"},
+            ],
+            "Name",
+        )
+        assert psi1 == clone
+        assert hash(psi1) == hash(clone)
+
+    def test_describe_and_str(self, psi1):
+        assert "Name" in str(psi1)
+        assert "John" in psi1.describe()
+
+
+class TestExample6Semantics:
+    def test_psi1_detects_single_tuple_violation(self, name_table, psi1):
+        violations = psi1.violations(name_table)
+        assert len(violations) == 1
+        assert violations[0].suspect_cells == (CellRef(3, "gender"),)
+        assert violations[0].expected_value == "F"
+
+    def test_psi1_holds_without_r4(self, name_table, psi1):
+        clean = name_table.select_rows([0, 1, 2])
+        assert psi1.holds_on(clean)
+
+    def test_psi2_detects_pair_violation(self, name_table, psi2):
+        violations = psi2.violations(name_table)
+        assert len(violations) == 1
+        # The violation involves r3 and r4 (same first name, different gender).
+        assert set(violations[0].rows()) == {2, 3}
+
+    def test_psi2_needs_redundancy(self, name_table, psi2):
+        # Without r3, ψ2 cannot catch the error (not enough redundancy).
+        without_r3 = name_table.select_rows([0, 1, 3])
+        assert psi2.holds_on(without_r3)
+
+    def test_psi3_detects_error(self, zip_table, psi3):
+        violations = psi3.violations(zip_table)
+        assert len(violations) == 1
+        assert violations[0].suspect_cells == (CellRef(3, "city"),)
+        assert violations[0].expected_value == "Los Angeles"
+
+    def test_psi4_detects_error(self, zip_table, psi4):
+        violations = psi4.violations(zip_table)
+        assert len(violations) == 1
+        assert CellRef(3, "city") in violations[0].suspect_cells
+
+    def test_clean_tables_satisfy_all(self, name_table, zip_table, psi1, psi2, psi3, psi4):
+        clean_names = name_table.copy()
+        clean_names.set_cell(3, "gender", "F")
+        clean_zips = zip_table.copy()
+        clean_zips.set_cell(3, "city", "Los Angeles")
+        assert psi1.holds_on(clean_names)
+        assert psi2.holds_on(clean_names)
+        assert psi3.holds_on(clean_zips)
+        assert psi4.holds_on(clean_zips)
+
+
+class TestStatistics:
+    def test_support_and_coverage(self, name_table, psi1, psi2):
+        assert psi1.support(name_table) == 4
+        assert psi1.coverage(name_table) == 1.0
+        assert psi2.support(name_table) == 4
+
+    def test_matching_rows(self, zip_table, psi3):
+        row = psi3.tableau[0]
+        assert psi3.matching_rows(zip_table, row) == [0, 1, 2, 3]
+
+    def test_violation_ratio(self, zip_table, psi3):
+        assert psi3.violation_ratio(zip_table) == pytest.approx(0.25)
+
+    def test_row_statistics(self, name_table, psi1):
+        stats = psi1.row_statistics(name_table)
+        assert len(stats) == 2
+        by_support = {s.support for s in stats}
+        assert by_support == {2}
+        total_violating = sum(s.violating_tuples for s in stats)
+        assert total_violating == 1
+        assert any(s.violation_ratio == pytest.approx(0.5) for s in stats)
+
+    def test_empty_relation(self, psi3):
+        empty = Relation.from_rows(["zip", "city"], [])
+        assert psi3.coverage(empty) == 0.0
+        assert psi3.violation_ratio(empty) == 0.0
+        assert psi3.holds_on(empty)
+
+    def test_empty_lhs_cells_are_skipped(self, psi3):
+        relation = Relation.from_rows(["zip", "city"], [("", "X"), ("90001", "Los Angeles")])
+        assert psi3.holds_on(relation)
+
+
+class TestMultiAttributeLHS:
+    def test_example8_style_pfd(self):
+        relation = Relation.from_rows(
+            ["name", "country", "gender"],
+            [
+                ("Tayseer Fahmi", "Egypt", "F"),
+                ("Tayseer Qasem", "Yemen", "M"),
+                ("Tayseer Salem", "Egypt", "F"),
+                ("Noor Wagdi", "Egypt", "M"),
+                ("Noor Shadi", "Yemen", "F"),
+            ],
+            name="Running",
+        )
+        pfd = make_pfd(
+            ("name", "country"),
+            "gender",
+            [{"name": r"{{\LU\LL*\ }}\A*", "country": "⊥", "gender": "⊥"}],
+            "Running",
+        )
+        assert pfd.holds_on(relation)
+        dirty = relation.copy()
+        dirty.set_cell(2, "gender", "M")
+        assert not pfd.holds_on(dirty)

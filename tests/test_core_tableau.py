@@ -1,0 +1,135 @@
+"""Tests for pattern tableaux and the wildcard cell."""
+
+import pytest
+
+from repro.core.tableau import (
+    PatternTableau,
+    PatternTuple,
+    WILDCARD,
+    Wildcard,
+    cell_is_restriction,
+    effective_pattern,
+    resolve_cell,
+)
+from repro.exceptions import TableauError
+from repro.patterns.matcher import compile_pattern
+from repro.patterns.parser import parse_pattern
+
+
+class TestWildcard:
+    def test_singleton(self):
+        assert Wildcard() is WILDCARD
+        assert str(WILDCARD) == "⊥"
+
+    def test_effective_pattern_matches_everything(self):
+        pattern = effective_pattern(WILDCARD)
+        compiled = compile_pattern(pattern)
+        for value in ("", "M", "Los Angeles", "90001"):
+            assert compiled.matches(value)
+
+    def test_effective_pattern_constrains_whole_value(self):
+        compiled = compile_pattern(effective_pattern(WILDCARD))
+        assert compiled.equivalent("abc", "abc")
+        assert not compiled.equivalent("abc", "abd")
+
+
+class TestResolveCell:
+    def test_wildcard_spellings(self):
+        for spelling in ("⊥", "_", ""):
+            assert isinstance(resolve_cell(spelling), Wildcard)
+
+    def test_pattern_string(self):
+        cell = resolve_cell(r"{{900}}\D{2}")
+        assert cell == parse_pattern(r"{{900}}\D{2}")
+
+    def test_pattern_object_passthrough(self):
+        pattern = parse_pattern("M")
+        assert resolve_cell(pattern) is pattern
+
+    def test_invalid_cell(self):
+        with pytest.raises(TableauError):
+            resolve_cell(42)
+
+
+class TestPatternTuple:
+    def test_from_mapping_and_access(self):
+        row = PatternTuple.from_mapping({"zip": r"{{900}}\D{2}", "city": "Los\\ Angeles"})
+        assert row.attributes() == ("city", "zip")
+        assert not row.is_wildcard("zip")
+        assert row.pattern("zip").to_pattern_string() == r"{{900}}\D{2}"
+
+    def test_missing_attribute(self):
+        row = PatternTuple.from_mapping({"a": "x"})
+        with pytest.raises(TableauError):
+            row.cell("b")
+
+    def test_constrains_constant(self):
+        row = PatternTuple.from_mapping(
+            {"zip": r"{{900}}\D{2}", "name": r"{{\LU\LL*\ }}\A*", "city": "LA", "other": "⊥"}
+        )
+        assert row.constrains_constant("zip")
+        assert not row.constrains_constant("name")
+        assert row.constrains_constant("city")  # no group: matching is enough
+        assert not row.constrains_constant("other")
+
+    def test_is_constant_row(self):
+        constant = PatternTuple.from_mapping({"zip": r"{{900}}\D{2}", "city": "LA"})
+        assert constant.is_constant_row(["zip"], ["city"])
+        variable = PatternTuple.from_mapping({"zip": r"{{\D{3}}}\D{2}", "city": "⊥"})
+        assert not variable.is_constant_row(["zip"], ["city"])
+
+    def test_render(self):
+        row = PatternTuple.from_mapping({"zip": r"{{900}}\D{2}", "city": "⊥"})
+        rendered = row.render(["zip"], ["city"])
+        assert "zip=" in rendered and "city=⊥" in rendered and "||" in rendered
+
+    def test_hashable_and_equal(self):
+        first = PatternTuple.from_mapping({"a": "x"})
+        second = PatternTuple.from_mapping({"a": "x"})
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestPatternTableau:
+    def test_add_deduplicates(self):
+        tableau = PatternTableau()
+        tableau.add({"a": "x", "b": "y"})
+        tableau.add({"a": "x", "b": "y"})
+        assert len(tableau) == 1
+
+    def test_extend_and_iteration(self):
+        tableau = PatternTableau([{"a": "x", "b": "1"}])
+        tableau.extend([{"a": "y", "b": "2"}])
+        assert len(list(tableau)) == 2
+        assert tableau[1].cell("a") is not None
+
+    def test_validate(self):
+        tableau = PatternTableau([{"a": "x"}])
+        with pytest.raises(TableauError):
+            tableau.validate(["a"], ["b"])
+
+    def test_equality_and_hash(self):
+        first = PatternTableau([{"a": "x"}])
+        second = PatternTableau([{"a": "x"}])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_render(self):
+        tableau = PatternTableau([{"a": "x", "b": "⊥"}, {"a": "y", "b": "z"}])
+        assert len(tableau.render(["a"], ["b"]).splitlines()) == 2
+
+
+class TestCellRestriction:
+    def test_constant_restricts_wildcard(self):
+        assert cell_is_restriction(parse_pattern("M"), WILDCARD)
+
+    def test_wildcard_restricts_itself(self):
+        assert cell_is_restriction(WILDCARD, WILDCARD)
+
+    def test_wildcard_does_not_restrict_specific_pattern(self):
+        assert not cell_is_restriction(WILDCARD, parse_pattern(r"{{\LU}}\A*"))
+
+    def test_pattern_restriction_delegates(self):
+        assert cell_is_restriction(
+            parse_pattern(r"{{John\ }}\A*"), parse_pattern(r"{{\LU\LL*\ }}\A*")
+        )

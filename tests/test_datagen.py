@@ -1,0 +1,123 @@
+"""Tests for the synthetic dataset generators and the 15-table suite."""
+
+import pytest
+
+from repro.constraints.fd import FD
+from repro.datagen import (
+    TABLE_IDS,
+    benchmark_suite,
+    build_gov_contacts,
+    build_name_gender_table,
+    build_table,
+    build_udw_alumni,
+    build_zip_state_table,
+    dependency,
+    materialize_suite,
+    pools,
+)
+from repro.dataset.csvio import read_csv
+from repro.dataset.schema import AttributeRole
+
+
+class TestPools:
+    def test_name_oracle_is_consistent_with_pools(self):
+        oracle = pools.first_name_gender_oracle()
+        for name in pools.MALE_FIRST_NAMES:
+            assert oracle[name] == "M"
+        for name in pools.FEMALE_FIRST_NAMES:
+            assert oracle[name] == "F"
+        for name in pools.UNISEX_FIRST_NAMES:
+            assert name not in oracle
+
+    def test_zip_oracles(self):
+        assert pools.zip_prefix_city_oracle()["900"] == "Los Angeles"
+        assert pools.zip_prefix_state_oracle()["606"] == "IL"
+
+    def test_every_state_has_at_least_two_area_codes(self):
+        by_state = {}
+        for code, state in pools.AREA_CODES.items():
+            by_state.setdefault(state, []).append(code)
+        assert all(len(codes) >= 2 for codes in by_state.values())
+
+
+class TestGenerators:
+    def test_determinism(self):
+        first = build_gov_contacts(rows=100, seed=5)
+        second = build_gov_contacts(rows=100, seed=5)
+        assert list(first.relation.iter_rows()) == list(second.relation.iter_rows())
+        assert first.error_cells == second.error_cells
+
+    def test_error_cells_record_originals(self):
+        table = build_udw_alumni(rows=300, seed=9, dirt_rate=0.05)
+        assert table.error_cells
+        for cell, original in table.error_cells.items():
+            assert table.relation.cell(cell.row_id, cell.attribute) != original
+
+    def test_clean_relation_restores_truth(self):
+        table = build_udw_alumni(rows=300, seed=9, dirt_rate=0.05)
+        clean = table.clean_relation()
+        for cell, original in table.error_cells.items():
+            assert clean.cell(cell.row_id, cell.attribute) == original
+
+    def test_true_dependencies_hold_on_clean_data(self):
+        table = build_udw_alumni(rows=400, seed=3, dirt_rate=0.0)
+        clean = table.clean_relation()
+        # Full-value embedded FDs from the ground truth that do not rely on
+        # partial values must hold exactly on clean data.
+        assert FD("city", "state").holds_on(clean)
+
+    def test_zero_dirt_rate(self):
+        table = build_gov_contacts(rows=120, seed=2, dirt_rate=0.0)
+        assert table.error_cells == {}
+
+    def test_dependency_helper(self):
+        assert dependency("b", "a") == (("b",), ("a",))
+        assert dependency(["b", "a"], "c") == (("a", "b"), ("c",))
+
+    def test_zip_state_table_is_clean_and_regular(self):
+        table = build_zip_state_table(rows=500)
+        assert table.error_cells == {}
+        for zip_code, state in table.relation.iter_rows():
+            assert len(zip_code) == 5 and zip_code.isdigit()
+            assert pools.zip_prefix_state_oracle()[zip_code[:3]] == state
+
+    def test_name_gender_table_format(self):
+        table = build_name_gender_table(rows=200, dirt_rate=0.0)
+        for name, gender in table.relation.iter_rows():
+            assert ", " in name
+            assert gender in ("M", "F")
+
+
+class TestSuite:
+    def test_all_fifteen_tables(self):
+        suite = benchmark_suite(scale=0.1)
+        assert set(suite) == set(TABLE_IDS)
+        assert len(suite) == 15
+        for table_id, table in suite.items():
+            assert table.name == table_id
+            assert table.relation.row_count >= 40
+            assert table.true_dependencies
+            assert table.repository in ("GOV", "CHE", "UDW")
+
+    def test_scale_controls_row_count(self):
+        small = build_table("T1", scale=0.1)
+        large = build_table("T1", scale=0.5)
+        assert large.row_count > small.row_count
+
+    def test_quantitative_columns_declared(self):
+        suite = benchmark_suite(scale=0.1, table_ids=("T5", "T9", "T15"))
+        assert suite["T5"].relation.schema.role("amount") is AttributeRole.QUANTITATIVE
+        assert suite["T9"].relation.schema.role("standard_value") is AttributeRole.QUANTITATIVE
+        assert suite["T15"].relation.schema.role("salary") is AttributeRole.QUANTITATIVE
+
+    def test_materialize_suite(self, tmp_path):
+        paths = materialize_suite(tmp_path, scale=0.1)
+        assert len(paths) == 15
+        roundtrip = read_csv(paths[0])
+        assert roundtrip.row_count >= 40
+
+    def test_dirt_rate_override(self):
+        clean = build_table("T2", scale=0.1, dirt_rate=0.0)
+        dirty = build_table("T2", scale=0.1, dirt_rate=0.1)
+        assert not clean.error_cells
+        assert dirty.error_cells

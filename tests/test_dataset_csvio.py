@@ -1,0 +1,73 @@
+"""Tests for CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.dataset.csvio import (
+    read_csv,
+    relation_from_csv_string,
+    relation_to_csv_string,
+    write_csv,
+)
+from repro.dataset.relation import Relation
+from repro.exceptions import SchemaError
+
+
+class TestReadCsv:
+    def test_round_trip_through_string(self):
+        relation = Relation.from_rows(
+            ["zip", "city"], [("90001", "Los Angeles"), ("60601", "Chicago, IL")]
+        )
+        text = relation_to_csv_string(relation)
+        restored = relation_from_csv_string(text, name="Zip")
+        assert restored.attribute_names == ("zip", "city")
+        assert list(restored.iter_rows()) == list(relation.iter_rows())
+
+    def test_read_from_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,x\n2,y\n", encoding="utf-8")
+        relation = read_csv(path)
+        assert relation.name == "data"
+        assert relation.row_count == 2
+        assert relation.cell(1, "b") == "y"
+
+    def test_write_to_path(self, tmp_path):
+        relation = Relation.from_rows(["a", "b"], [("1", "x")])
+        path = tmp_path / "out" / "data.csv"
+        write_csv(relation, path)
+        assert path.read_text(encoding="utf-8") == "a,b\n1,x\n"
+
+    def test_delimiter_sniffing(self):
+        relation = read_csv(io.StringIO("a;b\n1;2\n"), name="semi")
+        assert relation.attribute_names == ("a", "b")
+        assert relation.cell(0, "b") == "2"
+
+    def test_explicit_delimiter(self):
+        relation = read_csv(io.StringIO("a|b\n1|2\n"), delimiter="|")
+        assert relation.cell(0, "a") == "1"
+
+    def test_no_header(self):
+        relation = read_csv(io.StringIO("1,2\n3,4\n"), has_header=False)
+        assert relation.attribute_names == ("column_1", "column_2")
+        assert relation.row_count == 2
+
+    def test_explicit_column_names(self):
+        relation = read_csv(
+            io.StringIO("1,2\n"), has_header=False, column_names=["x", "y"]
+        )
+        assert relation.attribute_names == ("x", "y")
+
+    def test_ragged_rows_are_padded_and_truncated(self):
+        relation = read_csv(io.StringIO("a,b\n1\n2,3,4\n"))
+        assert relation.row(0) == ("1", "")
+        assert relation.row(1) == ("2", "3")
+
+    def test_empty_source_raises(self):
+        with pytest.raises(SchemaError):
+            read_csv(io.StringIO(""))
+
+    def test_quoted_fields_survive(self):
+        text = 'name,city\n"Smith, John","Los Angeles"\n'
+        relation = read_csv(io.StringIO(text))
+        assert relation.cell(0, "name") == "Smith, John"

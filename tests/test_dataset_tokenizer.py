@@ -1,0 +1,103 @@
+"""Tests for tokenization and n-gram extraction."""
+
+import pytest
+
+from repro.dataset.tokenizer import (
+    extract_parts,
+    has_separators,
+    iter_column_parts,
+    ngrams,
+    prefix_ngrams,
+    token_texts,
+    tokenize,
+)
+
+
+class TestHasSeparators:
+    def test_multi_token_values(self):
+        assert has_separators("John Charles")
+        assert has_separators("F-9-107")
+        assert has_separators("Holloway, Donald E.")
+
+    def test_single_token_values(self):
+        assert not has_separators("90001")
+        assert not has_separators("Chicago")
+        assert not has_separators("")
+
+    def test_trailing_separator_only(self):
+        assert not has_separators("abc ")
+
+
+class TestTokenize:
+    def test_name_tokens_keep_trailing_separator(self):
+        parts = tokenize("John Charles")
+        assert [(p.text, p.position) for p in parts] == [("John ", 0), ("Charles", 1)]
+
+    def test_last_first_format(self):
+        parts = tokenize("Holloway, Donald E.")
+        assert [p.text for p in parts] == ["Holloway, ", "Donald ", "E."]
+        assert [p.position for p in parts] == [0, 1, 2]
+
+    def test_without_separator(self):
+        assert token_texts("F-9-107") == ["F", "9", "107"]
+
+    def test_leading_separators_are_skipped(self):
+        parts = tokenize("  John")
+        assert [p.text for p in parts] == ["John"]
+        assert parts[0].start == 2
+
+    def test_empty_value(self):
+        assert tokenize("") == []
+
+    def test_start_offsets(self):
+        parts = tokenize("CS-101")
+        assert [(p.text, p.start) for p in parts] == [("CS-", 0), ("101", 3)]
+
+
+class TestNgrams:
+    def test_all_ngrams_of_short_value(self):
+        grams = {p.text for p in ngrams("abc")}
+        assert grams == {"a", "b", "c", "ab", "bc", "abc"}
+
+    def test_prefix_ngrams(self):
+        grams = [p.text for p in prefix_ngrams("90001")]
+        assert grams == ["9", "90", "900", "9000", "90001"]
+
+    def test_max_length(self):
+        grams = [p.text for p in prefix_ngrams("90001", max_length=3)]
+        assert grams == ["9", "90", "900"]
+
+    def test_min_length(self):
+        grams = [p.text for p in prefix_ngrams("90001", min_length=3)]
+        assert grams == ["900", "9000", "90001"]
+
+    def test_positions_are_offsets(self):
+        grams = ngrams("ab")
+        assert {(p.text, p.position) for p in grams} == {("a", 0), ("ab", 0), ("b", 1)}
+
+
+class TestExtractParts:
+    def test_value_strategy(self):
+        parts = extract_parts("Chicago", "value")
+        assert len(parts) == 1
+        assert parts[0].text == "Chicago"
+
+    def test_tokenize_strategy(self):
+        parts = extract_parts("John Smith", "tokenize")
+        assert [p.text for p in parts] == ["John ", "Smith"]
+
+    def test_ngrams_strategy_prefixes_only(self):
+        parts = extract_parts("9001", "ngrams", prefixes_only=True)
+        assert [p.text for p in parts] == ["9", "90", "900", "9001"]
+
+    def test_empty_value_gives_no_parts(self):
+        assert extract_parts("", "tokenize") == []
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            extract_parts("x", "bogus")
+
+    def test_iter_column_parts(self):
+        pairs = list(iter_column_parts(["ab", "", "c"], "ngrams"))
+        row_ids = {row_id for row_id, _ in pairs}
+        assert row_ids == {0, 2}

@@ -1,0 +1,156 @@
+"""Tests for the experiment runners (Table 3/7/8, Figures 5/6, efficiency).
+
+These run at a small scale; the benchmarks exercise the full protocol.  The
+assertions check the qualitative *shapes* the paper reports rather than
+absolute numbers.
+"""
+
+import pytest
+
+from repro.discovery.config import DiscoveryConfig
+from repro.experiments import (
+    evaluate_point,
+    evaluate_table,
+    run_figure,
+    run_table3,
+    run_table7,
+    run_table8,
+)
+from repro.experiments.efficiency import run_efficiency
+from repro.datagen import build_table, build_zip_state_table
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        return run_table7(scale=0.15, table_ids=("T2", "T3", "T9"), run_multi_lhs=False)
+
+    def test_structure(self, small_result):
+        assert len(small_result.tables) == 3
+        rendering = small_result.render()
+        assert "T2" in rendering and "PFD" in rendering
+
+    def test_pfd_finds_at_least_as_many_valid_deps_as_baselines(self, small_result):
+        for table in small_result.tables:
+            pfd_valid = table.pfd.recall
+            assert pfd_valid >= table.fdep.recall - 1e-9
+            assert pfd_valid >= table.cfd.recall - 1e-9
+
+    def test_pfd_recall_is_high(self, small_result):
+        assert small_result.average_pfd_recall() >= 0.7
+
+    def test_error_detection_reported(self, small_result):
+        for table in small_result.tables:
+            assert table.error_detection.true_errors >= 0
+            assert 0.0 <= table.error_detection.precision <= 1.0
+
+    def test_evaluate_single_table(self):
+        table = build_table("T12", scale=0.2)
+        result = evaluate_table(table, run_multi_lhs=True)
+        assert result.multi_lhs_runtime_seconds >= result.pfd.runtime_seconds * 0  # measured
+        assert result.row_count == table.row_count
+
+
+class TestTable8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table8(scale=0.4)
+
+    def test_three_dependencies(self, result):
+        names = [row.dependency for row in result.rows]
+        assert names == ["Full Name -> Gender", "Fax -> State", "Zip -> City"]
+
+    def test_precision_is_high(self, result):
+        for row in result.rows:
+            assert row.pfd_count > 0
+            assert row.precision >= 0.85
+
+    def test_coverage_positive(self, result):
+        for row in result.rows:
+            assert 0.0 < row.coverage <= 1.0
+
+    def test_render(self, result):
+        assert "Precision" in result.render()
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def clean_relation(self):
+        return build_zip_state_table(rows=600).relation
+
+    def test_precision_recall_shape_with_support(self, clean_relation):
+        low_k = evaluate_point(clean_relation, "state", 0.06, "outside", 2, 0.04, seed=5)
+        high_k = evaluate_point(clean_relation, "state", 0.06, "outside", 6, 0.04, seed=5)
+        assert high_k.precision >= low_k.precision - 0.05
+        assert high_k.recall <= low_k.recall + 0.05
+
+    def test_recall_drops_with_error_rate(self, clean_relation):
+        low_rate = evaluate_point(clean_relation, "state", 0.02, "outside", 2, 0.04, seed=5)
+        high_rate = evaluate_point(clean_relation, "state", 0.10, "outside", 2, 0.04, seed=5)
+        assert high_rate.recall <= low_rate.recall + 1e-9
+
+    def test_active_domain_mode_also_detects(self, clean_relation):
+        point = evaluate_point(clean_relation, "state", 0.04, "active", 2, 0.04, seed=5)
+        assert point.injected > 0
+        assert point.recall > 0.3
+
+    def test_run_figure_small_grid(self):
+        result = run_figure(
+            "outside",
+            rows=300,
+            error_rates=(0.02, 0.08),
+            supports=(2,),
+            noise_ratios=(0.04,),
+        )
+        assert len(result.points) == 2
+        series = result.series(2, 0.04)
+        assert [point.error_rate for point in series] == [0.02, 0.08]
+        assert "Figure 5" in result.render()
+
+
+class TestTable3AndEfficiency:
+    def test_table3_showcases(self):
+        result = run_table3(scale=0.3)
+        assert len(result.showcases) == 4
+        names = [showcase.dependency for showcase in result.showcases]
+        assert "Full Name -> Gender" in names
+        gender = next(s for s in result.showcases if s.dependency == "Full Name -> Gender")
+        assert gender.sample_patterns
+        assert "Table 3" in result.render()
+
+    def test_efficiency_ordering(self):
+        result = run_efficiency(row_counts=(120, 240))
+        assert len(result.points) == 2
+        for point in result.points:
+            # FDep is the fastest method; multi-LHS PFD discovery the slowest.
+            assert point.fdep_seconds <= point.pfd_multi_seconds
+            assert point.pfd_seconds <= point.pfd_multi_seconds + 1e-6
+        assert "runtime" in result.render()
+
+
+class TestCLI:
+    def test_discover_and_detect_commands(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.dataset.csvio import write_csv
+
+        table = build_table("T2", scale=0.1)
+        path = tmp_path / "t2.csv"
+        write_csv(table.relation, path)
+        assert main(["discover", str(path), "--min-support", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "PFD discovery" in output
+        assert main(["detect", str(path), "--min-support", "4"]) == 0
+        assert "suspected errors" in capsys.readouterr().out
+
+    def test_suite_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["suite", str(tmp_path / "suite"), "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count(".csv") == 15
+
+    def test_experiment_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "table8", "--scale", "0.3"]) == 0
+        assert "Table 8" in capsys.readouterr().out

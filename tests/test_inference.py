@@ -1,0 +1,224 @@
+"""Tests for the PFD inference system: axioms, closure, implication,
+consistency (Section 3 of the paper)."""
+
+import pytest
+
+from repro.core.pfd import make_pfd
+from repro.exceptions import InferenceError
+from repro.inference import (
+    attribute_values_consistent,
+    augmentation,
+    check_consistency,
+    closure_implies,
+    compute_closure,
+    equivalent_pfd_sets,
+    find_counterexample,
+    implies,
+    inconsistency_efq,
+    lhs_generalization,
+    minimal_cover,
+    reduction,
+    reflexivity,
+    transitivity,
+    tuple_satisfies,
+)
+from repro.core.tableau import PatternTuple
+
+
+@pytest.fixture
+def first_name_pfd():
+    return make_pfd("name", "gender", [{"name": r"{{\LU\LL*\ }}\A*", "gender": "⊥"}], "Name")
+
+
+@pytest.fixture
+def gender_title_pfd():
+    return make_pfd("gender", "title", [{"gender": "⊥", "title": "⊥"}], "Name")
+
+
+class TestAxioms:
+    def test_reflexivity(self):
+        row = PatternTuple.from_mapping({"name": r"{{John\ }}\A*"})
+        derived = reflexivity(["name"], row, "name")
+        assert derived.lhs == ("name",) and derived.rhs == ("name",)
+
+    def test_reflexivity_requires_lhs_membership(self):
+        row = PatternTuple.from_mapping({"name": r"{{John\ }}\A*"})
+        with pytest.raises(InferenceError):
+            reflexivity(["name"], row, "gender")
+
+    def test_reflexivity_rejects_non_restriction_rhs(self):
+        row = PatternTuple.from_mapping({"name": r"{{\LU\LL*\ }}\A*"})
+        with pytest.raises(InferenceError):
+            reflexivity(["name"], row, "name", rhs_cell=r"{{John\ }}\A*")
+
+    def test_augmentation(self, first_name_pfd):
+        derived = augmentation(first_name_pfd, "country")
+        assert derived.lhs == ("name", "country")
+        assert derived.rhs == ("gender", "country")
+
+    def test_augmentation_rejects_existing_attribute(self, first_name_pfd):
+        with pytest.raises(InferenceError):
+            augmentation(first_name_pfd, "gender")
+
+    def test_transitivity(self, first_name_pfd, gender_title_pfd):
+        derived = transitivity(first_name_pfd, gender_title_pfd)
+        assert derived.lhs == ("name",) and derived.rhs == ("title",)
+
+    def test_transitivity_requires_matching_middle(self, first_name_pfd):
+        other = make_pfd("title", "salary", [{"title": "⊥", "salary": "⊥"}], "Name")
+        with pytest.raises(InferenceError):
+            transitivity(first_name_pfd, other)
+
+    def test_transitivity_requires_pattern_restriction(self):
+        first = make_pfd("a", "b", [{"a": "⊥", "b": "⊥"}])
+        second = make_pfd("b", "c", [{"b": r"{{\D{3}}}\D{2}", "c": "⊥"}])
+        with pytest.raises(InferenceError):
+            transitivity(first, second)
+
+    def test_reduction(self):
+        pfd = make_pfd(
+            ("zip", "extra"), "city",
+            [{"zip": r"{{900}}\D{2}", "extra": "⊥", "city": r"Los\ Angeles"}], "Zip",
+        )
+        derived = reduction(pfd, "extra")
+        assert derived.lhs == ("zip",)
+
+    def test_reduction_requires_wildcard_and_constant(self):
+        pfd = make_pfd(("zip", "extra"), "city",
+                       [{"zip": r"{{900}}\D{2}", "extra": "x", "city": "LA"}], "Zip")
+        with pytest.raises(InferenceError):
+            reduction(pfd, "extra")
+        variable_rhs = make_pfd(("zip", "extra"), "city",
+                                [{"zip": r"{{900}}\D{2}", "extra": "⊥", "city": "⊥"}], "Zip")
+        with pytest.raises(InferenceError):
+            reduction(variable_rhs, "extra")
+
+    def test_reduction_cannot_empty_lhs(self):
+        pfd = make_pfd("extra", "city", [{"extra": "⊥", "city": "LA"}], "Zip")
+        with pytest.raises(InferenceError):
+            reduction(pfd, "extra")
+
+    def test_lhs_generalization(self):
+        first = make_pfd(("name", "country"), "gender",
+                         [{"name": r"{{John\ }}\A*", "country": "Egypt", "gender": "M"}])
+        second = make_pfd(("name", "country"), "gender",
+                          [{"name": r"{{Omar\ }}\A*", "country": "Egypt", "gender": "M"}])
+        derived = lhs_generalization(first, second, "name")
+        assert len(derived.tableau) == 2
+
+    def test_lhs_generalization_requires_identical_other_cells(self):
+        first = make_pfd(("name", "country"), "gender",
+                         [{"name": r"{{John\ }}\A*", "country": "Egypt", "gender": "M"}])
+        second = make_pfd(("name", "country"), "gender",
+                          [{"name": r"{{Omar\ }}\A*", "country": "Yemen", "gender": "M"}])
+        with pytest.raises(InferenceError):
+            lhs_generalization(first, second, "name")
+
+    def test_inconsistency_efq_builds_requested_pfd(self):
+        derived = inconsistency_efq("a", r"{{\D+}}", ("b",), {"b": "⊥"})
+        assert derived.lhs == ("a",) and derived.rhs == ("b",)
+
+    def test_axioms_require_single_row(self):
+        multi = make_pfd("a", "b", [{"a": "x", "b": "y"}, {"a": "z", "b": "w"}])
+        with pytest.raises(InferenceError):
+            augmentation(multi, "c")
+
+
+class TestClosureAndImplication:
+    def test_transitive_implication(self, first_name_pfd, gender_title_pfd):
+        candidate = make_pfd("name", "title",
+                             [{"name": r"{{\LU\LL*\ }}\A*", "title": "⊥"}], "Name")
+        assert closure_implies([first_name_pfd, gender_title_pfd], candidate)
+        assert implies([first_name_pfd, gender_title_pfd], candidate)
+
+    def test_restricted_candidate_is_implied(self, first_name_pfd, gender_title_pfd):
+        candidate = make_pfd("name", "title", [{"name": r"{{John\ }}\A*", "title": "⊥"}], "Name")
+        assert implies([first_name_pfd, gender_title_pfd], candidate)
+
+    def test_reverse_not_implied(self, first_name_pfd, gender_title_pfd):
+        candidate = make_pfd("title", "name", [{"title": "⊥", "name": "⊥"}], "Name")
+        assert not implies([first_name_pfd, gender_title_pfd], candidate)
+
+    def test_full_value_fd_not_implied_by_pattern_pfd(self, first_name_pfd):
+        # Names outside the pattern's language escape the PFD, so the plain FD
+        # does not follow; the counterexample search exhibits a witness.
+        candidate = make_pfd("name", "gender", [{"name": "⊥", "gender": "⊥"}], "Name")
+        assert not implies([first_name_pfd], candidate)
+        witness = find_counterexample([first_name_pfd], candidate, max_assignments=20_000)
+        assert witness is not None
+        assert first_name_pfd.holds_on(witness)
+        assert not candidate.holds_on(witness)
+
+    def test_member_is_implied(self, first_name_pfd):
+        assert implies([first_name_pfd], first_name_pfd)
+
+    def test_closure_contents(self, first_name_pfd, gender_title_pfd):
+        closure = compute_closure(
+            [first_name_pfd, gender_title_pfd],
+            {"name": r"{{\LU\LL*\ }}\A*"},
+        )
+        assert "gender" in closure
+        assert "title" in closure
+
+    def test_minimal_cover_drops_redundant(self, first_name_pfd, gender_title_pfd):
+        redundant = make_pfd("name", "title",
+                             [{"name": r"{{\LU\LL*\ }}\A*", "title": "⊥"}], "Name")
+        cover = minimal_cover([first_name_pfd, gender_title_pfd, redundant])
+        assert len(cover) == 2
+
+    def test_equivalent_pfd_sets(self, first_name_pfd, gender_title_pfd):
+        assert equivalent_pfd_sets([first_name_pfd], [first_name_pfd])
+        assert not equivalent_pfd_sets([first_name_pfd], [gender_title_pfd])
+
+
+class TestConsistency:
+    def test_empty_set_is_consistent(self):
+        assert check_consistency([]).consistent
+
+    def test_unrestricted_domains_are_consistent(self):
+        conflicting = [
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "M"}]),
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "F"}]),
+        ]
+        # A tuple whose `a` value is non-numeric satisfies both vacuously.
+        result = check_consistency(conflicting)
+        assert result.consistent
+        assert result.witness is not None
+        assert tuple_satisfies(conflicting, result.witness)
+
+    def test_restricted_domain_makes_it_inconsistent(self):
+        conflicting = [
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "M"}]),
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "F"}]),
+        ]
+        assert not check_consistency(conflicting, domains={"a": r"\D+"}).consistent
+
+    def test_consistent_set_with_domains(self):
+        psis = [
+            make_pfd("zip", "city", [{"zip": r"{{900}}\D{2}", "city": r"LA"}]),
+            make_pfd("zip", "state", [{"zip": r"{{900}}\D{2}", "state": "CA"}]),
+        ]
+        result = check_consistency(psis, domains={"zip": r"\D{5}"})
+        assert result.consistent
+
+    def test_attribute_values_consistent(self):
+        conflicting = [
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "M"}]),
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "F"}]),
+        ]
+        assert not attribute_values_consistent(conflicting, "a", r"\D+")
+        assert attribute_values_consistent(conflicting, "a", r"\LL+")
+
+    def test_inconsistent_set_implies_anything(self):
+        conflicting = [
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "M"}]),
+            make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "F"}]),
+        ]
+        anything = make_pfd("b", "a", [{"b": "⊥", "a": "⊥"}])
+        assert implies(conflicting, anything, domains={"a": r"\D+"})
+
+    def test_tuple_satisfies_checks_formats(self):
+        pfd = make_pfd("zip", "city", [{"zip": r"{{900}}\D{2}", "city": r"LA"}])
+        assert tuple_satisfies([pfd], {"zip": "90001", "city": "LA"})
+        assert not tuple_satisfies([pfd], {"zip": "90001", "city": "NY"})
+        assert tuple_satisfies([pfd], {"zip": "60601", "city": "NY"})

@@ -1,0 +1,117 @@
+"""End-to-end integration tests: generate -> discover -> detect -> repair,
+plus cross-module invariants tying discovery output to the inference layer."""
+
+import pytest
+
+from repro import (
+    DiscoveryConfig,
+    PFDDiscoverer,
+    Relation,
+    detect_errors,
+    discover_pfds,
+    repair_errors,
+)
+from repro.cleaning import cell_precision_recall, dependency_precision_recall, inject_errors
+from repro.datagen import build_gov_addresses, build_udw_students, build_zip_state_table
+from repro.inference import implies
+from repro.patterns import is_restriction_of
+
+
+class TestDiscoverDetectRepairLoop:
+    def test_zip_table_end_to_end(self):
+        table = build_gov_addresses(rows=400, seed=11, dirt_rate=0.0)
+        clean = table.relation
+        injected = inject_errors(clean, "city", 0.05, mode="outside", seed=2)
+
+        result = discover_pfds(injected.relation, DiscoveryConfig(min_support=5))
+        dependency = result.dependency_for(("zip",), "city")
+        assert dependency is not None
+
+        report = detect_errors(injected.relation, [dependency.pfd])
+        detected_city_cells = {c for c in report.error_cells if c.attribute == "city"}
+        metrics = cell_precision_recall(detected_city_cells, injected.error_cells)
+        assert metrics.recall >= 0.8
+        assert metrics.precision >= 0.8
+
+        repaired = repair_errors(injected.relation, [dependency.pfd])
+        restored = sum(
+            1
+            for error in injected.errors
+            if repaired.relation.cell(error.cell.row_id, "city") == error.original_value
+        )
+        assert restored / len(injected.errors) >= 0.8
+
+    def test_students_table_dependencies(self):
+        table = build_udw_students(rows=500, seed=8)
+        result = discover_pfds(table.relation, DiscoveryConfig(min_support=5))
+        metrics = dependency_precision_recall(result.dependency_keys, table.true_dependencies)
+        assert metrics.recall >= 0.5
+        # The name -> gender dependency must be among the discovered ones.
+        assert result.dependency_for(("full_name",), "gender") is not None
+
+    def test_discovered_pfds_satisfy_their_own_noise_budget(self):
+        table = build_zip_state_table(rows=500)
+        config = DiscoveryConfig(min_support=5, noise_ratio=0.05)
+        result = PFDDiscoverer(config).discover(table.relation)
+        for dependency in result.dependencies:
+            assert dependency.pfd.violation_ratio(table.relation) <= config.noise_ratio + 1e-9
+
+
+class TestDiscoveryMeetsInference:
+    def test_constant_rows_are_implied_by_generalized_pfd(self):
+        """A variable PFD discovered by generalization implies the constant
+        PFDs it replaced (the LHS-generalization / restriction story)."""
+        table = build_zip_state_table(rows=400)
+        constants = PFDDiscoverer(
+            DiscoveryConfig(min_support=5, generalize=False)
+        ).discover(table.relation)
+        generalized = PFDDiscoverer(
+            DiscoveryConfig(min_support=5, generalize=True)
+        ).discover(table.relation)
+        constant_dep = constants.dependency_for(("zip",), "state")
+        variable_dep = generalized.dependency_for(("zip",), "state")
+        assert constant_dep is not None and variable_dep is not None
+        assert variable_dep.is_variable and not constant_dep.is_variable
+        # Every constant LHS pattern is a restriction of the variable pattern.
+        variable_cell = variable_dep.pfd.tableau[0].cell("zip")
+        for row in constant_dep.pfd.tableau:
+            assert is_restriction_of(row.cell("zip"), variable_cell)
+        # And the variable PFD implies the "agreement-only" form of each
+        # constant row: tuples matching the constant zip prefix must agree on
+        # the state.  (It does NOT imply the constant itself — knowing that
+        # all 606xx rows share a state does not tell us the state is IL.)
+        from repro.core.pfd import PFD
+        from repro.core.tableau import PatternTableau, PatternTuple, WILDCARD
+
+        first_row = constant_dep.pfd.tableau[0]
+        agreement_only = PFD(
+            ("zip",),
+            ("state",),
+            PatternTableau([PatternTuple.from_mapping({"zip": first_row.cell("zip"), "state": WILDCARD})]),
+            "ZipState",
+        )
+        assert implies([variable_dep.pfd], agreement_only)
+        full_constant = PFD(("zip",), ("state",), PatternTableau([first_row]), "ZipState")
+        assert not implies([variable_dep.pfd], full_constant)
+
+    def test_paper_table_1_full_loop(self):
+        """The introduction's Table 1 (with one extra Susan row so that the
+        Susan group has a strict majority): discovery at tiny support finds
+        the first-name dependency, which then flags the wrong gender."""
+        names = Relation.from_rows(
+            ["name", "gender"],
+            [
+                ("John Charles", "M"),
+                ("John Bosco", "M"),
+                ("Susan Orlean", "F"),
+                ("Susan Sarandon", "F"),
+                ("Susan Boyle", "M"),
+            ],
+            name="Name",
+        )
+        config = DiscoveryConfig(min_support=2, noise_ratio=0.34, min_coverage=0.1)
+        result = discover_pfds(names, config)
+        dependency = result.dependency_for(("name",), "gender")
+        assert dependency is not None
+        report = detect_errors(names, [dependency.pfd])
+        assert any(cell.row_id == 4 and cell.attribute == "gender" for cell in report.error_cells)

@@ -1,0 +1,110 @@
+"""Tests for the generalization tree (repro.patterns.alphabet)."""
+
+import pytest
+
+from repro.patterns.alphabet import (
+    BASE_CLASSES,
+    CharClass,
+    char_matches_class,
+    class_members_sample,
+    class_subsumes,
+    classify_char,
+    generalize_chars,
+    generalize_classes,
+    is_word_char,
+)
+
+
+class TestClassifyChar:
+    def test_digits(self):
+        for char in "0123456789":
+            assert classify_char(char) is CharClass.DIGIT
+
+    def test_upper_case(self):
+        for char in "AZQ":
+            assert classify_char(char) is CharClass.UPPER
+
+    def test_lower_case(self):
+        for char in "azq":
+            assert classify_char(char) is CharClass.LOWER
+
+    def test_symbols(self):
+        for char in " -_,.:;/#()":
+            assert classify_char(char) is CharClass.SYMBOL
+
+    def test_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            classify_char("ab")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            classify_char("")
+
+
+class TestCharMatchesClass:
+    def test_any_matches_everything(self):
+        for char in "Aa0 -":
+            assert char_matches_class(char, CharClass.ANY)
+
+    def test_digit_only_matches_digits(self):
+        assert char_matches_class("7", CharClass.DIGIT)
+        assert not char_matches_class("x", CharClass.DIGIT)
+        assert not char_matches_class("X", CharClass.DIGIT)
+
+    def test_upper_and_lower_are_disjoint(self):
+        assert char_matches_class("Q", CharClass.UPPER)
+        assert not char_matches_class("Q", CharClass.LOWER)
+        assert char_matches_class("q", CharClass.LOWER)
+        assert not char_matches_class("q", CharClass.UPPER)
+
+
+class TestSubsumption:
+    def test_any_subsumes_all_base_classes(self):
+        for cls in BASE_CLASSES:
+            assert class_subsumes(CharClass.ANY, cls)
+
+    def test_classes_subsume_themselves(self):
+        for cls in CharClass:
+            assert class_subsumes(cls, cls)
+
+    def test_base_classes_do_not_subsume_each_other(self):
+        assert not class_subsumes(CharClass.DIGIT, CharClass.UPPER)
+        assert not class_subsumes(CharClass.LOWER, CharClass.DIGIT)
+
+
+class TestGeneralization:
+    def test_same_class_stays(self):
+        assert generalize_chars("12345") is CharClass.DIGIT
+        assert generalize_chars("abc") is CharClass.LOWER
+
+    def test_mixed_classes_become_any(self):
+        assert generalize_chars("a1") is CharClass.ANY
+        assert generalize_chars("A ") is CharClass.ANY
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            generalize_classes([])
+
+    def test_single_class_passthrough(self):
+        assert generalize_classes([CharClass.SYMBOL]) is CharClass.SYMBOL
+
+
+class TestSamplesAndWordChars:
+    def test_samples_belong_to_their_class(self):
+        for cls in BASE_CLASSES:
+            for char in class_members_sample(cls):
+                assert char_matches_class(char, cls)
+
+    def test_sample_limit(self):
+        assert len(class_members_sample(CharClass.DIGIT, limit=3)) == 3
+
+    def test_word_chars(self):
+        assert is_word_char("a")
+        assert is_word_char("Z")
+        assert is_word_char("5")
+        assert not is_word_char("-")
+        assert not is_word_char(" ")
+
+    def test_escape_names(self):
+        assert CharClass.UPPER.escape == "\\LU"
+        assert CharClass.ANY.escape == "\\A"

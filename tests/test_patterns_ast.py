@@ -1,0 +1,149 @@
+"""Tests for the pattern AST (repro.patterns.ast)."""
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.patterns.alphabet import CharClass
+from repro.patterns.ast import (
+    ClassAtom,
+    ConstrainedGroup,
+    Literal,
+    Pattern,
+    Repeat,
+    any_string_pattern,
+    literal_pattern,
+)
+from repro.patterns.parser import parse_pattern
+
+
+class TestLiteralAndClassAtoms:
+    def test_literal_must_be_single_char(self):
+        with pytest.raises(PatternError):
+            Literal("ab")
+
+    def test_literal_regex_escaping(self):
+        assert Literal(".").to_regex() == r"\."
+
+    def test_class_regex(self):
+        assert ClassAtom(CharClass.DIGIT).to_regex() == "[0-9]"
+        assert ClassAtom(CharClass.UPPER).to_regex() == "[A-Z]"
+
+    def test_lengths(self):
+        assert Literal("x").min_length() == 1
+        assert ClassAtom(CharClass.ANY).max_length() == 1
+
+
+class TestRepeat:
+    def test_invalid_bounds(self):
+        with pytest.raises(PatternError):
+            Repeat(Literal("a"), -1, None)
+        with pytest.raises(PatternError):
+            Repeat(Literal("a"), 3, 2)
+
+    def test_star_serialization(self):
+        assert Repeat(ClassAtom(CharClass.ANY), 0, None).to_pattern_string() == r"\A*"
+
+    def test_plus_serialization(self):
+        assert Repeat(Literal("x"), 1, None).to_pattern_string() == "x+"
+
+    def test_fixed_serialization(self):
+        assert Repeat(ClassAtom(CharClass.DIGIT), 5, 5).to_pattern_string() == r"\D{5}"
+
+    def test_constantness(self):
+        assert Repeat(Literal("a"), 3, 3).is_constant()
+        assert not Repeat(Literal("a"), 1, None).is_constant()
+        assert not Repeat(ClassAtom(CharClass.DIGIT), 2, 2).is_constant()
+
+    def test_lengths(self):
+        repeat = Repeat(ClassAtom(CharClass.DIGIT), 2, 4)
+        assert repeat.min_length() == 2
+        assert repeat.max_length() == 4
+        assert Repeat(Literal("a"), 1, None).max_length() is None
+
+
+class TestPatternStructure:
+    def test_at_most_one_constrained_group(self):
+        group = ConstrainedGroup((Literal("a"),))
+        with pytest.raises(PatternError):
+            Pattern((group, group))
+
+    def test_embedded_strips_group(self):
+        pattern = parse_pattern(r"{{900}}\D{2}")
+        embedded = pattern.embedded()
+        assert not embedded.has_constrained_group
+        assert embedded.to_pattern_string() == r"900\D{2}"
+
+    def test_constrained_subpattern(self):
+        pattern = parse_pattern(r"{{John\ }}\A*")
+        sub = pattern.constrained_subpattern()
+        assert sub is not None
+        assert sub.constant_value() == "John "
+
+    def test_with_constrained_prefix(self):
+        pattern = parse_pattern(r"900\D{2}")
+        constrained = pattern.with_constrained_prefix(3)
+        assert constrained.has_constrained_group
+        assert constrained.constrained_subpattern().constant_value() == "900"
+
+    def test_with_constrained_prefix_rejects_existing_group(self):
+        with pytest.raises(PatternError):
+            parse_pattern(r"{{a}}b").with_constrained_prefix(1)
+
+    def test_with_constrained_prefix_bounds(self):
+        with pytest.raises(PatternError):
+            parse_pattern("abc").with_constrained_prefix(0)
+        with pytest.raises(PatternError):
+            parse_pattern("abc").with_constrained_prefix(7)
+
+
+class TestConstantsAndLengths:
+    def test_constant_value(self):
+        assert parse_pattern(r"Los\ Angeles").constant_value() == "Los Angeles"
+
+    def test_constant_value_with_repeats(self):
+        assert parse_pattern("a{3}b").constant_value() == "aaab"
+
+    def test_non_constant_raises(self):
+        with pytest.raises(PatternError):
+            parse_pattern(r"\D{5}").constant_value()
+
+    def test_min_max_length(self):
+        pattern = parse_pattern(r"900\D{2}")
+        assert pattern.min_length() == 5
+        assert pattern.max_length() == 5
+        unbounded = parse_pattern(r"{{John\ }}\A*")
+        assert unbounded.min_length() == 5
+        assert unbounded.max_length() is None
+
+    def test_specificity_ordering(self):
+        constant = parse_pattern("90001")
+        classy = parse_pattern(r"\D{5}")
+        wildcard = parse_pattern(r"\A*")
+        assert constant.specificity() > classy.specificity() > wildcard.specificity()
+
+
+class TestFactories:
+    def test_literal_pattern(self):
+        pattern = literal_pattern("M")
+        assert pattern.is_constant()
+        assert pattern.constant_value() == "M"
+
+    def test_literal_pattern_constrained(self):
+        pattern = literal_pattern("Chicago", constrain_all=True)
+        assert pattern.has_constrained_group
+        assert pattern.constrained_subpattern().constant_value() == "Chicago"
+
+    def test_literal_pattern_empty(self):
+        pattern = literal_pattern("")
+        assert pattern.min_length() == 0
+
+    def test_any_string_pattern(self):
+        pattern = any_string_pattern()
+        assert pattern.min_length() == 0
+        assert pattern.max_length() is None
+
+    def test_str_and_iter(self):
+        pattern = parse_pattern(r"{{900}}\D{2}")
+        assert str(pattern) == r"{{900}}\D{2}"
+        assert len(pattern) == 2
+        assert list(iter(pattern))

@@ -1,0 +1,74 @@
+"""Tests for the restriction/generalization relation on constrained patterns."""
+
+import pytest
+
+from repro.patterns.containment import (
+    is_generalization_of,
+    is_restriction_of,
+    patterns_compatible,
+)
+
+
+class TestPaperExamples:
+    def test_constant_first_name_restricts_variable_first_name(self):
+        # {{John }}\A* is a restriction of {{\LU\LL*\ }}\A* (Example 3 spirit).
+        assert is_restriction_of(r"{{John\ }}\A*", r"{{\LU\LL*\ }}\A*")
+        assert not is_restriction_of(r"{{\LU\LL*\ }}\A*", r"{{John\ }}\A*")
+
+    def test_zip_example_4(self):
+        # Q = \D{5}, Q' = \D* with the whole value constrained.
+        assert is_restriction_of(r"{{\D{5}}}", r"{{\D*}}")
+        assert not is_restriction_of(r"{{\D*}}", r"{{\D{5}}}")
+
+    def test_zip_prefix_restrictions(self):
+        assert is_restriction_of(r"{{900}}\D{2}", r"{{\D{3}}}\D{2}")
+        assert not is_restriction_of(r"{{\D{3}}}\D{2}", r"{{900}}\D{2}")
+
+    def test_constant_whole_value_restricts_wildcard_like_pattern(self):
+        # A constant pins the whole value, so it restricts {{\A*}} (the ⊥ cell).
+        assert is_restriction_of("M", r"{{\A*}}")
+        assert is_restriction_of(r"Los\ Angeles", r"{{\A*}}")
+
+    def test_partial_constraint_does_not_restrict_whole_value_equality(self):
+        # Agreeing on the first name does not force whole-name equality.
+        assert not is_restriction_of(r"{{John\ }}\A*", r"{{\A*}}")
+
+    def test_language_mismatch_blocks_restriction(self):
+        # {{900}}\LL* generates strings outside \D{5}, so it cannot restrict it.
+        assert not is_restriction_of(r"{{900}}\LL+", r"{{\D{3}}}\D{2}")
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize(
+        "pattern",
+        [r"{{900}}\D{2}", r"{{John\ }}\A*", r"{{\LU\LL*\ }}\A*", r"{{\A*}}", "M"],
+    )
+    def test_reflexivity(self, pattern):
+        assert is_restriction_of(pattern, pattern)
+
+    def test_transitivity_on_chain(self):
+        chain = [r"{{900}}\D{2}", r"{{\D{3}}}\D{2}", r"{{\D{3}}}\A*"]
+        assert is_restriction_of(chain[0], chain[1])
+        assert is_restriction_of(chain[1], chain[2])
+        assert is_restriction_of(chain[0], chain[2])
+
+    def test_generalization_is_the_inverse(self):
+        assert is_generalization_of(r"{{\LU\LL*\ }}\A*", r"{{John\ }}\A*")
+        assert not is_generalization_of(r"{{John\ }}\A*", r"{{\LU\LL*\ }}\A*")
+
+    def test_compatibility(self):
+        assert patterns_compatible(r"{{John\ }}\A*", r"{{\LU\LL*\ }}\A*")
+        assert patterns_compatible(r"{{\LU\LL*\ }}\A*", r"{{John\ }}\A*")
+        assert not patterns_compatible(r"{{John\ }}\A*", r"{{900}}\D{2}")
+
+    def test_unconstrained_general_pattern(self):
+        # A pattern without a constrained group constrains nothing, so any
+        # pattern whose language is contained restricts it.
+        assert is_restriction_of(r"{{900}}\D{2}", r"\D{5}")
+        assert not is_restriction_of(r"{{900}}\LL{2}", r"\D{5}")
+
+    def test_unconstrained_specific_pattern(self):
+        # An unconstrained specific pattern only restricts a constrained
+        # general one when the general group is a constant.
+        assert is_restriction_of(r"900\D{2}", r"{{900}}\D{2}")
+        assert not is_restriction_of(r"\D{5}", r"{{\D{3}}}\D{2}")

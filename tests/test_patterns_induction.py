@@ -1,0 +1,116 @@
+"""Tests for pattern induction from example strings."""
+
+from repro.patterns.alphabet import CharClass
+from repro.patterns.induction import (
+    column_shape_histogram,
+    dominant_shape,
+    induce_pattern,
+    induce_prefix_pattern,
+    signature,
+    string_runs,
+)
+from repro.patterns.matcher import matches
+
+
+class TestRuns:
+    def test_simple_runs(self):
+        runs = string_runs("John ")
+        assert [(run.cls, run.text) for run in runs] == [
+            (CharClass.UPPER, "J"),
+            (CharClass.LOWER, "ohn"),
+            (CharClass.SYMBOL, " "),
+        ]
+
+    def test_empty_string(self):
+        assert string_runs("") == ()
+
+    def test_signature(self):
+        assert signature("90001") == (CharClass.DIGIT,)
+        assert signature("F-9-107") == (
+            CharClass.UPPER,
+            CharClass.SYMBOL,
+            CharClass.DIGIT,
+            CharClass.SYMBOL,
+            CharClass.DIGIT,
+        )
+
+
+class TestInducePattern:
+    def test_first_names(self):
+        pattern = induce_pattern(["John ", "Susan ", "Tayseer "])
+        assert pattern is not None
+        for value in ("John ", "Susan ", "Tayseer ", "Maria "):
+            assert matches(pattern, value)
+        assert not matches(pattern, "john ")
+
+    def test_zip_codes(self):
+        pattern = induce_pattern(["90001", "60601", "10001"], keep_literals=False)
+        assert pattern is not None
+        assert pattern.to_pattern_string() == r"\D{5}"
+
+    def test_literals_kept_when_identical(self):
+        pattern = induce_pattern(["CHEMBL12", "CHEMBL99"])
+        assert pattern is not None
+        text = pattern.to_pattern_string()
+        assert text.startswith("CHEMBL")
+        assert matches(pattern, "CHEMBL42")
+
+    def test_incompatible_shapes_return_none(self):
+        assert induce_pattern(["90001", "John Smith"]) is None
+
+    def test_single_value(self):
+        pattern = induce_pattern(["90001"])
+        assert pattern is not None
+        assert matches(pattern, "90001")
+
+    def test_empty_values_ignored(self):
+        assert induce_pattern(["", ""]) is None
+
+    def test_induced_pattern_covers_all_inputs(self):
+        values = ["F-9-107", "H-2-993", "E-5-221"]
+        pattern = induce_pattern(values, keep_literals=False)
+        assert pattern is not None
+        for value in values:
+            assert matches(pattern, value)
+
+    def test_varying_lengths_use_plus(self):
+        pattern = induce_pattern(["ab", "abcd"], keep_literals=False)
+        assert pattern is not None
+        assert matches(pattern, "abcdef")
+        assert not matches(pattern, "")
+
+
+class TestPrefixInduction:
+    def test_prefix_pattern(self):
+        values = ["John Charles", "Mary Poppins"]
+        pattern = induce_prefix_pattern(values, [5, 5], keep_literals=False)
+        assert pattern is not None
+        # Both prefixes are "Xxxx " so the induced pattern is \LU\LL{3}\S.
+        assert matches(pattern, "John ")
+        assert matches(pattern, "Anna ")
+        assert not matches(pattern, "susan")
+        assert not matches(pattern, "Susan")
+
+    def test_length_mismatch_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            induce_prefix_pattern(["abc"], [1, 2])
+
+
+class TestColumnShapes:
+    def test_histogram(self):
+        histogram = column_shape_histogram(["90001", "60601", "abc", ""])
+        assert histogram[(CharClass.DIGIT,)] == 2
+        assert histogram[(CharClass.LOWER,)] == 1
+
+    def test_dominant_shape(self):
+        values = ["90001"] * 8 + ["abc"] * 2
+        assert dominant_shape(values) == (CharClass.DIGIT,)
+
+    def test_dominant_shape_below_threshold(self):
+        values = ["90001"] * 4 + ["abc"] * 3 + ["A-1"] * 3
+        assert dominant_shape(values, minimum_fraction=0.6) is None
+
+    def test_dominant_shape_empty(self):
+        assert dominant_shape([]) is None

@@ -1,0 +1,140 @@
+"""Tests for pattern matching and constrained-part extraction."""
+
+import pytest
+
+from repro.patterns.matcher import (
+    CompiledPattern,
+    compile_pattern,
+    equivalent,
+    extract_constrained,
+    matches,
+    reference_match,
+)
+
+
+class TestBasicMatching:
+    def test_zip_pattern(self):
+        assert matches(r"\D{5}", "90001")
+        assert not matches(r"\D{5}", "9000")
+        assert not matches(r"\D{5}", "900012")
+        assert not matches(r"\D{5}", "9000a")
+
+    def test_anchored_matching(self):
+        # Matching is anchored: partial matches do not count.
+        assert not matches(r"\D{3}", "90001")
+
+    def test_prefix_constant(self):
+        assert matches(r"900\D{2}", "90001")
+        assert not matches(r"900\D{2}", "91001")
+
+    def test_name_pattern(self):
+        assert matches(r"John\ \A*", "John Charles")
+        assert matches(r"John\ \A*", "John ")
+        assert not matches(r"John\ \A*", "Johnny Charles")
+
+    def test_variable_name_pattern(self):
+        assert matches(r"\LU\LL*\ \A*", "Susan Boyle")
+        assert not matches(r"\LU\LL*\ \A*", "susan boyle")
+
+    def test_empty_string(self):
+        assert matches(r"\A*", "")
+        assert not matches(r"\A+", "")
+
+    def test_plus_and_star(self):
+        assert matches(r"\LL+", "abc")
+        assert not matches(r"\LL+", "")
+        assert matches(r"\LL*", "")
+
+    def test_bounded_repeat(self):
+        assert matches(r"\D{2,4}", "123")
+        assert not matches(r"\D{2,4}", "1")
+        assert not matches(r"\D{2,4}", "12345")
+
+
+class TestConstrainedExtraction:
+    def test_prefix_group(self):
+        assert extract_constrained(r"{{900}}\D{2}", "90001") == "900"
+
+    def test_first_name_extraction(self):
+        assert extract_constrained(r"{{\LU\LL*\ }}\A*", "John Charles") == "John "
+        assert extract_constrained(r"{{\LU\LL*\ }}\A*", "Susan Boyle") == "Susan "
+
+    def test_non_matching_returns_none(self):
+        assert extract_constrained(r"{{900}}\D{2}", "60601") is None
+
+    def test_unconstrained_pattern_returns_none(self):
+        assert extract_constrained(r"\D{5}", "90001") is None
+
+    def test_infix_group(self):
+        assert extract_constrained(r"\A*\S{{Donald}}\A*", "Holloway, Donald E.") == "Donald"
+
+    def test_match_result_span(self):
+        result = compile_pattern(r"{{\D{3}}}\D{2}").match("60601")
+        assert result.matched
+        assert result.constrained_value == "606"
+        assert result.constrained_span == (0, 3)
+
+
+class TestEquivalence:
+    def test_same_first_name(self):
+        assert equivalent(r"{{\LU\LL*\ }}\A*", "John Charles", "John Bosco")
+
+    def test_different_first_names(self):
+        assert not equivalent(r"{{\LU\LL*\ }}\A*", "John Charles", "Susan Boyle")
+
+    def test_same_zip_prefix(self):
+        assert equivalent(r"{{\D{3}}}\D{2}", "90001", "90099")
+        assert not equivalent(r"{{\D{3}}}\D{2}", "90001", "60601")
+
+    def test_non_matching_strings_are_not_equivalent(self):
+        assert not equivalent(r"{{\D{3}}}\D{2}", "90001", "abcde")
+
+    def test_unconstrained_pattern_only_requires_matching(self):
+        assert equivalent(r"\D{5}", "90001", "12345")
+
+
+class TestCompiledPatternObject:
+    def test_accepts_string_or_ast(self):
+        from repro.patterns.parser import parse_pattern
+
+        text = r"{{900}}\D{2}"
+        assert CompiledPattern(text).matches("90001")
+        assert CompiledPattern(parse_pattern(text)).matches("90001")
+
+    def test_compile_pattern_is_cached(self):
+        first = compile_pattern(r"\D{5}")
+        second = compile_pattern(r"\D{5}")
+        assert first is second
+
+
+class TestReferenceMatcher:
+    CASES = [
+        (r"{{900}}\D{2}", "90001", True, "900"),
+        (r"{{900}}\D{2}", "90601", False, None),
+        (r"{{John\ }}\A*", "John Charles", True, "John "),
+        (r"{{\LU\LL*\ }}\A*", "Susan Boyle", True, "Susan "),
+        (r"\D{5}", "90001", True, None),
+        (r"\D{5}", "900", False, None),
+        (r"\A*{{\ }}\A*", "a b", True, " "),
+        (r"\LL+\D*", "abc123", True, None),
+        (r"\LL+\D*", "abc", True, None),
+        (r"\LL+\D*", "123", False, None),
+    ]
+
+    @pytest.mark.parametrize("pattern, value, expect_match, expected_group", CASES)
+    def test_reference_results(self, pattern, value, expect_match, expected_group):
+        result = reference_match(pattern, value)
+        assert result.matched == expect_match
+        if expect_match and expected_group is not None:
+            assert result.constrained_value == expected_group
+
+    @pytest.mark.parametrize("pattern, value, expect_match, expected_group", CASES)
+    def test_reference_agrees_with_compiled(self, pattern, value, expect_match, expected_group):
+        compiled = compile_pattern(pattern).match(value)
+        reference = reference_match(pattern, value)
+        assert compiled.matched == reference.matched
+
+    def test_backtracking_through_star(self):
+        # The star must give characters back for the suffix to match.
+        result = reference_match(r"\A*ab", "xxxab")
+        assert result.matched

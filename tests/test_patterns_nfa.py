@@ -1,0 +1,107 @@
+"""Tests for NFA construction, determinization, and language comparison."""
+
+import pytest
+
+from repro.patterns.nfa import (
+    determinize,
+    example_string,
+    language_contains,
+    language_equivalent,
+    language_nonempty_intersection,
+    pattern_to_nfa,
+    symbolic_alphabet,
+)
+from repro.patterns.parser import parse_pattern
+
+
+class TestNFAAcceptance:
+    @pytest.mark.parametrize(
+        "pattern, accepted, rejected",
+        [
+            (r"\D{5}", ["90001", "12345"], ["9000", "900012", "9000a"]),
+            (r"900\D{2}", ["90001", "90099"], ["60601", "900", "9000x"]),
+            (r"\LU\LL*\ \A*", ["John Charles", "Li Wei"], ["john x", "JOHN x"]),
+            (r"\LL+", ["a", "abc"], ["", "aB", "1"]),
+            (r"\D{2,4}", ["12", "123", "1234"], ["1", "12345"]),
+            (r"a*b", ["b", "ab", "aaab"], ["a", "", "ba"]),
+        ],
+    )
+    def test_acceptance(self, pattern, accepted, rejected):
+        nfa = pattern_to_nfa(pattern)
+        for value in accepted:
+            assert nfa.accepts(value), f"{pattern} should accept {value!r}"
+        for value in rejected:
+            assert not nfa.accepts(value), f"{pattern} should reject {value!r}"
+
+    def test_nfa_agrees_with_regex_matcher(self):
+        from repro.patterns.matcher import matches
+
+        patterns = [r"\D{5}", r"900\D{2}", r"\LU\LL*\ \A*", r"\LL+\D*", r"a{2,3}b*"]
+        values = ["90001", "900", "John Charles", "abc123", "aab", "aaabbb", "", "x Y"]
+        for pattern in patterns:
+            nfa = pattern_to_nfa(pattern)
+            for value in values:
+                assert nfa.accepts(value) == matches(pattern, value)
+
+
+class TestDeterminization:
+    def test_dfa_accepts_same_language_on_symbols(self):
+        pattern = parse_pattern(r"90\D*")
+        alphabet = symbolic_alphabet([pattern])
+        dfa = determinize(pattern_to_nfa(pattern), alphabet)
+        # Find indices of the literals and the digit residual.
+        index_9 = next(i for i, s in enumerate(alphabet) if s.kind == "lit" and s.char == "9")
+        index_0 = next(i for i, s in enumerate(alphabet) if s.kind == "lit" and s.char == "0")
+        digit_residual = next(
+            i for i, s in enumerate(alphabet) if s.kind == "residual" and s.base.name == "DIGIT"
+        )
+        assert dfa.accepts_symbols([index_9, index_0])
+        assert dfa.accepts_symbols([index_9, index_0, digit_residual, digit_residual])
+        assert not dfa.accepts_symbols([index_0, index_9])
+
+
+class TestContainment:
+    def test_fixed_length_contained_in_star(self):
+        assert language_contains(r"\D*", r"\D{5}")
+        assert not language_contains(r"\D{5}", r"\D*")
+
+    def test_constant_contained_in_class(self):
+        assert language_contains(r"\D{5}", r"900\D{2}")
+        assert not language_contains(r"900\D{2}", r"\D{5}")
+
+    def test_any_star_contains_everything(self):
+        for pattern in (r"\D{5}", r"John\ \A*", r"\LU\LL*", "xyz"):
+            assert language_contains(r"\A*", pattern)
+
+    def test_disjoint_classes(self):
+        assert not language_contains(r"\LL+", r"\D+")
+        assert not language_contains(r"\D+", r"\LL+")
+
+    def test_name_patterns(self):
+        assert language_contains(r"\LU\LL*\ \A*", r"John\ \A*")
+        assert not language_contains(r"John\ \A*", r"\LU\LL*\ \A*")
+
+    def test_equivalence(self):
+        assert language_equivalent(r"\D{2}\D{3}", r"\D{5}")
+        assert language_equivalent(r"\LL\LL*", r"\LL+")
+        assert not language_equivalent(r"\D{5}", r"\D{4}")
+
+    def test_containment_reflexive(self):
+        for pattern in (r"\D{5}", r"John\ \A*", r"\A*", r"\LU\LL{2,7}"):
+            assert language_contains(pattern, pattern)
+
+
+class TestIntersectionAndExamples:
+    def test_nonempty_intersection(self):
+        assert language_nonempty_intersection(r"\D{5}", r"900\A*")
+        assert language_nonempty_intersection(r"\A*", r"\LL+")
+        assert not language_nonempty_intersection(r"\D{5}", r"\LU+")
+        assert not language_nonempty_intersection(r"\D{3}", r"\D{5}")
+
+    def test_example_string_matches_its_pattern(self):
+        from repro.patterns.matcher import matches
+
+        for pattern in (r"\D{5}", r"900\D{2}", r"{{John\ }}\A*", r"\LU\LL+\ \A*", r"CHEMBL\D+"):
+            witness = example_string(pattern)
+            assert witness is not None
+            assert matches(pattern, witness)

@@ -1,0 +1,135 @@
+"""Tests for the pattern parser (repro.patterns.parser)."""
+
+import pytest
+
+from repro.exceptions import PatternError, PatternSyntaxError
+from repro.patterns.alphabet import CharClass
+from repro.patterns.ast import ClassAtom, ConstrainedGroup, Literal, Pattern, Repeat
+from repro.patterns.parser import parse_pattern, try_parse_pattern
+
+
+class TestBasicAtoms:
+    def test_literal_characters(self):
+        pattern = parse_pattern("abc")
+        assert pattern.elements == (Literal("a"), Literal("b"), Literal("c"))
+
+    def test_class_escapes(self):
+        pattern = parse_pattern(r"\A\LU\LL\D\S")
+        classes = [element.cls for element in pattern.elements]
+        assert classes == [
+            CharClass.ANY,
+            CharClass.UPPER,
+            CharClass.LOWER,
+            CharClass.DIGIT,
+            CharClass.SYMBOL,
+        ]
+
+    def test_escaped_space_is_literal(self):
+        pattern = parse_pattern(r"John\ Smith")
+        assert Literal(" ") in pattern.elements
+
+    def test_escaped_backslash(self):
+        pattern = parse_pattern(r"\\")
+        assert pattern.elements == (Literal("\\"),)
+
+
+class TestQuantifiers:
+    def test_star(self):
+        pattern = parse_pattern(r"\A*")
+        assert pattern.elements == (Repeat(ClassAtom(CharClass.ANY), 0, None),)
+
+    def test_plus(self):
+        pattern = parse_pattern(r"\D+")
+        assert pattern.elements == (Repeat(ClassAtom(CharClass.DIGIT), 1, None),)
+
+    def test_fixed_count(self):
+        pattern = parse_pattern(r"\D{5}")
+        assert pattern.elements == (Repeat(ClassAtom(CharClass.DIGIT), 5, 5),)
+
+    def test_bounded_range(self):
+        pattern = parse_pattern(r"\LL{2,4}")
+        assert pattern.elements == (Repeat(ClassAtom(CharClass.LOWER), 2, 4),)
+
+    def test_open_range(self):
+        pattern = parse_pattern(r"\LL{3,}")
+        assert pattern.elements == (Repeat(ClassAtom(CharClass.LOWER), 3, None),)
+
+    def test_quantifier_on_literal(self):
+        pattern = parse_pattern("x{3}")
+        assert pattern.elements == (Repeat(Literal("x"), 3, 3),)
+
+
+class TestConstrainedGroups:
+    def test_simple_group(self):
+        pattern = parse_pattern(r"{{900}}\D{2}")
+        assert isinstance(pattern.elements[0], ConstrainedGroup)
+        assert pattern.elements[0].elements == (Literal("9"), Literal("0"), Literal("0"))
+
+    def test_group_with_classes(self):
+        pattern = parse_pattern(r"{{\LU\LL*\ }}\A*")
+        group = pattern.constrained_group
+        assert group is not None
+        assert len(group.elements) == 3
+
+    def test_group_containing_braced_repeat(self):
+        pattern = parse_pattern(r"{{\D{3}}}\D{2}")
+        group = pattern.constrained_group
+        assert group.elements == (Repeat(ClassAtom(CharClass.DIGIT), 3, 3),)
+        assert pattern.elements[1] == Repeat(ClassAtom(CharClass.DIGIT), 2, 2)
+
+    def test_group_in_the_middle(self):
+        pattern = parse_pattern(r"\A*{{Donald}}\A*")
+        assert pattern.constrained_group_index == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "{{",           # unterminated group
+            "{{}}",         # empty group
+            "}}",           # close without open
+            "*",            # dangling quantifier
+            "+abc",         # dangling quantifier at start
+            "a{",           # broken repetition
+            "a{x}",         # non-numeric repetition
+            "a{2,1}x" ,     # max < min
+            "{{a{{b}}}}",   # nested group
+            "\\",           # dangling escape
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        # Structural errors (e.g. max < min) surface as PatternError, pure
+        # syntax errors as its subclass PatternSyntaxError.
+        with pytest.raises(PatternError):
+            parse_pattern(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(PatternSyntaxError) as excinfo:
+            parse_pattern("ab*+")
+        assert excinfo.value.pattern == "ab*+"
+        assert excinfo.value.position >= 0
+
+    def test_try_parse_returns_none(self):
+        assert try_parse_pattern("{{") is None
+        assert try_parse_pattern("abc") is not None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            r"{{900}}\D{2}",
+            r"{{John\ }}\A*",
+            r"{{\LU\LL*\ }}\A*",
+            r"\D{3}\ \D{2}",
+            r"\A*{{Donald}}\A*",
+            r"\LL{2,4}x+",
+            r"CHEMBL\D+",
+        ],
+    )
+    def test_parse_serialize_parse(self, text):
+        first = parse_pattern(text)
+        serialized = first.to_pattern_string()
+        second = parse_pattern(serialized)
+        assert first == second

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the pattern engine.
+
+Invariants checked:
+
+* the compiled (regex-backed) matcher and the reference backtracking matcher
+  agree on every (pattern, string) pair drawn from a pattern generator;
+* parse/serialize round-trips preserve the AST;
+* strings generated *from* a pattern always match it;
+* language containment decisions are consistent with membership of witness
+  strings;
+* induced patterns cover the strings they were induced from.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns.alphabet import CharClass
+from repro.patterns.ast import ClassAtom, ConstrainedGroup, Literal, Pattern, Repeat
+from repro.patterns.induction import induce_pattern
+from repro.patterns.matcher import compile_pattern, reference_match
+from repro.patterns.nfa import language_contains, pattern_to_nfa
+from repro.patterns.parser import parse_pattern
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+_LITERAL_CHARS = "ABCabc01 -"
+
+
+def _atoms() -> st.SearchStrategy:
+    literal = st.sampled_from(list(_LITERAL_CHARS)).map(Literal)
+    cls = st.sampled_from(list(CharClass)).map(ClassAtom)
+    return st.one_of(literal, cls)
+
+
+def _elements() -> st.SearchStrategy:
+    def to_repeat(args):
+        atom, kind, count = args
+        if kind == "plain":
+            return atom
+        if kind == "star":
+            return Repeat(atom, 0, None)
+        if kind == "plus":
+            return Repeat(atom, 1, None)
+        return Repeat(atom, count, count)
+
+    return st.tuples(
+        _atoms(),
+        st.sampled_from(["plain", "star", "plus", "fixed"]),
+        st.integers(min_value=1, max_value=3),
+    ).map(to_repeat)
+
+
+@st.composite
+def patterns(draw, with_group: bool = True) -> Pattern:
+    elements = draw(st.lists(_elements(), min_size=1, max_size=5))
+    if with_group and draw(st.booleans()):
+        split = draw(st.integers(min_value=1, max_value=len(elements)))
+        group = ConstrainedGroup(tuple(elements[:split]))
+        return Pattern((group,) + tuple(elements[split:]))
+    return Pattern(tuple(elements))
+
+
+def _sample_string(pattern: Pattern, rng: random.Random) -> str:
+    """Generate a random string from the pattern's language."""
+    alphabet = {
+        CharClass.ANY: "Aa0 -z9",
+        CharClass.UPPER: "ABCXYZ",
+        CharClass.LOWER: "abcxyz",
+        CharClass.DIGIT: "0123456789",
+        CharClass.SYMBOL: " -_.,",
+    }
+
+    def atom_char(atom) -> str:
+        if isinstance(atom, Literal):
+            return atom.char
+        return rng.choice(alphabet[atom.cls])
+
+    parts: list[str] = []
+    for element in pattern.flattened_elements():
+        if isinstance(element, Repeat):
+            low = element.min_count
+            high = element.max_count if element.max_count is not None else low + rng.randint(0, 3)
+            count = rng.randint(low, max(low, high))
+            parts.append("".join(atom_char(element.atom) for _ in range(count)))
+        else:
+            parts.append(atom_char(element))
+    return "".join(parts)
+
+
+_random_strings = st.text(alphabet=_LITERAL_CHARS + "XYZxyz789.", max_size=12)
+
+
+# --------------------------------------------------------------------------
+# Properties
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(pattern=patterns(), value=_random_strings)
+def test_compiled_and_reference_matchers_agree(pattern, value):
+    compiled = compile_pattern(pattern).match(value)
+    reference = reference_match(pattern, value)
+    assert compiled.matched == reference.matched
+    if compiled.matched and pattern.has_constrained_group:
+        # Both engines are greedy, so the captured group must agree too.
+        assert compiled.constrained_value == reference.constrained_value
+
+
+@settings(max_examples=150, deadline=None)
+@given(pattern=patterns())
+def test_parse_serialize_roundtrip(pattern):
+    assert parse_pattern(pattern.to_pattern_string()) == pattern
+
+
+@settings(max_examples=120, deadline=None)
+@given(pattern=patterns(), seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_strings_match_their_pattern(pattern, seed):
+    value = _sample_string(pattern, random.Random(seed))
+    assert compile_pattern(pattern).matches(value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=patterns(with_group=False), seed=st.integers(min_value=0, max_value=10_000))
+def test_nfa_agrees_with_regex_on_generated_strings(pattern, seed):
+    value = _sample_string(pattern, random.Random(seed))
+    assert pattern_to_nfa(pattern).accepts(value)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=patterns(with_group=False), seed=st.integers(min_value=0, max_value=10_000))
+def test_every_pattern_is_contained_in_any_star(pattern, seed):
+    assert language_contains(r"\A*", pattern)
+    value = _sample_string(pattern, random.Random(seed))
+    assert compile_pattern(r"\A*").matches(value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.text(alphabet="ABCabc019- ", min_size=1, max_size=8), min_size=1, max_size=6
+    )
+)
+def test_induced_pattern_covers_inputs(values):
+    pattern = induce_pattern(values)
+    if pattern is None:
+        return
+    compiled = compile_pattern(pattern)
+    for value in values:
+        if value:
+            assert compiled.matches(value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.text(alphabet="ABCabc019-, ", max_size=14))
+def test_wildcard_cell_pattern_matches_everything(value):
+    from repro.core.tableau import WILDCARD, effective_pattern
+
+    assert compile_pattern(effective_pattern(WILDCARD)).matches(value)
