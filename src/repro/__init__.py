@@ -34,8 +34,19 @@ Quickstart
 
 from .cleaning import detect_errors, inject_errors, repair_errors
 from .constraints import CFD, FD, CellRef, Violation
-from .core import PFD, PatternTableau, PatternTuple, WILDCARD, make_pfd
+from .core import (
+    PFD,
+    PatternTableau,
+    PatternTuple,
+    WILDCARD,
+    load_pfds,
+    make_pfd,
+    pfds_from_json,
+    pfds_to_json,
+    save_pfds,
+)
 from .dataset import Relation, Schema, read_csv, write_csv
+from .engine import DictionaryColumn, PatternEvaluator, default_evaluator
 from .discovery import (
     DiscoveryConfig,
     DiscoveryResult,
@@ -61,9 +72,16 @@ __all__ = [
     "PatternTableau",
     "PatternTuple",
     "WILDCARD",
+    "load_pfds",
     "make_pfd",
+    "pfds_from_json",
+    "pfds_to_json",
+    "save_pfds",
     "Relation",
     "Schema",
+    "DictionaryColumn",
+    "PatternEvaluator",
+    "default_evaluator",
     "read_csv",
     "write_csv",
     "DiscoveryConfig",

@@ -17,6 +17,7 @@ from typing import Iterable, Optional, Sequence
 from ..constraints.base import CellRef, Violation
 from ..core.pfd import PFD
 from ..dataset.relation import Relation
+from ..engine.evaluator import PatternEvaluator
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,18 +75,28 @@ class ErrorDetector:
         Minimum number of violations that must implicate a cell before it is
         reported (1 keeps every suspect; higher values trade recall for
         precision when many overlapping PFDs are supplied).
+    evaluator:
+        Optional shared :class:`PatternEvaluator`; pass the one used during
+        discovery so detection reuses its per-distinct-value match cache.
     """
 
-    def __init__(self, pfds: Sequence[PFD], min_evidence: int = 1):
+    def __init__(
+        self,
+        pfds: Sequence[PFD],
+        min_evidence: int = 1,
+        evaluator: Optional[PatternEvaluator] = None,
+    ):
         self.pfds = list(pfds)
         self.min_evidence = min_evidence
+        # Scoped per detector unless the caller shares one (e.g. discovery's).
+        self.evaluator = evaluator or PatternEvaluator()
 
     def detect(self, relation: Relation) -> DetectionReport:
         """Evaluate every PFD and aggregate suspect cells into a report."""
         all_violations: list[Violation] = []
         evidence: dict[CellRef, list[Violation]] = defaultdict(list)
         for pfd in self.pfds:
-            for violation in pfd.violations(relation):
+            for violation in pfd.violations(relation, evaluator=self.evaluator):
                 all_violations.append(violation)
                 for cell in violation.suspect_cells:
                     evidence[cell].append(violation)
@@ -124,7 +135,12 @@ class ErrorDetector:
 
 
 def detect_errors(
-    relation: Relation, pfds: Sequence[PFD], min_evidence: int = 1
+    relation: Relation,
+    pfds: Sequence[PFD],
+    min_evidence: int = 1,
+    evaluator: Optional[PatternEvaluator] = None,
 ) -> DetectionReport:
     """Convenience wrapper around :class:`ErrorDetector`."""
-    return ErrorDetector(pfds, min_evidence=min_evidence).detect(relation)
+    return ErrorDetector(pfds, min_evidence=min_evidence, evaluator=evaluator).detect(
+        relation
+    )

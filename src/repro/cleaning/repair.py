@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 from ..constraints.base import CellRef
 from ..core.pfd import PFD
 from ..dataset.relation import Relation
+from ..engine.evaluator import PatternEvaluator
 from .detector import DetectionReport, ErrorDetector
 
 
@@ -69,17 +70,26 @@ class Repairer:
         repairs are only reported.
     """
 
-    def __init__(self, pfds: Sequence[PFD], min_evidence: int = 1, dry_run: bool = False):
+    def __init__(
+        self,
+        pfds: Sequence[PFD],
+        min_evidence: int = 1,
+        dry_run: bool = False,
+        evaluator: Optional[PatternEvaluator] = None,
+    ):
         self.pfds = list(pfds)
         self.min_evidence = min_evidence
         self.dry_run = dry_run
+        self.evaluator = evaluator
 
     def repair(
         self, relation: Relation, report: Optional[DetectionReport] = None
     ) -> RepairResult:
         """Detect (unless a report is supplied) and apply repairs."""
         if report is None:
-            report = ErrorDetector(self.pfds, min_evidence=self.min_evidence).detect(relation)
+            report = ErrorDetector(
+                self.pfds, min_evidence=self.min_evidence, evaluator=self.evaluator
+            ).detect(relation)
         target = relation if self.dry_run else relation.copy()
         repairs: list[Repair] = []
         unresolved: list[CellRef] = []
@@ -101,7 +111,10 @@ class Repairer:
 
 
 def repair_errors(
-    relation: Relation, pfds: Sequence[PFD], min_evidence: int = 1
+    relation: Relation,
+    pfds: Sequence[PFD],
+    min_evidence: int = 1,
+    evaluator: Optional[PatternEvaluator] = None,
 ) -> RepairResult:
     """Convenience wrapper around :class:`Repairer`."""
-    return Repairer(pfds, min_evidence=min_evidence).repair(relation)
+    return Repairer(pfds, min_evidence=min_evidence, evaluator=evaluator).repair(relation)

@@ -16,10 +16,13 @@ import sys
 from typing import Optional, Sequence
 
 from .cleaning.detector import detect_errors
+from .core.serialization import load_pfds, save_pfds
 from .dataset.csvio import read_csv
 from .datagen.suite import materialize_suite
 from .discovery.config import DiscoveryConfig
 from .discovery.pfd_discovery import PFDDiscoverer
+from .engine.evaluator import PatternEvaluator
+from .exceptions import ReproError
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -53,14 +56,28 @@ def _command_discover(args: argparse.Namespace) -> int:
         for dependency in result.dependencies:
             print()
             print(dependency.pfd.describe())
+    if args.save:
+        path = save_pfds(args.save, result.pfds)
+        print(f"saved {len(result.pfds)} PFD(s) to {path}")
     return 0
 
 
 def _command_detect(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
-    result = PFDDiscoverer(_config_from_args(args)).discover(relation)
-    report = detect_errors(relation, result.pfds)
+    evaluator = PatternEvaluator()
+    if args.load:
+        pfds = load_pfds(args.load)
+        print(f"loaded {len(pfds)} PFD(s) from {args.load}")
+    else:
+        result = PFDDiscoverer(_config_from_args(args), evaluator=evaluator).discover(
+            relation
+        )
+        pfds = result.pfds
+    report = detect_errors(relation, pfds, evaluator=evaluator)
     print(report.summary())
+    if args.save:
+        path = save_pfds(args.save, pfds)
+        print(f"saved {len(pfds)} PFD(s) to {path}")
     return 0
 
 
@@ -112,11 +129,17 @@ def build_parser() -> argparse.ArgumentParser:
     discover = subparsers.add_parser("discover", help="discover PFDs in a CSV file")
     discover.add_argument("csv", help="path to the input CSV file")
     discover.add_argument("--verbose", action="store_true", help="print full tableaux")
+    discover.add_argument("--save", metavar="PATH",
+                          help="write the discovered PFDs to a JSON file")
     _add_config_arguments(discover)
     discover.set_defaults(handler=_command_discover)
 
     detect = subparsers.add_parser("detect", help="detect errors in a CSV file using discovered PFDs")
     detect.add_argument("csv", help="path to the input CSV file")
+    detect.add_argument("--load", metavar="PATH",
+                        help="load PFDs from a JSON file instead of discovering them")
+    detect.add_argument("--save", metavar="PATH",
+                        help="write the PFDs used for detection to a JSON file")
     _add_config_arguments(detect)
     detect.set_defaults(handler=_command_detect)
 
@@ -139,7 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,7 @@ shared :class:`~repro.constraints.base.Violation` objects.
 
 from ..constraints.base import CellRef, Violation
 from .pfd import PFD, RowStatistics, make_pfd
+from .serialization import load_pfds, pfds_from_json, pfds_to_json, save_pfds
 from .tableau import (
     WILDCARD,
     CellSpec,
@@ -22,6 +23,10 @@ __all__ = [
     "PFD",
     "RowStatistics",
     "make_pfd",
+    "load_pfds",
+    "pfds_from_json",
+    "pfds_to_json",
+    "save_pfds",
     "WILDCARD",
     "CellSpec",
     "PatternTableau",

@@ -16,6 +16,14 @@ must match the RHS.
 The implementation groups data tuples by their extracted constrained LHS
 values, which makes the check linear in the table size per tableau row
 (instead of quadratic over tuple pairs).
+
+Pattern matching itself is vectorized through :mod:`repro.engine`: every
+tableau cell is matched once per *distinct* column value (via the memoized
+:class:`~repro.engine.evaluator.PatternEvaluator`) and the per-distinct
+results are broadcast to rows through the relation's dictionary-encoded
+columns.  All evaluation entry points accept an optional ``evaluator`` so
+discovery, validation, and detection can share one match cache; when omitted
+the process-wide default evaluator is used.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 from ..constraints.base import CellRef, Violation, embedded_dependency_key
 from ..constraints.fd import FD
 from ..dataset.relation import Relation
+from ..engine.evaluator import PatternEvaluator, default_evaluator
 from ..exceptions import ConstraintError
 from ..patterns.ast import Pattern
 from .tableau import CellSpec, PatternTableau, PatternTuple, Wildcard
@@ -132,39 +141,77 @@ class PFD:
 
     # -- matching helpers ------------------------------------------------------
 
-    def _row_lhs_key(
-        self, relation: Relation, row: PatternTuple, row_id: int
-    ) -> Optional[tuple[str, ...]]:
-        """The extracted constrained LHS values of tuple ``row_id`` for a
-        tableau row, or ``None`` if the tuple does not match the LHS."""
-        key: list[str] = []
-        for attribute in self.lhs:
-            value = relation.cell(row_id, attribute)
-            if not value:
-                return None
-            result = row.compiled(attribute).match(value)
-            if not result.matched:
-                return None
-            # Cells without a constrained part only require matching; they
-            # contribute a constant component to the key.
-            key.append(result.constrained_value if result.constrained_value is not None else "")
-        return tuple(key)
+    def _lhs_keys(
+        self,
+        relation: Relation,
+        row: PatternTuple,
+        evaluator: PatternEvaluator,
+    ) -> dict[int, tuple[str, ...]]:
+        """The extracted constrained LHS key of every tuple matching the LHS
+        of a tableau row, keyed by tuple id (ascending).
 
-    def matching_rows(self, relation: Relation, row: PatternTuple) -> list[int]:
-        """Tuple ids matching every LHS pattern of ``row`` (its support set)."""
-        matching = []
+        Patterns are matched once per distinct column value through the
+        evaluator; the per-distinct key components are then broadcast to rows
+        via the dictionary codes.  A tuple is excluded when any LHS cell is
+        empty or fails its pattern.
+        """
+        per_attribute: list[tuple[list[int], list[Optional[str]]]] = []
+        for attribute in self.lhs:
+            column = relation.dictionary(attribute)
+            match = evaluator.match_column(row.pattern(attribute), column)
+            components: list[Optional[str]] = []
+            for value, result in zip(column.values, match.results):
+                if not value or not result.matched:
+                    components.append(None)
+                else:
+                    # Cells without a constrained part only require matching;
+                    # they contribute a constant component to the key.
+                    components.append(
+                        result.constrained_value
+                        if result.constrained_value is not None
+                        else ""
+                    )
+            per_attribute.append((column.codes, components))
+        keys: dict[int, tuple[str, ...]] = {}
+        if len(per_attribute) == 1:
+            codes, components = per_attribute[0]
+            for row_id, code in enumerate(codes):
+                component = components[code]
+                if component is not None:
+                    keys[row_id] = (component,)
+            return keys
         for row_id in range(relation.row_count):
-            if self._row_lhs_key(relation, row, row_id) is not None:
-                matching.append(row_id)
-        return matching
+            key: list[str] = []
+            for codes, components in per_attribute:
+                component = components[codes[row_id]]
+                if component is None:
+                    break
+                key.append(component)
+            else:
+                keys[row_id] = tuple(key)
+        return keys
+
+    def matching_rows(
+        self,
+        relation: Relation,
+        row: PatternTuple,
+        evaluator: Optional[PatternEvaluator] = None,
+    ) -> list[int]:
+        """Tuple ids matching every LHS pattern of ``row`` (its support set)."""
+        evaluator = evaluator or default_evaluator()
+        return list(self._lhs_keys(relation, row, evaluator))
 
     # -- satisfaction / violations ---------------------------------------------
 
-    def holds_on(self, relation: Relation) -> bool:
+    def holds_on(
+        self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
+    ) -> bool:
         """``T |= ψ``: no tableau row is violated."""
-        return not self.violations(relation)
+        return not self.violations(relation, evaluator=evaluator)
 
-    def violations(self, relation: Relation) -> list[Violation]:
+    def violations(
+        self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
+    ) -> list[Violation]:
         """All violations of the PFD on ``relation``.
 
         Constant rows yield one violation per offending tuple; variable rows
@@ -172,28 +219,36 @@ class PFD:
         marked as suspects, as used by the error-detection experiments).
         """
         relation.schema.validate_attributes(self.attributes())
+        evaluator = evaluator or default_evaluator()
         found: list[Violation] = []
         for row in self.tableau:
             if row.is_constant_row(self.lhs, self.rhs):
-                found.extend(self._constant_row_violations(relation, row))
+                found.extend(self._constant_row_violations(relation, row, evaluator))
             else:
-                found.extend(self._variable_row_violations(relation, row))
+                found.extend(self._variable_row_violations(relation, row, evaluator))
         return found
 
     def _constant_row_violations(
-        self, relation: Relation, row: PatternTuple
+        self, relation: Relation, row: PatternTuple, evaluator: PatternEvaluator
     ) -> list[Violation]:
         found: list[Violation] = []
+        supported = self._lhs_keys(relation, row, evaluator)
+        if not supported:
+            return found
         rhs_expected = {
             attribute: row.pattern(attribute).constant_value() for attribute in self.rhs
         }
-        for row_id in range(relation.row_count):
-            if self._row_lhs_key(relation, row, row_id) is None:
-                continue
+        # Per-code equality against the expected constant, per RHS attribute.
+        rhs_columns = {attribute: relation.dictionary(attribute) for attribute in self.rhs}
+        rhs_equal = {
+            attribute: [value == rhs_expected[attribute] for value in column.values]
+            for attribute, column in rhs_columns.items()
+        }
+        for row_id in supported:
             for attribute in self.rhs:
-                actual = relation.cell(row_id, attribute)
-                expected = rhs_expected[attribute]
-                if actual == expected:
+                column = rhs_columns[attribute]
+                code = column.codes[row_id]
+                if rhs_equal[attribute][code]:
                     continue
                 cells = tuple(
                     CellRef(row_id, attr) for attr in (*self.lhs, attribute)
@@ -204,41 +259,52 @@ class PFD:
                         constraint_repr=f"{self} @ {row.render(self.lhs, self.rhs)}",
                         cells=cells,
                         suspect_cells=(CellRef(row_id, attribute),),
-                        expected_value=expected,
+                        expected_value=rhs_expected[attribute],
                     )
                 )
         return found
 
     def _variable_row_violations(
-        self, relation: Relation, row: PatternTuple
+        self, relation: Relation, row: PatternTuple, evaluator: PatternEvaluator
     ) -> list[Violation]:
         groups: dict[tuple[str, ...], list[int]] = defaultdict(list)
-        for row_id in range(relation.row_count):
-            key = self._row_lhs_key(relation, row, row_id)
-            if key is not None:
-                groups[key].append(row_id)
+        for row_id, key in self._lhs_keys(relation, row, evaluator).items():
+            groups[key].append(row_id)
+        # Variable rows need a pair of LHS-equivalent tuples to witness a
+        # violation; skip the RHS work entirely when no group has one.
+        if not any(len(row_ids) >= 2 for row_ids in groups.values()):
+            return []
+        # Per-code RHS bucket, computed once per attribute (it depends only on
+        # the pattern and the column, not on the LHS group): a tuple that
+        # matches the RHS pattern is bucketed by its constrained value, a
+        # non-matching tuple gets a bucket of its own keyed by the full value.
+        rhs_buckets: dict[str, tuple[list[int], list[tuple[bool, str]]]] = {}
+        for attribute in self.rhs:
+            column = relation.dictionary(attribute)
+            match = evaluator.match_column(row.pattern(attribute), column)
+            bucket_by_code: list[tuple[bool, str]] = []
+            for value, result in zip(column.values, match.results):
+                if result.matched:
+                    bucket_by_code.append(
+                        (
+                            True,
+                            result.constrained_value
+                            if result.constrained_value is not None
+                            else "",
+                        )
+                    )
+                else:
+                    bucket_by_code.append((False, value))
+            rhs_buckets[attribute] = (column.codes, bucket_by_code)
         found: list[Violation] = []
         for key, row_ids in groups.items():
             if len(row_ids) < 2:
                 continue
             for attribute in self.rhs:
-                compiled = row.compiled(attribute)
-                # Partition the group's tuples by their constrained RHS value;
-                # tuples that do not even match the RHS pattern get a bucket
-                # of their own keyed by the full value.
+                codes, bucket_by_code = rhs_buckets[attribute]
                 buckets: dict[tuple[bool, str], list[int]] = defaultdict(list)
                 for row_id in row_ids:
-                    value = relation.cell(row_id, attribute)
-                    result = compiled.match(value)
-                    if result.matched:
-                        extracted = (
-                            result.constrained_value
-                            if result.constrained_value is not None
-                            else ""
-                        )
-                        buckets[(True, extracted)].append(row_id)
-                    else:
-                        buckets[(False, value)].append(row_id)
+                    buckets[bucket_by_code[codes[row_id]]].append(row_id)
                 if len(buckets) < 2:
                     # All tuples agree (or all fail to match in the same way):
                     # the only remaining violation case is a single bucket of
@@ -277,19 +343,22 @@ class PFD:
 
     # -- statistics -------------------------------------------------------------
 
-    def row_statistics(self, relation: Relation) -> list[RowStatistics]:
+    def row_statistics(
+        self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
+    ) -> list[RowStatistics]:
         """Support and violation counts per tableau row."""
+        evaluator = evaluator or default_evaluator()
         statistics: list[RowStatistics] = []
         violations_by_row: dict[PatternTuple, set[int]] = defaultdict(set)
         for row in self.tableau:
             if row.is_constant_row(self.lhs, self.rhs):
-                for violation in self._constant_row_violations(relation, row):
+                for violation in self._constant_row_violations(relation, row, evaluator):
                     violations_by_row[row].update(c.row_id for c in violation.suspect_cells)
             else:
-                for violation in self._variable_row_violations(relation, row):
+                for violation in self._variable_row_violations(relation, row, evaluator):
                     violations_by_row[row].update(c.row_id for c in violation.suspect_cells)
         for row in self.tableau:
-            support = len(self.matching_rows(relation, row))
+            support = len(self.matching_rows(relation, row, evaluator=evaluator))
             statistics.append(
                 RowStatistics(
                     row=row,
@@ -299,30 +368,81 @@ class PFD:
             )
         return statistics
 
-    def support(self, relation: Relation) -> int:
+    def support(
+        self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
+    ) -> int:
         """Number of tuples matched by at least one tableau row's LHS."""
+        evaluator = evaluator or default_evaluator()
         covered: set[int] = set()
         for row in self.tableau:
-            covered.update(self.matching_rows(relation, row))
+            covered.update(self.matching_rows(relation, row, evaluator=evaluator))
         return len(covered)
 
-    def coverage(self, relation: Relation) -> float:
+    def coverage(
+        self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
+    ) -> float:
         """Fraction of tuples matched by at least one tableau row's LHS
         (the *coverage* of restriction (ii) in Section 4.2)."""
         if relation.row_count == 0:
             return 0.0
-        return self.support(relation) / relation.row_count
+        return self.support(relation, evaluator=evaluator) / relation.row_count
 
-    def violation_ratio(self, relation: Relation) -> float:
+    def violation_ratio(
+        self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
+    ) -> float:
         """Fraction of supporting tuples flagged as suspects (the δ of
         restriction (iii))."""
-        support = self.support(relation)
+        evaluator = evaluator or default_evaluator()
+        support = self.support(relation, evaluator=evaluator)
         if support == 0:
             return 0.0
         suspects: set[int] = set()
-        for violation in self.violations(relation):
+        for violation in self.violations(relation, evaluator=evaluator):
             suspects.update(cell.row_id for cell in violation.suspect_cells)
         return len(suspects) / support
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable form of the PFD (inverse of :meth:`from_json_dict`).
+
+        Tableau cells are stored as textual pattern strings (``"⊥"`` for the
+        wildcard), so the file is human-readable and diff-friendly.
+        """
+        return {
+            "relation": self.relation_name,
+            "lhs": list(self.lhs),
+            "rhs": list(self.rhs),
+            "tableau": self.tableau.to_json_rows(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "PFD":
+        """Rebuild a PFD from :meth:`to_json_dict` output.
+
+        ``lhs``/``rhs`` are passed through unchanged so a hand-written
+        document may use a plain string for a single attribute (promoted by
+        the constructor) as well as a list.
+        """
+        return cls(
+            data["lhs"],
+            data["rhs"],
+            PatternTableau.from_json_rows(data["tableau"]),
+            relation_name=data.get("relation", "R"),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string."""
+        import json
+
+        return json.dumps(self.to_json_dict(), ensure_ascii=False, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PFD":
+        """Deserialize from a JSON string produced by :meth:`to_json`."""
+        import json
+
+        return cls.from_json_dict(json.loads(text))
 
     # -- display ------------------------------------------------------------------
 

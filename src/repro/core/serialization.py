@@ -1,0 +1,84 @@
+"""Persisting PFD sets as JSON.
+
+Discovery is the expensive step of the pipeline; detection and repair are
+often re-run on fresh data with the *same* constraints.  These helpers
+round-trip lists of :class:`~repro.core.pfd.PFD` objects through a small,
+versioned JSON document so the CLI (``pfd-discover discover --save`` /
+``detect --load``) and library users can persist discovered constraints and
+reuse them later.
+
+Tableau cells are stored in the textual pattern syntax (``{{900}}\\D{2}``,
+``"⊥"`` for the wildcard), which keeps the files human-readable and makes the
+round trip exact: parsing the pattern string rebuilds the identical AST.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from ..exceptions import ConstraintError, PatternError
+from .pfd import PFD
+
+#: Format marker written into every document; bumped on breaking changes.
+FORMAT = "pfd-set/1"
+
+
+def pfds_to_json(pfds: Sequence[PFD], indent: int = 2) -> str:
+    """Serialize a list of PFDs to a JSON document string."""
+    document = {
+        "format": FORMAT,
+        "pfds": [pfd.to_json_dict() for pfd in pfds],
+    }
+    return json.dumps(document, ensure_ascii=False, indent=indent)
+
+
+def pfds_from_json(text: str) -> list[PFD]:
+    """Deserialize a list of PFDs from a :func:`pfds_to_json` document.
+
+    Raises
+    ------
+    ConstraintError
+        When the document is not valid JSON of the expected shape, the
+        format marker is unsupported, or an entry is malformed.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConstraintError(f"PFD document is not valid JSON: {error}") from error
+    if isinstance(document, list):
+        # Bare list of PFD dicts (lenient: what a user would write by hand).
+        entries: Iterable = document
+    elif isinstance(document, dict):
+        if document.get("format") != FORMAT:
+            raise ConstraintError(
+                f"unsupported PFD document format {document.get('format')!r} "
+                f"(expected {FORMAT!r})"
+            )
+        entries = document.get("pfds")
+        if not isinstance(entries, list):
+            raise ConstraintError("PFD document has no 'pfds' list")
+    else:
+        raise ConstraintError(
+            f"PFD document must be a JSON object or list, "
+            f"got {type(document).__name__}"
+        )
+    try:
+        return [PFD.from_json_dict(entry) for entry in entries]
+    except ConstraintError:
+        raise
+    except (KeyError, TypeError, AttributeError, PatternError) as error:
+        raise ConstraintError(f"malformed PFD entry: {error}") from error
+
+
+def save_pfds(path: Union[str, Path], pfds: Sequence[PFD]) -> Path:
+    """Write a PFD set to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(pfds_to_json(pfds), encoding="utf-8")
+    return path
+
+
+def load_pfds(path: Union[str, Path]) -> list[PFD]:
+    """Read a PFD set previously written by :func:`save_pfds`."""
+    return pfds_from_json(Path(path).read_text(encoding="utf-8"))

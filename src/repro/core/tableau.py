@@ -169,6 +169,34 @@ class PatternTuple:
                 return False
         return True
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_json_dict(self) -> dict[str, str]:
+        """JSON-serializable form: attribute → pattern string (``"⊥"`` for
+        the wildcard).  Inverse of :meth:`from_json_dict`."""
+        return {
+            name: "⊥" if isinstance(value, Wildcard) else value.to_pattern_string()
+            for name, value in self.cells
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, str]) -> "PatternTuple":
+        """Rebuild a row from :meth:`to_json_dict` output.
+
+        Unlike the lenient :func:`resolve_cell` (which also accepts ``"_"``
+        and ``""`` as wildcard aliases for hand-written literals), only the
+        exact ``"⊥"`` marker deserializes to the wildcard here — a stored
+        pattern string such as the literal ``"_"`` must round-trip to the
+        pattern that matches only ``"_"``, not to match-anything.
+        """
+        resolved: dict[str, Union[Pattern, Wildcard]] = {}
+        for name, text in data.items():
+            if text == "⊥":
+                resolved[name] = WILDCARD
+            else:
+                resolved[name] = parse_pattern(text)
+        return cls(tuple(sorted(resolved.items(), key=lambda item: item[0])))
+
     # -- display ---------------------------------------------------------------
 
     def render(self, lhs: Sequence[str], rhs: Sequence[str]) -> str:
@@ -234,6 +262,18 @@ class PatternTableau:
     def extend(self, rows: Iterable[Union[PatternTuple, Mapping[str, CellSpec]]]) -> None:
         for row in rows:
             self.add(row)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json_rows(self) -> list[dict[str, str]]:
+        """JSON-serializable form: one attribute → pattern-string dict per
+        row.  Inverse of :meth:`from_json_rows`."""
+        return [row.to_json_dict() for row in self._rows]
+
+    @classmethod
+    def from_json_rows(cls, rows: Iterable[Mapping[str, str]]) -> "PatternTableau":
+        """Rebuild a tableau from :meth:`to_json_rows` output."""
+        return cls(PatternTuple.from_json_dict(row) for row in rows)
 
     # -- validation ---------------------------------------------------------------
 

@@ -96,12 +96,14 @@ class PatternIndex:
 
     def _build_attribute(self, attribute: str) -> AttributeIndex:
         strategy = self.profile.strategy(attribute)
-        values = self.relation.column(attribute)
+        dictionary = self.relation.dictionary(attribute)
         max_gram = self.profile.column(attribute).max_length
-        entries: dict[PartKey, list[int]] = defaultdict(list)
-        row_parts: dict[int, list[PartKey]] = defaultdict(list)
-        for row_id, value in enumerate(values):
+        # Parts are a function of the cell value alone, so extract them once
+        # per *distinct* value and broadcast to rows through the codes.
+        keys_by_code: list[list[PartKey]] = []
+        for value in dictionary.values:
             if not value:
+                keys_by_code.append([])
                 continue
             parts = extract_parts(
                 value,
@@ -110,13 +112,23 @@ class PatternIndex:
                 prefixes_only=self.prefixes_only,
             )
             seen_keys: set[PartKey] = set()
+            keys: list[PartKey] = []
             for part in parts:
                 key = self._part_key(part)
                 if key in seen_keys:
                     continue
                 seen_keys.add(key)
+                keys.append(key)
+            keys_by_code.append(keys)
+        entries: dict[PartKey, list[int]] = defaultdict(list)
+        row_parts: dict[int, list[PartKey]] = {}
+        for row_id, code in enumerate(dictionary.codes):
+            keys = keys_by_code[code]
+            if not keys:
+                continue
+            row_parts[row_id] = keys
+            for key in keys:
                 entries[key].append(row_id)
-                row_parts[row_id].append(key)
         if self.prune_substrings:
             entries, row_parts = _prune_dominated_entries(entries, row_parts)
         return AttributeIndex(

@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from ..engine.dictionary import DictionaryColumn
 from ..exceptions import SchemaError
 from .schema import Attribute, AttributeRole, Schema
 
@@ -40,6 +41,7 @@ class Relation:
         lengths = {len(column) for column in self._columns.values()}
         if len(lengths) > 1:
             raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
+        self._dictionaries: dict[str, DictionaryColumn] = {}
 
     # -- constructors -------------------------------------------------------
 
@@ -104,6 +106,22 @@ class Relation:
         self.schema.position(name)
         return self._columns[name]
 
+    def dictionary(self, name: str) -> DictionaryColumn:
+        """The dictionary encoding of column ``name``.
+
+        Built lazily on first use and cached; :meth:`append_row` and
+        :meth:`set_cell` invalidate the cache, so the returned object always
+        reflects the current column contents.  Everything downstream (the
+        pattern index, PFD validation, error detection) keys its memoized
+        per-distinct-value work on the returned object's identity.
+        """
+        self.schema.position(name)
+        cached = self._dictionaries.get(name)
+        if cached is None:
+            cached = DictionaryColumn.from_values(self._columns[name], attribute=name)
+            self._dictionaries[name] = cached
+        return cached
+
     def cell(self, row_id: int, name: str) -> str:
         """The value of attribute ``name`` in tuple ``row_id``."""
         return self._columns[name][row_id]
@@ -139,12 +157,14 @@ class Relation:
             values = [_normalize_cell(value) for value in row]
         for name, value in zip(self.schema.attribute_names, values):
             self._columns[name].append(value)
+        self._dictionaries.clear()
         return self.row_count - 1
 
     def set_cell(self, row_id: int, name: str, value: object) -> None:
         """Overwrite one cell (used by error injection and repair)."""
         self.schema.position(name)
         self._columns[name][row_id] = _normalize_cell(value)
+        self._dictionaries.pop(name, None)
 
     # -- derivation ----------------------------------------------------------
 

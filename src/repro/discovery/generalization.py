@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 from ..core.pfd import PFD
 from ..core.tableau import PatternTableau, PatternTuple, WILDCARD, Wildcard
 from ..dataset.relation import Relation
+from ..engine.evaluator import PatternEvaluator
 from ..patterns.ast import ClassAtom, ConstrainedGroup, Pattern, Repeat
 from ..patterns.alphabet import CharClass
 from ..patterns.induction import induce_pattern
@@ -118,6 +119,7 @@ def generalize_tableau(
     tableau: PatternTableau,
     config: DiscoveryConfig,
     relation_name: Optional[str] = None,
+    evaluator: Optional[PatternEvaluator] = None,
 ) -> GeneralizationOutcome:
     """Attempt to replace a constant tableau with a single variable row.
 
@@ -196,10 +198,10 @@ def generalize_tableau(
         PatternTableau([PatternTuple.from_mapping(cells)]),
         relation_name,
     )
-    support = candidate.support(relation)
+    support = candidate.support(relation, evaluator=evaluator)
     if support < config.min_support:
         return GeneralizationOutcome(None, support=support)
-    ratio = candidate.violation_ratio(relation)
+    ratio = candidate.violation_ratio(relation, evaluator=evaluator)
     if ratio > config.effective_generalization_noise:
         return GeneralizationOutcome(None, violation_ratio=ratio, support=support)
     return GeneralizationOutcome(candidate, violation_ratio=ratio, support=support)

@@ -32,6 +32,7 @@ from ..core.tableau import PatternTableau, PatternTuple
 from ..dataset.index import PatternIndex
 from ..dataset.profiler import TableProfile, profile_relation
 from ..dataset.relation import Relation
+from ..engine.evaluator import PatternEvaluator
 from ..patterns.ast import (
     ClassAtom,
     ConstrainedGroup,
@@ -119,8 +120,17 @@ class PFDDiscoverer:
     ...     print(dependency.pfd.describe())
     """
 
-    def __init__(self, config: Optional[DiscoveryConfig] = None):
+    def __init__(
+        self,
+        config: Optional[DiscoveryConfig] = None,
+        evaluator: Optional[PatternEvaluator] = None,
+    ):
         self.config = config or DiscoveryConfig()
+        # One shared evaluator: candidate validation (generalization) and any
+        # downstream detection on the same relation reuse one match cache.
+        # Scoped to this discoverer (not the process-wide default) so the many
+        # throwaway candidate patterns of discovery don't accumulate globally.
+        self.evaluator = evaluator or PatternEvaluator()
 
     # -- public API ----------------------------------------------------------
 
@@ -193,7 +203,13 @@ class PFDDiscoverer:
 
         if config.generalize:
             outcome = generalize_tableau(
-                relation, lhs, (rhs,), tableau, config, relation_name=relation.name
+                relation,
+                lhs,
+                (rhs,),
+                tableau,
+                config,
+                relation_name=relation.name,
+                evaluator=self.evaluator,
             )
             if outcome.succeeded and outcome.pfd is not None:
                 return DiscoveredDependency(
@@ -443,7 +459,9 @@ class PFDDiscoverer:
 
 
 def discover_pfds(
-    relation: Relation, config: Optional[DiscoveryConfig] = None
+    relation: Relation,
+    config: Optional[DiscoveryConfig] = None,
+    evaluator: Optional[PatternEvaluator] = None,
 ) -> DiscoveryResult:
     """Module-level convenience wrapper around :class:`PFDDiscoverer`."""
-    return PFDDiscoverer(config).discover(relation)
+    return PFDDiscoverer(config, evaluator=evaluator).discover(relation)

@@ -22,6 +22,7 @@ from typing import Callable, Mapping, Optional, Sequence
 from ..core.pfd import PFD
 from ..core.tableau import Wildcard
 from ..dataset.relation import Relation
+from ..engine.evaluator import PatternEvaluator
 from .pfd_discovery import DiscoveredDependency
 
 
@@ -43,6 +44,7 @@ def score_dependency(
     coverage_weight: float = 0.5,
     compactness_weight: float = 0.2,
     cleanliness_weight: float = 0.3,
+    evaluator: Optional[PatternEvaluator] = None,
 ) -> DependencyScore:
     """Interpretable quality score in ``[0, 1]``.
 
@@ -52,7 +54,7 @@ def score_dependency(
     coverage = dependency.coverage
     tableau_size = len(dependency.pfd.tableau)
     compactness = 1.0 / tableau_size
-    violation_ratio = dependency.pfd.violation_ratio(relation)
+    violation_ratio = dependency.pfd.violation_ratio(relation, evaluator=evaluator)
     cleanliness = 1.0 - violation_ratio
     score = (
         coverage_weight * coverage
@@ -72,9 +74,13 @@ def score_dependency(
 def rank_dependencies(
     dependencies: Sequence[DiscoveredDependency],
     relation: Relation,
+    evaluator: Optional[PatternEvaluator] = None,
 ) -> list[DependencyScore]:
     """Dependencies ordered from most to least trustworthy."""
-    scored = [score_dependency(dependency, relation) for dependency in dependencies]
+    scored = [
+        score_dependency(dependency, relation, evaluator=evaluator)
+        for dependency in dependencies
+    ]
     scored.sort(key=lambda item: (-item.score, -item.support))
     return scored
 
@@ -108,6 +114,7 @@ def validate_against_oracle(
     relation: Relation,
     oracle: Callable[[str], Optional[str]],
     dependency_name: str = "",
+    evaluator: Optional[PatternEvaluator] = None,
 ) -> ValidationReport:
     """Validate the constant rows of ``pfd`` against a ground-truth oracle.
 
@@ -134,7 +141,7 @@ def validate_against_oracle(
         pfd_count += 1
         if expected is not None and expected == rhs_cell.constant_value():
             correct += 1
-        covered.update(pfd.matching_rows(relation, row))
+        covered.update(pfd.matching_rows(relation, row, evaluator=evaluator))
     return ValidationReport(
         dependency_name=dependency_name or f"{lhs} -> {rhs}",
         pfd_count=pfd_count,

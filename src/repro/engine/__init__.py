@@ -1,0 +1,28 @@
+"""The vectorized evaluation core.
+
+Pattern evaluation in this library is dominated by one operation: matching a
+compiled pattern against every cell of a column.  Real tables are dominated
+by *repeated* cell values, so the engine evaluates patterns per **distinct**
+value and broadcasts the results back to row ids through a dictionary
+encoding — the standard analytical-engine layout (dictionary-encoded columns
++ scans over codes) applied to the paper's workloads:
+
+* :class:`~repro.engine.dictionary.DictionaryColumn` — a column's distinct
+  values plus a compact integer code per row (built lazily and cached on
+  :class:`~repro.dataset.relation.Relation`);
+* :class:`~repro.engine.evaluator.PatternEvaluator` — a memoized batch
+  matcher whose :meth:`~repro.engine.evaluator.PatternEvaluator.match_column`
+  issues at most one :meth:`~repro.patterns.matcher.CompiledPattern.match`
+  call per (pattern, distinct value) pair and shares the results between
+  discovery, validation, and error detection.
+"""
+
+from .dictionary import DictionaryColumn
+from .evaluator import ColumnMatch, PatternEvaluator, default_evaluator
+
+__all__ = [
+    "DictionaryColumn",
+    "ColumnMatch",
+    "PatternEvaluator",
+    "default_evaluator",
+]

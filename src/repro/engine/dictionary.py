@@ -1,0 +1,132 @@
+"""Dictionary encoding of string columns.
+
+A :class:`DictionaryColumn` stores a column once as its distinct values (the
+*dictionary*) plus one integer code per row.  Anything that is a function of
+the cell value alone — pattern matching, part extraction, equality against a
+constant — can then be computed per distinct value and broadcast to rows
+through the codes, which is the whole point of the engine: per-row work
+becomes per-*distinct*-value work.
+
+The class is deliberately standalone (it knows nothing about relations,
+schemas, or patterns) so that the dataset and core layers can depend on it
+without cycles.  Relations build and cache one instance per column via
+:meth:`repro.dataset.relation.Relation.dictionary` and invalidate the cache
+on mutation; everything downstream treats a ``DictionaryColumn`` as
+immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+class DictionaryColumn:
+    """Distinct values of a column plus a per-row integer code.
+
+    Attributes
+    ----------
+    attribute:
+        The column name (informational only).
+    values:
+        The distinct cell values in first-seen order; ``values[codes[i]]`` is
+        the cell value of row ``i``.
+    codes:
+        One code per row, indexing into ``values``.
+    """
+
+    __slots__ = (
+        "attribute",
+        "values",
+        "codes",
+        "_code_of",
+        "_rows_by_code",
+        "_counts",
+        "__weakref__",
+    )
+
+    def __init__(self, values: Sequence[str], codes: Sequence[int], attribute: str = ""):
+        self.attribute = attribute
+        self.values: tuple[str, ...] = tuple(values)
+        self.codes: list[int] = list(codes)
+        self._code_of: Optional[dict[str, int]] = None
+        self._rows_by_code: Optional[list[list[int]]] = None
+        self._counts: Optional[list[int]] = None
+
+    @classmethod
+    def from_values(cls, cells: Iterable[str], attribute: str = "") -> "DictionaryColumn":
+        """Encode a raw column (one string per row)."""
+        code_of: dict[str, int] = {}
+        codes: list[int] = []
+        for cell in cells:
+            code = code_of.get(cell)
+            if code is None:
+                code = len(code_of)
+                code_of[cell] = code
+            codes.append(code)
+        column = cls(tuple(code_of), codes, attribute=attribute)
+        column._code_of = code_of
+        return column
+
+    # -- size ----------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return len(self.codes)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    # -- lookup --------------------------------------------------------------
+
+    def value_of_row(self, row_id: int) -> str:
+        """The cell value of row ``row_id`` (decoded through the dictionary)."""
+        return self.values[self.codes[row_id]]
+
+    def code_of(self, value: str) -> Optional[int]:
+        """The code of ``value``, or ``None`` if the value does not occur."""
+        if self._code_of is None:
+            self._code_of = {v: code for code, v in enumerate(self.values)}
+        return self._code_of.get(value)
+
+    def rows_by_code(self) -> list[list[int]]:
+        """Row ids per code, each list in ascending order (built lazily)."""
+        if self._rows_by_code is None:
+            rows: list[list[int]] = [[] for _ in self.values]
+            for row_id, code in enumerate(self.codes):
+                rows[code].append(row_id)
+            self._rows_by_code = rows
+        return self._rows_by_code
+
+    def counts(self) -> list[int]:
+        """Number of rows per code (built lazily)."""
+        if self._counts is None:
+            counts = [0] * len(self.values)
+            for code in self.codes:
+                counts[code] += 1
+            self._counts = counts
+        return self._counts
+
+    def broadcast_codes(self, accepted: Sequence[bool]) -> list[int]:
+        """Row ids whose code is accepted, in ascending order.
+
+        ``accepted`` is a per-code mask (``accepted[code]`` truthy keeps the
+        rows carrying that code).
+        """
+        return [row_id for row_id, code in enumerate(self.codes) if accepted[code]]
+
+    @property
+    def duplication_factor(self) -> float:
+        """Average number of rows per distinct value (1.0 = all unique)."""
+        if not self.values:
+            return 1.0
+        return len(self.codes) / len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DictionaryColumn({self.attribute!r}, rows={self.row_count}, "
+            f"distinct={self.distinct_count})"
+        )

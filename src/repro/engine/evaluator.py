@@ -1,0 +1,160 @@
+"""Memoized batch pattern matching over dictionary-encoded columns.
+
+:meth:`PatternEvaluator.match_column` matches one pattern against every
+*distinct* value of a :class:`~repro.engine.dictionary.DictionaryColumn` and
+memoizes the resulting :class:`ColumnMatch`.  Consumers broadcast the
+per-distinct results to rows through the column's codes, so a (pattern,
+column) pair costs at most one :meth:`CompiledPattern.match` call per
+distinct value, ever — no matter how many tableau rows, candidate
+dependencies, or detection passes re-evaluate it.
+
+The cache is keyed weakly by the ``DictionaryColumn`` object: relations drop
+(and re-create) their cached dictionaries on mutation, so a stale entry can
+never be observed, and dictionaries of dead relations are evicted
+automatically.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Union
+
+from ..patterns.ast import Pattern
+from ..patterns.matcher import CompiledPattern, MatchResult, compile_pattern
+from .dictionary import DictionaryColumn
+
+PatternLike = Union[Pattern, str, CompiledPattern]
+
+
+class ColumnMatch:
+    """Per-distinct-value match results of one pattern on one column.
+
+    ``results[code]`` is the :class:`MatchResult` of the pattern on
+    ``column.values[code]``.  The column is referenced weakly so that a
+    cached ``ColumnMatch`` never pins its (possibly discarded) column — the
+    evaluator's weak-keyed memo can evict entries of dead relations.
+    """
+
+    __slots__ = ("_column_ref", "compiled", "results")
+
+    def __init__(
+        self,
+        column: DictionaryColumn,
+        compiled: CompiledPattern,
+        results: tuple[MatchResult, ...],
+    ):
+        self._column_ref = weakref.ref(column)
+        self.compiled = compiled
+        self.results = results
+
+    @property
+    def column(self) -> DictionaryColumn:
+        column = self._column_ref()
+        if column is None:
+            raise ReferenceError(
+                "the DictionaryColumn of this ColumnMatch has been discarded"
+            )
+        return column
+
+    @property
+    def pattern_string(self) -> str:
+        return self.compiled.pattern.to_pattern_string()
+
+    def result_for_row(self, row_id: int) -> MatchResult:
+        return self.results[self.column.codes[row_id]]
+
+    def matched_mask(self) -> list[bool]:
+        """Per-code mask: does the distinct value match the pattern?"""
+        return [result.matched for result in self.results]
+
+    def matched_codes(self) -> list[int]:
+        return [code for code, result in enumerate(self.results) if result.matched]
+
+    def matching_rows(self) -> list[int]:
+        """Row ids whose value matches, in ascending order (broadcast)."""
+        return self.column.broadcast_codes(self.matched_mask())
+
+    def match_count(self) -> int:
+        """Number of *rows* (not distinct values) that match."""
+        counts = self.column.counts()
+        return sum(counts[code] for code, result in enumerate(self.results) if result.matched)
+
+
+class PatternEvaluator:
+    """A shared, memoized pattern-on-column matcher.
+
+    One evaluator can (and should) be threaded through discovery, validation,
+    and detection so that the same (pattern, column) pair is only ever
+    evaluated once.  A module-level default instance is used when callers do
+    not supply one; its cache is keyed weakly by column, so it never pins
+    relations in memory.
+
+    The per-column memo is deliberately uncapped (eviction happens per
+    column, when the column's relation dies or is mutated): typical
+    workloads evaluate a bounded set of tableau patterns per column.
+    Callers driving very many throwaway candidate patterns against a
+    long-lived relation should use a scoped ``PatternEvaluator`` (or call
+    :meth:`clear`) rather than the process-wide default.
+
+    Attributes
+    ----------
+    match_calls:
+        Total per-distinct-value ``CompiledPattern.match`` invocations issued.
+    cache_hits:
+        Number of ``match_column`` calls answered from the memo.
+    """
+
+    def __init__(self) -> None:
+        self._cache: "weakref.WeakKeyDictionary[DictionaryColumn, dict[CompiledPattern, ColumnMatch]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.match_calls = 0
+        self.cache_hits = 0
+
+    def match_column(self, pattern: PatternLike, column: DictionaryColumn) -> ColumnMatch:
+        """Match ``pattern`` against every distinct value of ``column``.
+
+        Results are memoized per (pattern, column); repeated calls are O(1).
+        The memo is keyed by the :class:`CompiledPattern` (value-equal by
+        AST, hash precomputed), so a cache hit costs a dict lookup, not an
+        AST re-serialization.
+        """
+        if isinstance(pattern, CompiledPattern):
+            compiled = pattern
+        else:
+            compiled = compile_pattern(pattern)
+        per_column = self._cache.get(column)
+        if per_column is None:
+            per_column = {}
+            self._cache[column] = per_column
+        cached = per_column.get(compiled)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        match = compiled.match
+        results = tuple(match(value) for value in column.values)
+        self.match_calls += len(column.values)
+        outcome = ColumnMatch(column=column, compiled=compiled, results=results)
+        per_column[compiled] = outcome
+        return outcome
+
+    def clear(self) -> None:
+        """Drop every memoized result (counters are kept)."""
+        self._cache = weakref.WeakKeyDictionary()
+
+    def cached_column_count(self) -> int:
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PatternEvaluator(columns={self.cached_column_count()}, "
+            f"match_calls={self.match_calls}, cache_hits={self.cache_hits})"
+        )
+
+
+_DEFAULT_EVALUATOR = PatternEvaluator()
+
+
+def default_evaluator() -> PatternEvaluator:
+    """The process-wide shared evaluator (used when none is supplied)."""
+    return _DEFAULT_EVALUATOR

@@ -26,8 +26,9 @@ from ..exceptions import PatternError
 from .alphabet import CharClass
 
 #: Characters that need escaping when serialising a literal back to the
-#: textual pattern syntax.
-_ESCAPE_REQUIRED = set("\\{}*+ ")
+#: textual pattern syntax.  ``⊥`` is included so a literal-⊥ pattern never
+#: serialises to the bare wildcard marker used by tableau (de)serialization.
+_ESCAPE_REQUIRED = set("\\{}*+ ⊥")
 
 #: Upper bound used when converting an unbounded repetition to a finite one
 #: (only for length estimation, never for matching).

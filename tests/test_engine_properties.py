@@ -1,0 +1,81 @@
+"""Property-based tests for the batch evaluation engine.
+
+The invariant (satellite requirement of the engine refactor): for every
+distinct value of a column — including empty strings and the memoized
+cache-hit path — the batch :meth:`PatternEvaluator.match_column` result
+agrees with both :meth:`CompiledPattern.match` (the production single-value
+engine) and :func:`reference_match` (the executable specification).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.relation import Relation
+from repro.engine.dictionary import DictionaryColumn
+from repro.engine.evaluator import PatternEvaluator
+from repro.patterns.matcher import compile_pattern, reference_match
+
+from test_patterns_properties import patterns
+
+_cell_values = st.lists(
+    st.text(alphabet="ABCabc019-, XYZxyz.", max_size=10), min_size=1, max_size=10
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=patterns(), values=_cell_values)
+def test_match_column_agrees_with_both_single_value_engines(pattern, values):
+    values = list(values) + [""]  # always exercise the empty string
+    column = DictionaryColumn.from_values(values)
+    evaluator = PatternEvaluator()
+    batch = evaluator.match_column(pattern, column)
+    compiled = compile_pattern(pattern)
+
+    assert len(batch.results) == column.distinct_count
+    for code, value in enumerate(column.values):
+        batch_result = batch.results[code]
+        single = compiled.match(value)
+        reference = reference_match(pattern, value)
+        assert batch_result.matched == single.matched == reference.matched
+        if batch_result.matched and pattern.has_constrained_group:
+            assert (
+                batch_result.constrained_value
+                == single.constrained_value
+                == reference.constrained_value
+            )
+            assert (
+                batch_result.constrained_span
+                == single.constrained_span
+                == reference.constrained_span
+            )
+
+    # Cache-hit path: the memoized object is returned and stays consistent.
+    cached = evaluator.match_column(pattern, column)
+    assert cached is batch
+    assert evaluator.cache_hits >= 1
+    for code, value in enumerate(column.values):
+        assert cached.results[code].matched == compiled.match(value).matched
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=patterns(), values=_cell_values)
+def test_broadcast_rows_agree_with_per_row_matching(pattern, values):
+    column = DictionaryColumn.from_values(values)
+    evaluator = PatternEvaluator()
+    batch = evaluator.match_column(pattern, column)
+    compiled = compile_pattern(pattern)
+    expected = [row_id for row_id, value in enumerate(values) if compiled.matches(value)]
+    assert batch.matching_rows() == expected
+    assert batch.match_count() == len(expected)
+    for row_id, value in enumerate(values):
+        assert batch.result_for_row(row_id).matched == compiled.matches(value)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=_cell_values)
+def test_relation_dictionary_round_trips_column(values):
+    relation = Relation.from_rows(["x"], [(value,) for value in values])
+    column = relation.dictionary("x")
+    assert [column.value_of_row(i) for i in range(len(values))] == values
+    assert sorted(set(values)) == sorted(column.values)

@@ -1,0 +1,211 @@
+"""JSON round-trip serialization of PFDs and the CLI --save / --load flow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.pfd import PFD, make_pfd
+from repro.core.serialization import (
+    load_pfds,
+    pfds_from_json,
+    pfds_to_json,
+    save_pfds,
+)
+from repro.core.tableau import PatternTableau, PatternTuple, WILDCARD
+from repro.dataset.csvio import write_csv
+from repro.dataset.relation import Relation
+from repro.exceptions import ConstraintError
+
+
+def _sample_pfds() -> list[PFD]:
+    constant = make_pfd(
+        "zip",
+        "city",
+        [
+            {"zip": r"{{900}}\D{2}", "city": r"Los\ Angeles"},
+            {"zip": r"{{100}}\D{2}", "city": r"New\ York"},
+        ],
+        relation_name="Zip",
+    )
+    variable = make_pfd(
+        ("name", "zip"),
+        "gender",
+        [{"name": r"{{\LU\LL+}}\S\A*", "zip": "⊥", "gender": "⊥"}],
+        relation_name="Census",
+    )
+    return [constant, variable]
+
+
+def test_pattern_tuple_json_round_trip():
+    row = PatternTuple.from_mapping({"zip": r"{{900}}\D{2}", "city": "⊥"})
+    data = row.to_json_dict()
+    assert data == {"zip": r"{{900}}\D{2}", "city": "⊥"}
+    assert PatternTuple.from_json_dict(data) == row
+
+
+def test_pattern_tableau_json_round_trip():
+    tableau = PatternTableau(
+        [
+            {"zip": r"{{900}}\D{2}", "city": r"Los\ Angeles"},
+            {"zip": "⊥", "city": "⊥"},
+        ]
+    )
+    rebuilt = PatternTableau.from_json_rows(tableau.to_json_rows())
+    assert rebuilt == tableau
+
+
+def test_pfd_json_round_trip_preserves_equality_and_semantics():
+    relation = Relation.from_rows(
+        ["zip", "city"],
+        [("90001", "Los Angeles"), ("90002", "Los Angeles"), ("90003", "San Diego")],
+    )
+    for pfd in _sample_pfds():
+        rebuilt = PFD.from_json(pfd.to_json())
+        assert rebuilt == pfd
+        assert hash(rebuilt) == hash(pfd)
+    original = _sample_pfds()[0]
+    rebuilt = PFD.from_json(original.to_json())
+    assert [v.suspect_cells for v in rebuilt.violations(relation)] == [
+        v.suspect_cells for v in original.violations(relation)
+    ]
+
+
+def test_wildcard_cells_round_trip_to_the_wildcard_singleton():
+    pfd = make_pfd("a", "b", [{"a": r"{{\D+}}", "b": "⊥"}])
+    rebuilt = PFD.from_json(pfd.to_json())
+    assert rebuilt.tableau[0].cell("b") is WILDCARD
+
+
+def test_literal_underscore_pattern_does_not_round_trip_to_wildcard():
+    from repro.patterns.parser import parse_pattern
+
+    # resolve_cell's hand-written "_" alias must not leak into the JSON path:
+    # a stored pattern that matches only the string "_" has to come back as
+    # that pattern, not as match-anything.
+    row = PatternTuple.from_mapping({"a": parse_pattern("_"), "b": "⊥"})
+    rebuilt = PatternTuple.from_json_dict(row.to_json_dict())
+    assert rebuilt == row
+    assert not rebuilt.is_wildcard("a")
+    assert rebuilt.pattern("a").constant_value() == "_"
+
+
+def test_pfds_from_json_wraps_bad_pattern_strings():
+    document = json.dumps(
+        {
+            "format": "pfd-set/1",
+            "pfds": [
+                {
+                    "relation": "R",
+                    "lhs": ["a"],
+                    "rhs": ["b"],
+                    "tableau": [{"a": "{{unclosed", "b": "x"}],
+                }
+            ],
+        }
+    )
+    with pytest.raises(ConstraintError):
+        pfds_from_json(document)
+
+
+def test_pfd_set_document_round_trip(tmp_path):
+    pfds = _sample_pfds()
+    text = pfds_to_json(pfds)
+    document = json.loads(text)
+    assert document["format"] == "pfd-set/1"
+    assert pfds_from_json(text) == pfds
+
+    path = save_pfds(tmp_path / "pfds.json", pfds)
+    assert load_pfds(path) == pfds
+
+
+def test_pfds_from_json_accepts_bare_list():
+    pfds = _sample_pfds()
+    bare = json.dumps([pfd.to_json_dict() for pfd in pfds])
+    assert pfds_from_json(bare) == pfds
+
+
+def test_pfds_from_json_rejects_unknown_format():
+    with pytest.raises(ConstraintError):
+        pfds_from_json(json.dumps({"format": "pfd-set/99", "pfds": []}))
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "not json{",
+        "42",
+        json.dumps({"format": "pfd-set/1"}),  # no 'pfds' list
+        json.dumps({"format": "pfd-set/1", "pfds": "oops"}),
+        json.dumps({"format": "pfd-set/1", "pfds": [{"lhs": ["a"]}]}),  # incomplete entry
+    ],
+)
+def test_pfds_from_json_raises_constraint_error_on_malformed_documents(text):
+    with pytest.raises(ConstraintError):
+        pfds_from_json(text)
+
+
+def test_cached_column_match_does_not_pin_its_column():
+    import gc
+    import weakref
+
+    from repro.engine.dictionary import DictionaryColumn
+    from repro.engine.evaluator import PatternEvaluator
+
+    evaluator = PatternEvaluator()
+    column = DictionaryColumn.from_values(["a", "b"])
+    ref = weakref.ref(column)
+    evaluator.match_column(r"\LL+", column)
+    del column
+    gc.collect()
+    assert ref() is None
+    assert evaluator.cached_column_count() == 0
+
+
+def _dirty_zip_csv(tmp_path):
+    rows = [
+        ("90001", "Los Angeles"),
+        ("90002", "Los Angeles"),
+        ("90003", "Los Angeles"),
+        ("90004", "Los Angeles"),
+        ("90005", "San Diego"),  # the error
+    ] * 4
+    relation = Relation.from_rows(["zip", "city"], rows, name="zips")
+    path = tmp_path / "zips.csv"
+    write_csv(relation, path)
+    return path
+
+
+def test_cli_discover_save_then_detect_load(tmp_path, capsys):
+    csv_path = _dirty_zip_csv(tmp_path)
+    saved = tmp_path / "pfds.json"
+
+    code = cli_main(
+        ["discover", str(csv_path), "--min-support", "2", "--save", str(saved)]
+    )
+    assert code == 0
+    assert saved.exists()
+    output = capsys.readouterr().out
+    assert "saved" in output
+
+    loaded = load_pfds(saved)
+    assert loaded  # discovery on this table finds at least one PFD
+
+    code = cli_main(["detect", str(csv_path), "--load", str(saved)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert f"loaded {len(loaded)} PFD(s)" in output
+    assert "suspected errors" in output
+
+
+def test_cli_detect_save_round_trips(tmp_path, capsys):
+    csv_path = _dirty_zip_csv(tmp_path)
+    saved = tmp_path / "detect-pfds.json"
+    code = cli_main(
+        ["detect", str(csv_path), "--min-support", "2", "--save", str(saved)]
+    )
+    assert code == 0
+    assert load_pfds(saved) == load_pfds(saved)
+    capsys.readouterr()
