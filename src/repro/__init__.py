@@ -46,7 +46,7 @@ from .core import (
     save_pfds,
 )
 from .dataset import Relation, Schema, read_csv, write_csv
-from .engine import DictionaryColumn, PatternEvaluator, default_evaluator
+from .engine import ColumnMatchSet, DictionaryColumn, PatternEvaluator, default_evaluator
 from .discovery import (
     DiscoveryConfig,
     DiscoveryResult,
@@ -80,6 +80,7 @@ __all__ = [
     "Relation",
     "Schema",
     "DictionaryColumn",
+    "ColumnMatchSet",
     "PatternEvaluator",
     "default_evaluator",
     "read_csv",

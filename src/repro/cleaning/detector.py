@@ -15,7 +15,7 @@ from collections import defaultdict
 from typing import Iterable, Optional, Sequence
 
 from ..constraints.base import CellRef, Violation
-from ..core.pfd import PFD
+from ..core.pfd import PFD, prime_for_pfds
 from ..dataset.relation import Relation
 from ..engine.evaluator import PatternEvaluator
 
@@ -92,7 +92,14 @@ class ErrorDetector:
         self.evaluator = evaluator or PatternEvaluator()
 
     def detect(self, relation: Relation) -> DetectionReport:
-        """Evaluate every PFD and aggregate suspect cells into a report."""
+        """Evaluate every PFD and aggregate suspect cells into a report.
+
+        Evaluation is set-at-a-time across the *whole* PFD set: the tableau
+        patterns of every PFD touching one column are matched in a single
+        shared-DFA batch up front, so sibling PFDs on the same attribute share
+        one scan per distinct value instead of one scan each.
+        """
+        prime_for_pfds(relation, self.pfds, self.evaluator)
         all_violations: list[Violation] = []
         evidence: dict[CellRef, list[Violation]] = defaultdict(list)
         for pfd in self.pfds:

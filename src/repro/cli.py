@@ -4,6 +4,7 @@ Sub-commands
 ------------
 ``discover``  — run PFD discovery on a CSV file and print the dependencies.
 ``detect``    — discover (or load) PFDs and report suspected errors.
+``validate``  — load saved PFDs and report per-PFD coverage / violations.
 ``suite``     — materialize the 15-table synthetic benchmark suite to CSV.
 ``experiment``— run one of the paper's experiments (table3/table7/table8/
                 figure5/figure6/efficiency) and print the reproduced rows.
@@ -16,6 +17,7 @@ import sys
 from typing import Optional, Sequence
 
 from .cleaning.detector import detect_errors
+from .core.pfd import prime_for_pfds
 from .core.serialization import load_pfds, save_pfds
 from .dataset.csvio import read_csv
 from .datagen.suite import materialize_suite
@@ -81,6 +83,33 @@ def _command_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_validate(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv)
+    pfds = load_pfds(args.load)
+    print(f"loaded {len(pfds)} PFD(s) from {args.load}")
+    # One shared evaluator for the whole report: sibling PFDs on the same
+    # column are batched set-at-a-time (prime_for_pfds inside the PFD calls).
+    evaluator = PatternEvaluator()
+    prime_for_pfds(relation, pfds, evaluator)
+    total_violations = 0
+    holding = 0
+    for pfd in pfds:
+        coverage = pfd.coverage(relation, evaluator=evaluator)
+        violations = pfd.violations(relation, evaluator=evaluator)
+        total_violations += len(violations)
+        if not violations:
+            holding += 1
+        print(
+            f"  {pfd}: coverage={coverage:.2%}, "
+            f"violations={len(violations)}"
+        )
+    print(
+        f"{holding}/{len(pfds)} PFD(s) hold on {relation.name!r} "
+        f"({total_violations} violation(s) in total)"
+    )
+    return 0
+
+
 def _command_suite(args: argparse.Namespace) -> int:
     paths = materialize_suite(args.directory, scale=args.scale)
     for path in paths:
@@ -142,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the PFDs used for detection to a JSON file")
     _add_config_arguments(detect)
     detect.set_defaults(handler=_command_detect)
+
+    validate = subparsers.add_parser(
+        "validate", help="validate saved PFDs against a CSV file (coverage + violations)"
+    )
+    validate.add_argument("csv", help="path to the input CSV file")
+    validate.add_argument("--load", metavar="PATH", required=True,
+                          help="JSON file of PFDs to validate (from discover/detect --save)")
+    validate.set_defaults(handler=_command_validate)
 
     suite = subparsers.add_parser("suite", help="materialize the synthetic benchmark suite as CSV")
     suite.add_argument("directory", help="output directory")

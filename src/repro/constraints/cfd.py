@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 from ..dataset.relation import Relation
 from ..exceptions import ConstraintError, TableauError

@@ -6,7 +6,7 @@ shared :class:`~repro.constraints.base.Violation` objects.
 """
 
 from ..constraints.base import CellRef, Violation
-from .pfd import PFD, RowStatistics, make_pfd
+from .pfd import PFD, RowStatistics, gather_tableau_patterns, make_pfd, prime_for_pfds
 from .serialization import load_pfds, pfds_from_json, pfds_to_json, save_pfds
 from .tableau import (
     WILDCARD,
@@ -22,7 +22,9 @@ __all__ = [
     "Violation",
     "PFD",
     "RowStatistics",
+    "gather_tableau_patterns",
     "make_pfd",
+    "prime_for_pfds",
     "load_pfds",
     "pfds_from_json",
     "pfds_to_json",

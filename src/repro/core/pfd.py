@@ -24,6 +24,14 @@ results are broadcast to rows through the relation's dictionary-encoded
 columns.  All evaluation entry points accept an optional ``evaluator`` so
 discovery, validation, and detection can share one match cache; when omitted
 the process-wide default evaluator is used.
+
+On top of that, evaluation is *set-at-a-time*: before a tableau is walked
+row by row, :func:`prime_for_pfds` hands all of its patterns per attribute
+to :meth:`~repro.engine.evaluator.PatternEvaluator.match_column_many`, which
+compiles them into one shared DFA and scans each distinct column value once
+for the whole set.  The subsequent per-row calls are then seeded from the
+resulting masks, so a K-row tableau costs one scan — not K — per distinct
+value (plus constrained-part extraction on the values that matched).
 """
 
 from __future__ import annotations
@@ -39,6 +47,62 @@ from ..engine.evaluator import PatternEvaluator, default_evaluator
 from ..exceptions import ConstraintError
 from ..patterns.ast import Pattern
 from .tableau import CellSpec, PatternTableau, PatternTuple, Wildcard
+
+
+def gather_tableau_patterns(pfds: Iterable["PFD"]) -> dict[str, list[Pattern]]:
+    """Per attribute, the patterns that evaluating ``pfds`` will match.
+
+    Collects the LHS patterns of every tableau row plus the RHS patterns of
+    the *variable* rows (constant rows check their RHS by plain equality, so
+    their RHS patterns are never matched).  Order is preserved and duplicates
+    are dropped, making the result directly usable as a
+    ``match_column_many`` batch per attribute.
+
+    RHS patterns are included only when an attribute accumulates at least two
+    distinct ones (a real batch): variable-row RHS matching is conditional —
+    ``_variable_row_violations`` skips it entirely when no LHS group has two
+    members — so a lone RHS pattern is left to that lazy path instead of
+    being evaluated eagerly here.
+    """
+    lhs_by_attribute: dict[str, dict[Pattern, None]] = defaultdict(dict)
+    rhs_by_attribute: dict[str, dict[Pattern, None]] = defaultdict(dict)
+    for pfd in pfds:
+        for row in pfd.tableau:
+            for attribute in pfd.lhs:
+                lhs_by_attribute[attribute][row.pattern(attribute)] = None
+            if not row.is_constant_row(pfd.lhs, pfd.rhs):
+                for attribute in pfd.rhs:
+                    rhs_by_attribute[attribute][row.pattern(attribute)] = None
+    gathered = {
+        attribute: dict(patterns) for attribute, patterns in lhs_by_attribute.items()
+    }
+    for attribute, patterns in rhs_by_attribute.items():
+        if len(patterns) >= 2:
+            gathered.setdefault(attribute, {}).update(patterns)
+    return {attribute: list(patterns) for attribute, patterns in gathered.items()}
+
+
+def prime_for_pfds(
+    relation: Relation,
+    pfds: Iterable["PFD"],
+    evaluator: Optional[PatternEvaluator] = None,
+) -> PatternEvaluator:
+    """Seed ``evaluator`` set-at-a-time for evaluating ``pfds`` on ``relation``.
+
+    All tableau patterns that touch one column — across every row of every
+    supplied PFD — are matched in a single
+    :meth:`~repro.engine.evaluator.PatternEvaluator.match_column_many` batch
+    (one shared-DFA scan per distinct value), so the per-row evaluation that
+    follows is answered from the memoized masks.  Attributes missing from the
+    relation's schema are skipped here; the per-PFD evaluation reports them.
+    Single-pattern attributes are left to the per-pattern path.
+    """
+    evaluator = evaluator or default_evaluator()
+    known = set(relation.attribute_names)
+    for attribute, patterns in gather_tableau_patterns(pfds).items():
+        if attribute in known and len(patterns) >= 2:
+            evaluator.match_column_many(patterns, relation.dictionary(attribute))
+    return evaluator
 
 
 @dataclasses.dataclass(frozen=True)
@@ -141,6 +205,16 @@ class PFD:
 
     # -- matching helpers ------------------------------------------------------
 
+    def _prime_lhs(self, relation: Relation, evaluator: PatternEvaluator) -> None:
+        """Batch-match all LHS tableau patterns per attribute (one shared-DFA
+        scan per distinct value) before the row-by-row walk."""
+        for attribute in self.lhs:
+            patterns = list(
+                dict.fromkeys(row.pattern(attribute) for row in self.tableau)
+            )
+            if len(patterns) >= 2:
+                evaluator.match_column_many(patterns, relation.dictionary(attribute))
+
     def _lhs_keys(
         self,
         relation: Relation,
@@ -219,7 +293,7 @@ class PFD:
         marked as suspects, as used by the error-detection experiments).
         """
         relation.schema.validate_attributes(self.attributes())
-        evaluator = evaluator or default_evaluator()
+        evaluator = prime_for_pfds(relation, (self,), evaluator)
         found: list[Violation] = []
         for row in self.tableau:
             if row.is_constant_row(self.lhs, self.rhs):
@@ -347,7 +421,7 @@ class PFD:
         self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
     ) -> list[RowStatistics]:
         """Support and violation counts per tableau row."""
-        evaluator = evaluator or default_evaluator()
+        evaluator = prime_for_pfds(relation, (self,), evaluator)
         statistics: list[RowStatistics] = []
         violations_by_row: dict[PatternTuple, set[int]] = defaultdict(set)
         for row in self.tableau:
@@ -373,6 +447,7 @@ class PFD:
     ) -> int:
         """Number of tuples matched by at least one tableau row's LHS."""
         evaluator = evaluator or default_evaluator()
+        self._prime_lhs(relation, evaluator)
         covered: set[int] = set()
         for row in self.tableau:
             covered.update(self.matching_rows(relation, row, evaluator=evaluator))

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from .profiler import TableProfile, profile_relation
 from .relation import Relation
 from .tokenizer import Part, extract_parts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine ← dataset)
+    from ..engine.evaluator import ColumnMatchSet, PatternEvaluator
 
 
 #: Key of an index entry: the partial value and the position it occupies.
@@ -72,7 +75,15 @@ class AttributeIndex:
 
 
 class PatternIndex:
-    """The full inverted index over every usable attribute of a relation."""
+    """The full inverted index over every usable attribute of a relation.
+
+    Beyond the ``(substring, position)`` inverted lists, the index fronts the
+    engine's set-at-a-time matcher for its relation: candidate *patterns*
+    (as opposed to raw parts) for one attribute are evaluated as a batch via
+    :meth:`match_patterns` — one shared-DFA scan per distinct column value
+    for the whole candidate set.  Pass the discovery-wide ``evaluator`` so
+    these matches are shared with generalization, selection, and detection.
+    """
 
     def __init__(
         self,
@@ -80,11 +91,13 @@ class PatternIndex:
         profile: Optional[TableProfile] = None,
         prune_substrings: bool = True,
         prefixes_only: bool = True,
+        evaluator: Optional["PatternEvaluator"] = None,
     ):
         self.relation = relation
         self.profile = profile or profile_relation(relation)
         self.prune_substrings = prune_substrings
         self.prefixes_only = prefixes_only
+        self._evaluator = evaluator
         self._attributes: dict[str, AttributeIndex] = {}
         self._build()
 
@@ -156,6 +169,31 @@ class PatternIndex:
 
     def frequent_keys(self, attribute: str, minimum_support: int) -> list[PartKey]:
         return self._attributes[attribute].frequent_keys(minimum_support)
+
+    # -- set-at-a-time pattern evaluation ------------------------------------
+
+    @property
+    def evaluator(self) -> "PatternEvaluator":
+        """The engine evaluator backing :meth:`match_patterns` (created
+        lazily and scoped to this index when none was supplied)."""
+        if self._evaluator is None:
+            from ..engine.evaluator import PatternEvaluator
+
+            self._evaluator = PatternEvaluator()
+        return self._evaluator
+
+    def match_patterns(self, attribute: str, patterns: Sequence) -> "ColumnMatchSet":
+        """Match a set of candidate patterns against ``attribute``'s column.
+
+        The whole set is evaluated in one pass over the distinct values
+        (shared DFA, with automatic per-pattern fallback), returning the
+        column's :class:`~repro.engine.evaluator.ColumnMatchSet` — per-
+        pattern supports and row ids come from its ``match_count`` /
+        ``matching_rows`` accessors.
+        """
+        return self.evaluator.match_column_many(
+            patterns, self.relation.dictionary(attribute)
+        )
 
     def ids(self, attribute: str, key: PartKey) -> list[int]:
         return self._attributes[attribute].ids(key)

@@ -18,7 +18,7 @@ import dataclasses
 import itertools
 import time
 from collections import defaultdict
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..constraints.base import embedded_dependency_key
 from ..constraints.fd import FD

@@ -198,10 +198,17 @@ def generalize_tableau(
         PatternTableau([PatternTuple.from_mapping(cells)]),
         relation_name,
     )
+    # Validate in one evaluation pass: support once, violations once (the
+    # violation_ratio convenience would recompute the support internally).
+    # The shared evaluator memoizes the candidate's per-column matches, so a
+    # later full validation of the accepted PFD reuses them.
     support = candidate.support(relation, evaluator=evaluator)
     if support < config.min_support:
         return GeneralizationOutcome(None, support=support)
-    ratio = candidate.violation_ratio(relation, evaluator=evaluator)
+    suspects: set[int] = set()
+    for violation in candidate.violations(relation, evaluator=evaluator):
+        suspects.update(cell.row_id for cell in violation.suspect_cells)
+    ratio = len(suspects) / support if support else 0.0
     if ratio > config.effective_generalization_noise:
         return GeneralizationOutcome(None, violation_ratio=ratio, support=support)
     return GeneralizationOutcome(candidate, violation_ratio=ratio, support=support)

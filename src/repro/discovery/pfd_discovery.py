@@ -143,11 +143,15 @@ class PFDDiscoverer:
         start = time.perf_counter()
         config = self.config
         profile = profile or profile_relation(relation)
+        # The index fronts the shared evaluator, so any candidate-pattern
+        # batches it evaluates are memoized alongside generalization's
+        # validation matches and any downstream detection on this relation.
         index = PatternIndex(
             relation,
             profile=profile,
             prune_substrings=config.prune_substrings,
             prefixes_only=config.prefixes_only,
+            evaluator=self.evaluator,
         )
         attributes = self._eligible_attributes(profile)
         lattice = CandidateLattice(attributes, max_level=config.max_lhs_size)

@@ -19,10 +19,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Mapping, Optional, Sequence
 
-from ..core.pfd import PFD
+from ..core.pfd import PFD, prime_for_pfds
 from ..core.tableau import Wildcard
 from ..dataset.relation import Relation
-from ..engine.evaluator import PatternEvaluator
+from ..engine.evaluator import PatternEvaluator, default_evaluator
 from .pfd_discovery import DiscoveredDependency
 
 
@@ -76,7 +76,17 @@ def rank_dependencies(
     relation: Relation,
     evaluator: Optional[PatternEvaluator] = None,
 ) -> list[DependencyScore]:
-    """Dependencies ordered from most to least trustworthy."""
+    """Dependencies ordered from most to least trustworthy.
+
+    Scoring evaluates every candidate's tableau on the relation; sibling
+    candidates routinely share columns (many dependencies over one driver
+    attribute), so all their patterns are primed set-at-a-time first — one
+    shared-DFA scan per distinct value per column for the whole batch.
+    """
+    evaluator = evaluator or default_evaluator()
+    prime_for_pfds(
+        relation, (dependency.pfd for dependency in dependencies), evaluator
+    )
     scored = [
         score_dependency(dependency, relation, evaluator=evaluator)
         for dependency in dependencies
@@ -128,6 +138,9 @@ def validate_against_oracle(
     pfd_count = 0
     correct = 0
     covered: set[int] = set()
+    # The per-row coverage loop below matches every tableau row's LHS against
+    # the same column; batch the whole pattern set into one scan first.
+    evaluator = prime_for_pfds(relation, (pfd,), evaluator)
     for row in pfd.tableau:
         lhs_cell = row.cell(lhs)
         rhs_cell = row.cell(rhs)

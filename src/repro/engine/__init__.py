@@ -14,15 +14,22 @@ encoding — the standard analytical-engine layout (dictionary-encoded columns
   matcher whose :meth:`~repro.engine.evaluator.PatternEvaluator.match_column`
   issues at most one :meth:`~repro.patterns.matcher.CompiledPattern.match`
   call per (pattern, distinct value) pair and shares the results between
-  discovery, validation, and error detection.
+  discovery, validation, and error detection;
+* :class:`~repro.engine.evaluator.ColumnMatchSet` — the set-at-a-time tier:
+  :meth:`~repro.engine.evaluator.PatternEvaluator.match_column_many` compiles
+  a whole pattern set into one shared DFA
+  (:func:`repro.patterns.multi.compile_pattern_set`) and scans each distinct
+  value once, yielding per-value bitmasks of *all* matching patterns that
+  later per-pattern calls are seeded from.
 """
 
 from .dictionary import DictionaryColumn
-from .evaluator import ColumnMatch, PatternEvaluator, default_evaluator
+from .evaluator import ColumnMatch, ColumnMatchSet, PatternEvaluator, default_evaluator
 
 __all__ = [
     "DictionaryColumn",
     "ColumnMatch",
+    "ColumnMatchSet",
     "PatternEvaluator",
     "default_evaluator",
 ]

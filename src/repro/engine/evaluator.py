@@ -8,22 +8,38 @@ column) pair costs at most one :meth:`CompiledPattern.match` call per
 distinct value, ever — no matter how many tableau rows, candidate
 dependencies, or detection passes re-evaluate it.
 
-The cache is keyed weakly by the ``DictionaryColumn`` object: relations drop
-(and re-create) their cached dictionaries on mutation, so a stale entry can
-never be observed, and dictionaries of dead relations are evicted
+:meth:`PatternEvaluator.match_column_many` goes one step further for the
+many-patterns-one-column shape (K-row tableaux, K sibling candidates): the
+whole pattern set is compiled into one shared DFA
+(:func:`repro.patterns.multi.compile_pattern_set`) and each distinct value is
+scanned **once**, yielding the bitmask of all matching patterns — a
+:class:`ColumnMatchSet`.  The set is memoized weakly per column and grows
+incrementally as new patterns join; a subsequent per-pattern
+:meth:`match_column` call is seeded from the masks, so constrained-part
+extraction (the only thing the DFA cannot answer) runs the per-pattern regex
+on the *matching* distinct values only.  When the shared DFA cannot be built
+within its state budget — or for single-pattern sets — the evaluator falls
+back to the per-pattern path transparently.
+
+The caches are keyed weakly by the ``DictionaryColumn`` object: relations
+drop (and re-create) their cached dictionaries on mutation, so a stale entry
+can never be observed, and dictionaries of dead relations are evicted
 automatically.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Union
+from typing import Iterable, Union
 
 from ..patterns.ast import Pattern
 from ..patterns.matcher import CompiledPattern, MatchResult, compile_pattern
+from ..patterns.multi import DEFAULT_STATE_BUDGET, compile_pattern_set, is_dfa_friendly
 from .dictionary import DictionaryColumn
 
 PatternLike = Union[Pattern, str, CompiledPattern]
+
+_FAILED = MatchResult(False)
 
 
 class ColumnMatch:
@@ -80,6 +96,114 @@ class ColumnMatch:
         return sum(counts[code] for code, result in enumerate(self.results) if result.matched)
 
 
+class ColumnMatchSet:
+    """Per-distinct-value match *bitmasks* of a set of patterns on one column.
+
+    ``bits[code]`` has bit ``i`` set iff member pattern ``i`` generates
+    ``column.values[code]``.  Members are registered in insertion order and
+    the set grows incrementally: when new patterns join (another tableau, a
+    new batch of sibling candidates), only the missing patterns are matched —
+    set-at-a-time through one shared DFA when possible — and OR-ed into the
+    existing masks.
+
+    Like :class:`ColumnMatch`, the column is referenced weakly so a memoized
+    set never pins a discarded column.  Unlike :class:`ColumnMatch` it holds
+    booleans only; constrained-part extraction stays with the per-pattern
+    :class:`CompiledPattern` (see :meth:`PatternEvaluator.match_column`,
+    which seeds itself from these masks).
+    """
+
+    __slots__ = ("_column_ref", "_members", "_bit_of", "bits")
+
+    def __init__(self, column: DictionaryColumn):
+        self._column_ref = weakref.ref(column)
+        self._members: list[CompiledPattern] = []
+        self._bit_of: dict[CompiledPattern, int] = {}
+        self.bits: list[int] = [0] * column.distinct_count
+
+    @property
+    def column(self) -> DictionaryColumn:
+        column = self._column_ref()
+        if column is None:
+            raise ReferenceError(
+                "the DictionaryColumn of this ColumnMatchSet has been discarded"
+            )
+        return column
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def patterns(self) -> tuple[CompiledPattern, ...]:
+        """The member patterns, in registration (bit) order."""
+        return tuple(self._members)
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, pattern: object) -> bool:
+        if isinstance(pattern, (CompiledPattern, Pattern, str)):
+            return _compiled(pattern) in self._bit_of
+        return False
+
+    def has_pattern(self, pattern: PatternLike) -> bool:
+        return _compiled(pattern) in self._bit_of
+
+    def _register(self, compiled: CompiledPattern) -> int:
+        bit = self._bit_of.get(compiled)
+        if bit is None:
+            bit = len(self._members)
+            self._bit_of[compiled] = bit
+            self._members.append(compiled)
+        return bit
+
+    # -- queries -----------------------------------------------------------
+
+    def matched(self, pattern: PatternLike, code: int) -> bool:
+        """Does member ``pattern`` generate the distinct value at ``code``?"""
+        return bool((self.bits[code] >> self._bit_of[_compiled(pattern)]) & 1)
+
+    def matched_mask(self, pattern: PatternLike) -> list[bool]:
+        """Per-code mask of one member pattern (cf. ``ColumnMatch``)."""
+        bit = self._bit_of[_compiled(pattern)]
+        return [bool((mask >> bit) & 1) for mask in self.bits]
+
+    def matched_codes(self, pattern: PatternLike) -> list[int]:
+        bit = self._bit_of[_compiled(pattern)]
+        return [code for code, mask in enumerate(self.bits) if (mask >> bit) & 1]
+
+    def matching_patterns(self, code: int) -> tuple[CompiledPattern, ...]:
+        """All member patterns generating the distinct value at ``code``."""
+        mask = self.bits[code]
+        return tuple(
+            compiled for bit, compiled in enumerate(self._members) if (mask >> bit) & 1
+        )
+
+    def match_count(self, pattern: PatternLike) -> int:
+        """Number of *rows* (not distinct values) matching one member."""
+        bit = self._bit_of[_compiled(pattern)]
+        counts = self.column.counts()
+        return sum(
+            counts[code] for code, mask in enumerate(self.bits) if (mask >> bit) & 1
+        )
+
+    def matching_rows(self, pattern: PatternLike) -> list[int]:
+        """Row ids whose value matches one member, ascending (broadcast)."""
+        return self.column.broadcast_codes(self.matched_mask(pattern))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnMatchSet(patterns={len(self._members)}, "
+            f"codes={len(self.bits)})"
+        )
+
+
+def _compiled(pattern: PatternLike) -> CompiledPattern:
+    if isinstance(pattern, CompiledPattern):
+        return pattern
+    return compile_pattern(pattern)
+
+
 class PatternEvaluator:
     """A shared, memoized pattern-on-column matcher.
 
@@ -102,14 +226,32 @@ class PatternEvaluator:
         Total per-distinct-value ``CompiledPattern.match`` invocations issued.
     cache_hits:
         Number of ``match_column`` calls answered from the memo.
+    multi_scans:
+        Total shared-DFA scans issued (one per distinct value per
+        ``match_column_many`` batch, regardless of the pattern-set size).
+    multi_fallbacks:
+        Patterns evaluated through the per-pattern fallback inside
+        ``match_column_many`` (single-pattern batches or a blown state
+        budget).
     """
+
+    #: Absolute state budget handed to :func:`compile_pattern_set` (the
+    #: effective ceiling is also capped relative to the union-NFA size, see
+    #: :func:`repro.patterns.multi.build_multi_automaton`); sets exceeding it
+    #: fall back to per-pattern matching.
+    state_budget = DEFAULT_STATE_BUDGET
 
     def __init__(self) -> None:
         self._cache: "weakref.WeakKeyDictionary[DictionaryColumn, dict[CompiledPattern, ColumnMatch]]" = (
             weakref.WeakKeyDictionary()
         )
+        self._multi: "weakref.WeakKeyDictionary[DictionaryColumn, ColumnMatchSet]" = (
+            weakref.WeakKeyDictionary()
+        )
         self.match_calls = 0
         self.cache_hits = 0
+        self.multi_scans = 0
+        self.multi_fallbacks = 0
 
     def match_column(self, pattern: PatternLike, column: DictionaryColumn) -> ColumnMatch:
         """Match ``pattern`` against every distinct value of ``column``.
@@ -118,11 +260,14 @@ class PatternEvaluator:
         The memo is keyed by the :class:`CompiledPattern` (value-equal by
         AST, hash precomputed), so a cache hit costs a dict lookup, not an
         AST re-serialization.
+
+        When the pattern's boolean mask is already known to the column's
+        :class:`ColumnMatchSet` (a prior ``match_column_many`` batch), the
+        per-pattern regex runs only on the *matching* distinct values for
+        constrained-part extraction; non-matching values are filled with the
+        failed result directly.
         """
-        if isinstance(pattern, CompiledPattern):
-            compiled = pattern
-        else:
-            compiled = compile_pattern(pattern)
+        compiled = _compiled(pattern)
         per_column = self._cache.get(column)
         if per_column is None:
             per_column = {}
@@ -132,15 +277,107 @@ class PatternEvaluator:
             self.cache_hits += 1
             return cached
         match = compiled.match
-        results = tuple(match(value) for value in column.values)
-        self.match_calls += len(column.values)
+        match_set = self._multi.get(column)
+        if match_set is not None and compiled in match_set._bit_of:
+            # Seeded from the set-at-a-time masks: extract only where matched.
+            mask = match_set.matched_mask(compiled)
+            results = tuple(
+                match(value) if hit else _FAILED
+                for hit, value in zip(mask, column.values)
+            )
+            self.match_calls += sum(mask)
+        else:
+            results = tuple(match(value) for value in column.values)
+            self.match_calls += len(column.values)
         outcome = ColumnMatch(column=column, compiled=compiled, results=results)
         per_column[compiled] = outcome
         return outcome
 
+    def match_column_many(
+        self,
+        patterns: Iterable[PatternLike],
+        column: DictionaryColumn,
+    ) -> ColumnMatchSet:
+        """Match a whole pattern set against ``column``, set-at-a-time.
+
+        All patterns missing from the column's memoized
+        :class:`ColumnMatchSet` are compiled into one shared DFA and every
+        distinct value is scanned **once**, no matter how many patterns
+        joined; the resulting bitmasks are merged into the set.  Single
+        missing patterns — and sets whose subset construction exceeds
+        :attr:`state_budget` — fall back to the per-pattern path (whose
+        results are shared with :meth:`match_column` either way).
+        """
+        requested: list[CompiledPattern] = []
+        seen: set[CompiledPattern] = set()
+        for pattern in patterns:
+            compiled = _compiled(pattern)
+            if compiled not in seen:
+                seen.add(compiled)
+                requested.append(compiled)
+        match_set = self._multi.get(column)
+        if match_set is None:
+            match_set = ColumnMatchSet(column)
+            self._multi[column] = match_set
+        missing = [c for c in requested if c not in match_set._bit_of]
+        if missing:
+            self._extend_match_set(match_set, column, missing)
+        return match_set
+
+    def _extend_match_set(
+        self,
+        match_set: ColumnMatchSet,
+        column: DictionaryColumn,
+        missing: list[CompiledPattern],
+    ) -> None:
+        # Free-start ("contains w") patterns make subset construction
+        # exponential by construction; they take the per-pattern fallback
+        # while the anchored rest shares one DFA.
+        friendly = [c for c in missing if is_dfa_friendly(c.pattern)]
+        unfriendly = [c for c in missing if not is_dfa_friendly(c.pattern)]
+        automaton = None
+        if len(friendly) >= 2:
+            automaton = compile_pattern_set(
+                [compiled.pattern for compiled in friendly],
+                state_budget=self.state_budget,
+            )
+        if automaton is None:
+            unfriendly = missing
+        if automaton is not None:
+            # Register members in the automaton's canonical order so its raw
+            # bitmask maps onto the registry with a single shift — no per-
+            # pattern remapping in the scan loop.
+            base = match_set.pattern_count
+            by_pattern = {compiled.pattern: compiled for compiled in friendly}
+            for member in automaton.patterns:
+                match_set._register(by_pattern[member])
+            scanned = automaton.match_bits_many(column.values)
+            if base == 0:
+                # Fresh set: the scan output is the mask vector itself.
+                match_set.bits = scanned
+            else:
+                bits = match_set.bits
+                for code, value_bits in enumerate(scanned):
+                    if value_bits:
+                        bits[code] |= value_bits << base
+            self.multi_scans += len(column.values)
+        # Fallback: per-pattern matching (PR 1 path) for free-start patterns
+        # and for sets whose subset construction blew the state budget.  The
+        # ColumnMatch results double as the mask source, so nothing is
+        # computed twice.
+        for compiled in unfriendly:
+            outcome = self.match_column(compiled, column)
+            bit = match_set._register(compiled)
+            bits = match_set.bits
+            for code, result in enumerate(outcome.results):
+                if result.matched:
+                    bits[code] |= 1 << bit
+            self.multi_fallbacks += 1
+
     def clear(self) -> None:
         """Drop every memoized result (counters are kept)."""
         self._cache = weakref.WeakKeyDictionary()
+        self._multi = weakref.WeakKeyDictionary()
 
     def cached_column_count(self) -> int:
         return len(self._cache)

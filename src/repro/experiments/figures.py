@@ -24,7 +24,6 @@ from typing import Optional, Sequence
 from ..cleaning.detector import detect_errors
 from ..cleaning.evaluation import cell_precision_recall
 from ..cleaning.injection import inject_errors
-from ..datagen import pools
 from ..datagen.generators import build_zip_state_table
 from ..discovery.config import DiscoveryConfig
 from ..discovery.pfd_discovery import PFDDiscoverer

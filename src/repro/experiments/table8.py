@@ -23,7 +23,7 @@ from ..datagen.generators import (
 )
 from ..discovery.config import DiscoveryConfig
 from ..discovery.pfd_discovery import PFDDiscoverer
-from ..discovery.selection import ValidationReport, oracle_from_mapping, validate_against_oracle
+from ..discovery.selection import ValidationReport, validate_against_oracle
 from .reporting import format_percent, format_table
 
 

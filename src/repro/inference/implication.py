@@ -17,14 +17,13 @@
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from ..core.pfd import PFD
 from ..core.tableau import Wildcard
 from ..dataset.relation import Relation
 from ..dataset.schema import Schema
 from ..patterns.ast import Pattern
-from ..patterns.matcher import compile_pattern
 from ..patterns.nfa import example_string
 from .closure import closure_implies
 from .consistency import check_consistency

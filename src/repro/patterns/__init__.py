@@ -53,6 +53,15 @@ from .matcher import (
     matches,
     reference_match,
 )
+from .multi import (
+    DEFAULT_STATE_BUDGET,
+    MultiPatternAutomaton,
+    StateBudgetExceeded,
+    build_multi_automaton,
+    canonical_pattern_set,
+    compile_pattern_set,
+    is_dfa_friendly,
+)
 from .nfa import (
     DFA,
     NFA,
@@ -98,6 +107,13 @@ __all__ = [
     "extract_constrained",
     "matches",
     "reference_match",
+    "DEFAULT_STATE_BUDGET",
+    "MultiPatternAutomaton",
+    "StateBudgetExceeded",
+    "build_multi_automaton",
+    "canonical_pattern_set",
+    "compile_pattern_set",
+    "is_dfa_friendly",
     "DFA",
     "NFA",
     "determinize",

@@ -198,6 +198,10 @@ class Pattern:
 
     At most one :class:`ConstrainedGroup` is allowed — the paper restricts
     attention to constrained patterns with a single constrained part.
+
+    Patterns are cache keys all over the engine (memoized NFAs, shared-DFA
+    pattern sets, per-column match sets), so the recursive hash and the
+    textual serialization are computed once and cached on the instance.
     """
 
     elements: tuple[Element, ...]
@@ -209,6 +213,13 @@ class Pattern:
                 "a pattern may contain at most one constrained group "
                 f"(got {len(groups)})"
             )
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.elements)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # -- structure ---------------------------------------------------------
 
@@ -336,8 +347,12 @@ class Pattern:
     # -- serialization -----------------------------------------------------
 
     def to_pattern_string(self) -> str:
-        """Serialize back to the textual pattern syntax."""
-        return "".join(e.to_pattern_string() for e in self.elements)
+        """Serialize back to the textual pattern syntax (cached)."""
+        cached = self.__dict__.get("_pattern_string")
+        if cached is None:
+            cached = "".join(e.to_pattern_string() for e in self.elements)
+            object.__setattr__(self, "_pattern_string", cached)
+        return cached
 
     def to_regex(self, anchored: bool = True) -> str:
         """Translate to an equivalent Python ``re`` expression.

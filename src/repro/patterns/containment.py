@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from typing import Union
 
-from .ast import ConstrainedGroup, Pattern
+from .ast import Pattern
 from .matcher import compile_pattern
 from .nfa import language_contains
 from .parser import parse_pattern

@@ -1,0 +1,363 @@
+"""Set-at-a-time pattern matching: one shared DFA per pattern *set*.
+
+The per-pattern machinery of :mod:`repro.patterns.nfa` decides one pattern at
+a time, so validating a K-row tableau or pruning K sibling candidate patterns
+costs K separate scans per value.  This module compiles a whole pattern set
+into a single automaton:
+
+* the per-pattern epsilon-NFAs (Thompson construction, memoized) are unioned
+  under a fresh start state,
+* one subset construction over the set's symbolic alphabet turns the union
+  into a DFA, and
+* every DFA state is labelled with the *bitmask of accepting pattern ids*,
+  so one left-to-right scan of a string reports the full set of patterns
+  that generate it.
+
+Acceptance concerns the embedded (flattened) languages only; constrained-part
+extraction stays lazy via the per-pattern
+:class:`~repro.patterns.matcher.CompiledPattern` of the patterns that
+matched.
+
+Subset construction can blow up in the worst case, so construction takes a
+**state budget**: :func:`compile_pattern_set` (memoized per frozen pattern
+set) returns ``None`` when the budget is exceeded, and callers fall back to
+per-pattern matching.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import deque
+from typing import FrozenSet, Iterable, Optional, Sequence, Union
+
+from ..exceptions import PatternError
+from .alphabet import CharClass, classify_char
+from .ast import ClassAtom, Pattern, Repeat
+from .matcher import CompiledPattern
+from .nfa import NFA, Symbol, pattern_to_nfa, symbolic_alphabet
+from .parser import parse_pattern
+
+PatternSpec = Union[Pattern, str, CompiledPattern]
+
+#: Default *absolute* ceiling on the number of DFA states produced by the
+#: subset construction (the effective ceiling is additionally capped relative
+#: to the union-NFA size, see :func:`build_multi_automaton`).  Tableau
+#: pattern sets are tiny (states roughly proportional to the total pattern
+#: length), so hitting the budget signals a pathological set for which
+#: per-pattern matching is the safer execution plan.
+DEFAULT_STATE_BUDGET = 4096
+
+#: Cache size for :func:`compile_pattern_set` (one entry per distinct frozen
+#: pattern set seen by the process).
+_SET_CACHE_SIZE = 512
+
+
+class StateBudgetExceeded(PatternError):
+    """Subset construction for a pattern set exceeded its state budget."""
+
+
+@functools.lru_cache(maxsize=16384)
+def is_dfa_friendly(pattern: Pattern) -> bool:
+    """Whether ``pattern`` is safe to put in a shared-DFA set.
+
+    *Free-start* patterns — a leading unbounded any-class repeat, i.e. the
+    ``\\A*w\\A*`` "contains ``w``" shapes that discovery builds for non-leading
+    tokens, and the tableau wildcard ``{{\\A*}}`` — are excluded: a DFA for a
+    union of K such patterns must remember which of them have already been
+    satisfied at every prefix, so subset construction is exponential in K by
+    construction, not by accident.  They are matched per-pattern instead
+    (each is a cheap regex); anchored patterns (constants, prefix groups,
+    fixed shapes) share one DFA.
+    """
+    elements = pattern.flattened_elements()
+    if not elements:
+        return True
+    first = elements[0]
+    return not (
+        isinstance(first, Repeat)
+        and first.max_count is None
+        and isinstance(first.atom, ClassAtom)
+        and first.atom.cls is CharClass.ANY
+    )
+
+
+class MultiPatternAutomaton:
+    """A DFA deciding membership in *every* pattern of a set at once.
+
+    Use :func:`compile_pattern_set` (memoized, budget-aware) rather than
+    :func:`build_multi_automaton` directly.  ``patterns`` holds the member
+    patterns in the automaton's canonical (sorted, deduplicated) order;
+    :meth:`match_bits` reports bit ``i`` set iff ``patterns[i]`` generates
+    the scanned string.
+    """
+
+    __slots__ = (
+        "patterns",
+        "alphabet",
+        "index_of",
+        "scans",
+        "_transitions",
+        "_accept_bits",
+        "_start",
+        "_dead",
+        "_char_index",
+        "_residual_index",
+    )
+
+    def __init__(
+        self,
+        patterns: tuple[Pattern, ...],
+        alphabet: tuple[Symbol, ...],
+        transitions: list[list[int]],
+        accept_bits: list[int],
+        start: int,
+        dead: int,
+    ):
+        self.patterns = patterns
+        self.alphabet = alphabet
+        self.index_of: dict[Pattern, int] = {
+            pattern: index for index, pattern in enumerate(patterns)
+        }
+        #: Number of :meth:`match_bits` scans issued (one per value), exposed
+        #: so tests can assert the set-at-a-time path really is one scan per
+        #: distinct value regardless of the pattern-set size.
+        self.scans = 0
+        self._transitions = transitions
+        self._accept_bits = accept_bits
+        self._start = start
+        self._dead = dead
+        # char -> symbol index, pre-seeded with the literal symbols and
+        # extended lazily (memoized residual classification) during scans.
+        self._char_index: dict[str, int] = {}
+        self._residual_index: dict[CharClass, int] = {}
+        for index, symbol in enumerate(alphabet):
+            if symbol.kind == "lit":
+                self._char_index[symbol.char] = index
+            else:
+                self._residual_index[symbol.base] = index
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def state_count(self) -> int:
+        return len(self._transitions)
+
+    def bit_of(self, pattern: Pattern) -> int:
+        """The bit index assigned to ``pattern`` (raises ``KeyError`` if the
+        pattern is not a member of this set)."""
+        return self.index_of[pattern]
+
+    # -- matching ----------------------------------------------------------
+
+    def match_bits(self, value: str) -> int:
+        """One scan of ``value``: the bitmask of member patterns generating it."""
+        self.scans += 1
+        state = self._start
+        transitions = self._transitions
+        char_index = self._char_index
+        dead = self._dead
+        for char in value:
+            index = char_index.get(char)
+            if index is None:
+                index = self._residual_index[classify_char(char)]
+                char_index[char] = index
+            state = transitions[state][index]
+            if state == dead:
+                return 0
+        return self._accept_bits[state]
+
+    def match_bits_many(self, values: Iterable[str]) -> list[int]:
+        """Scan every value once, returning one bitmask per value.
+
+        Identical to mapping :meth:`match_bits` but with the scan loop
+        inlined — this is the hot path of
+        :meth:`~repro.engine.evaluator.PatternEvaluator.match_column_many`,
+        where per-value call overhead would rival the scans themselves.
+        """
+        out: list[int] = []
+        append = out.append
+        transitions = self._transitions
+        accept_bits = self._accept_bits
+        char_index = self._char_index
+        residual_index = self._residual_index
+        start = self._start
+        dead = self._dead
+        count = 0
+        for value in values:
+            count += 1
+            state = start
+            for char in value:
+                index = char_index.get(char)
+                if index is None:
+                    index = residual_index[classify_char(char)]
+                    char_index[char] = index
+                state = transitions[state][index]
+                if state == dead:
+                    break
+            append(accept_bits[state])
+        self.scans += count
+        return out
+
+    def match_set(self, value: str) -> FrozenSet[int]:
+        """Indices (into :attr:`patterns`) of the patterns generating ``value``."""
+        bits = self.match_bits(value)
+        if not bits:
+            return frozenset()
+        return frozenset(
+            index for index in range(len(self.patterns)) if (bits >> index) & 1
+        )
+
+    def matching_patterns(self, value: str) -> tuple[Pattern, ...]:
+        """The member patterns generating ``value``, in canonical order."""
+        bits = self.match_bits(value)
+        return tuple(
+            pattern for index, pattern in enumerate(self.patterns) if (bits >> index) & 1
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiPatternAutomaton(patterns={len(self.patterns)}, "
+            f"states={self.state_count}, alphabet={len(self.alphabet)})"
+        )
+
+
+def _as_pattern(pattern: PatternSpec) -> Pattern:
+    if isinstance(pattern, CompiledPattern):
+        return pattern.pattern
+    if isinstance(pattern, str):
+        return parse_pattern(pattern)
+    return pattern
+
+
+def build_multi_automaton(
+    patterns: Sequence[Pattern],
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> MultiPatternAutomaton:
+    """Union the per-pattern NFAs and determinize once, labelling every DFA
+    state with the bitmask of accepting pattern ids.
+
+    ``state_budget`` is an *absolute ceiling* on DFA states; the effective
+    ceiling is ``min(state_budget, 64 + 4 * union_nfa_states)``.  Well-behaved
+    sets of this pattern class determinize to roughly their union-NFA size,
+    so a set needing many times that is in exponential territory and the
+    relative cap makes it fail fast (a blown absolute-budget exploration
+    costs ~1s) instead of being ground out.
+
+    Raises
+    ------
+    StateBudgetExceeded
+        When the subset construction would exceed the effective ceiling;
+        callers should fall back to per-pattern matching.
+    PatternError
+        When ``patterns`` is empty.
+    """
+    if not patterns:
+        raise PatternError("cannot build a multi-pattern automaton for zero patterns")
+    alphabet = symbolic_alphabet(patterns)
+
+    # Union NFA: a fresh start state with an epsilon edge into a copy of each
+    # pattern's (memoized, shared — hence copied, never mutated) NFA.
+    union = NFA()
+    start = union.new_state()
+    union.start = start
+    accept_owner_bits: dict[int, int] = {}
+    for bit, pattern in enumerate(patterns):
+        nfa = pattern_to_nfa(pattern)
+        offset = union.state_count
+        for _ in range(nfa.state_count):
+            union.new_state()
+        for state, edges in nfa.transitions.items():
+            for atom, target in edges:
+                union.add_transition(state + offset, atom, target + offset)
+        for state, targets in nfa.epsilon.items():
+            for target in targets:
+                union.add_epsilon(state + offset, target + offset)
+        union.add_epsilon(start, nfa.start + offset)
+        for accepting in nfa.accepting:
+            shifted = accepting + offset
+            accept_owner_bits[shifted] = accept_owner_bits.get(shifted, 0) | (1 << bit)
+
+    # Subset construction with per-state accept-bit labelling and a budget.
+    # Well-behaved sets determinize to roughly their union-NFA size, so the
+    # effective budget is tied to it: pathological sets abort after a small
+    # multiple of the union size instead of exploring the full absolute
+    # budget (a blown 4096-state exploration costs ~1s; this caps it).
+    effective_budget = min(state_budget, 64 + 4 * union.state_count)
+    start_set = union.epsilon_closure([union.start])
+    state_ids: dict[FrozenSet[int], int] = {start_set: 0}
+    transitions: list[list[int]] = []
+    accept_bits: list[int] = []
+    queue: deque[FrozenSet[int]] = deque([start_set])
+    while queue:
+        current = queue.popleft()
+        current_id = state_ids[current]
+        while len(transitions) <= current_id:
+            transitions.append([0] * len(alphabet))
+            accept_bits.append(0)
+        bits = 0
+        for state in current:
+            bits |= accept_owner_bits.get(state, 0)
+        accept_bits[current_id] = bits
+        for index, symbol in enumerate(alphabet):
+            target = union.step_symbol(current, symbol)
+            target_id = state_ids.get(target)
+            if target_id is None:
+                if len(state_ids) >= effective_budget:
+                    raise StateBudgetExceeded(
+                        f"subset construction for {len(patterns)} patterns exceeded "
+                        f"the {effective_budget}-state budget"
+                    )
+                target_id = len(state_ids)
+                state_ids[target] = target_id
+                queue.append(target)
+            transitions[current_id][index] = target_id
+    dead = state_ids.get(frozenset(), -1)
+    return MultiPatternAutomaton(
+        patterns=tuple(patterns),
+        alphabet=alphabet,
+        transitions=transitions,
+        accept_bits=accept_bits,
+        start=0,
+        dead=dead,
+    )
+
+
+def canonical_pattern_set(patterns: Iterable[PatternSpec]) -> tuple[Pattern, ...]:
+    """Deduplicate and sort a pattern set into the canonical member order
+    used by :func:`compile_pattern_set` (stable across call sites, so equal
+    sets share one memoized automaton)."""
+    unique = {pattern: None for pattern in (_as_pattern(p) for p in patterns)}
+    return tuple(sorted(unique, key=Pattern.to_pattern_string))
+
+
+@functools.lru_cache(maxsize=_SET_CACHE_SIZE)
+def _compile_pattern_set_cached(
+    patterns: tuple[Pattern, ...], state_budget: int
+) -> Optional[MultiPatternAutomaton]:
+    try:
+        return build_multi_automaton(patterns, state_budget=state_budget)
+    except StateBudgetExceeded:
+        # Memoize the failure too: retrying a blown-up set every call would
+        # pay the exponential construction over and over.
+        return None
+
+
+def compile_pattern_set(
+    patterns: Iterable[PatternSpec],
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> Optional[MultiPatternAutomaton]:
+    """The memoized entry point: one shared automaton per frozen pattern set.
+
+    Returns ``None`` when the subset construction exceeds the effective state
+    ceiling — ``min(state_budget, 64 + 4 * union_nfa_states)``, see
+    :func:`build_multi_automaton` — and the failure is memoized as well;
+    callers must then fall back to per-pattern matching.
+    """
+    ordered = canonical_pattern_set(patterns)
+    if not ordered:
+        raise PatternError("cannot compile an empty pattern set")
+    return _compile_pattern_set_cached(ordered, state_budget)

@@ -24,6 +24,7 @@ over the concrete alphabet.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections import deque
 from typing import FrozenSet, Iterable, Optional, Union
 
@@ -167,9 +168,19 @@ def pattern_to_nfa(pattern: Union[Pattern, str]) -> NFA:
 
     The constrained group plays no role for the generated language, so the
     construction works on the embedded (flattened) element sequence.
+
+    Construction is memoized on parsed-pattern identity (patterns are
+    immutable, hashable ASTs), so repeated containment checks and multi-
+    pattern unions reuse one NFA per pattern.  The returned automaton is
+    shared: callers must treat it as read-only.
     """
     if isinstance(pattern, str):
         pattern = parse_pattern(pattern)
+    return _pattern_to_nfa_cached(pattern)
+
+
+@functools.lru_cache(maxsize=4096)
+def _pattern_to_nfa_cached(pattern: Pattern) -> NFA:
     nfa = NFA()
     start = nfa.new_state()
     nfa.start = start
@@ -243,7 +254,18 @@ class DFA:
 
 
 def determinize(nfa: NFA, alphabet: tuple[Symbol, ...]) -> DFA:
-    """Subset construction of ``nfa`` over ``alphabet``."""
+    """Subset construction of ``nfa`` over ``alphabet``.
+
+    Memoized on (NFA identity, alphabet): NFAs produced by the (cached)
+    :func:`pattern_to_nfa` are shared per pattern, so repeated containment
+    checks over the same pattern pair reuse one DFA instead of re-running
+    the subset construction.  The returned DFA is shared: treat as read-only.
+    """
+    return _determinize_cached(nfa, alphabet)
+
+
+@functools.lru_cache(maxsize=4096)
+def _determinize_cached(nfa: NFA, alphabet: tuple[Symbol, ...]) -> DFA:
     start_set = nfa.epsilon_closure([nfa.start])
     state_ids: dict[FrozenSet[int], int] = {start_set: 0}
     transitions: list[list[int]] = []
@@ -278,11 +300,22 @@ def determinize(nfa: NFA, alphabet: tuple[Symbol, ...]) -> DFA:
 
 def language_contains(general: Union[Pattern, str], specific: Union[Pattern, str]) -> bool:
     """True iff every string generated by ``specific`` is generated by
-    ``general`` (``L(specific)`` is a subset of ``L(general)``)."""
+    ``general`` (``L(specific)`` is a subset of ``L(general)``).
+
+    The decision is memoized per (general, specific) pattern pair on top of
+    the NFA/DFA construction caches, so the repeated containment checks of
+    tableau normalization and discovery cost one product walk per distinct
+    pair.
+    """
     if isinstance(general, str):
         general = parse_pattern(general)
     if isinstance(specific, str):
         specific = parse_pattern(specific)
+    return _language_contains_cached(general, specific)
+
+
+@functools.lru_cache(maxsize=8192)
+def _language_contains_cached(general: Pattern, specific: Pattern) -> bool:
     alphabet = symbolic_alphabet([general, specific])
     general_dfa = determinize(pattern_to_nfa(general), alphabet)
     specific_dfa = determinize(pattern_to_nfa(specific), alphabet)

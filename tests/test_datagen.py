@@ -1,6 +1,5 @@
 """Tests for the synthetic dataset generators and the 15-table suite."""
 
-import pytest
 
 from repro.constraints.fd import FD
 from repro.datagen import (

@@ -102,3 +102,46 @@ class TestPatternIndex:
         if "a" in index.attributes:
             for ids in index.attribute_index("a").entries.values():
                 assert 0 not in ids
+
+
+class TestIndexPatternMatching:
+    """The index fronts the engine's set-at-a-time matcher for candidates."""
+
+    PATTERNS = [r"{{900}}\D{2}", r"{{901}}\D{2}", r"\D{5}", r"\LU\LL*"]
+
+    def test_match_patterns_batches_the_whole_candidate_set(self, mixed_relation):
+        from repro.engine.evaluator import PatternEvaluator
+
+        evaluator = PatternEvaluator()
+        index = PatternIndex(mixed_relation, evaluator=evaluator)
+        matches = index.match_patterns("zip", self.PATTERNS)
+        distinct = mixed_relation.dictionary("zip").distinct_count
+        assert evaluator.multi_scans == distinct  # one scan per distinct value
+        from repro.patterns.matcher import compile_pattern
+
+        for pattern in self.PATTERNS:
+            assert matches.matched_mask(pattern) == [
+                compile_pattern(pattern).matches(value)
+                for value in mixed_relation.dictionary("zip").values
+            ]
+
+    def test_supports_and_rows_agree_with_direct_matching(self, mixed_relation):
+        from repro.patterns.matcher import compile_pattern
+
+        index = PatternIndex(mixed_relation)
+        matches = index.match_patterns("zip", self.PATTERNS)
+        for pattern in self.PATTERNS:
+            compiled = compile_pattern(pattern)
+            expected = [
+                row_id
+                for row_id in range(mixed_relation.row_count)
+                if compiled.matches(mixed_relation.cell(row_id, "zip"))
+            ]
+            assert matches.matching_rows(pattern) == expected
+            assert matches.match_count(pattern) == len(expected)
+
+    def test_lazily_created_evaluator_is_scoped_to_the_index(self, mixed_relation):
+        index = PatternIndex(mixed_relation)
+        assert index.evaluator is index.evaluator  # stable instance
+        index.match_patterns("zip", self.PATTERNS[:2])
+        assert index.evaluator.multi_scans > 0

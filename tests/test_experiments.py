@@ -7,7 +7,6 @@ absolute numbers.
 
 import pytest
 
-from repro.discovery.config import DiscoveryConfig
 from repro.experiments import (
     evaluate_point,
     evaluate_table,

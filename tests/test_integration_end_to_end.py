@@ -1,7 +1,6 @@
 """End-to-end integration tests: generate -> discover -> detect -> repair,
 plus cross-module invariants tying discovery output to the inference layer."""
 
-import pytest
 
 from repro import (
     DiscoveryConfig,

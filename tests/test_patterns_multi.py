@@ -1,0 +1,159 @@
+"""Tests for the set-at-a-time multi-pattern automaton.
+
+Covers the construction (union + labelled subset construction), the
+memoization per frozen pattern set, the state-budget fallback, the
+DFA-friendliness pre-filter, and — property-based, the satellite requirement
+of the refactor — exact agreement of the shared-DFA match sets with both the
+per-pattern :class:`CompiledPattern` engine and :func:`reference_match`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.exceptions import PatternError
+from repro.patterns.matcher import compile_pattern, reference_match
+from repro.patterns.multi import (
+    StateBudgetExceeded,
+    build_multi_automaton,
+    canonical_pattern_set,
+    compile_pattern_set,
+    is_dfa_friendly,
+)
+from repro.patterns.parser import parse_pattern
+
+from test_patterns_properties import patterns
+
+
+ZIP_PATTERNS = [r"{{900}}\D{2}", r"{{100}}\D{2}", r"\D{5}", r"\LU\LL*", r"Los\ Angeles"]
+
+
+class TestMatchSets:
+    def test_one_scan_reports_every_matching_pattern(self):
+        automaton = compile_pattern_set(ZIP_PATTERNS)
+        assert automaton is not None
+        cases = {
+            "90001": {r"{{900}}\D{2}", r"\D{5}"},
+            "10055": {r"{{100}}\D{2}", r"\D{5}"},
+            "Chicago": {r"\LU\LL*"},
+            "Los Angeles": {r"Los\ Angeles"},
+            "": set(),
+            "90x01": set(),
+        }
+        for value, expected in cases.items():
+            got = {p.to_pattern_string() for p in automaton.matching_patterns(value)}
+            derived = {
+                parse_pattern(p).to_pattern_string()
+                for p in ZIP_PATTERNS
+                if compile_pattern(p).matches(value)
+            }
+            assert got == derived, value
+            assert got == expected, value
+
+    def test_match_set_indices_align_with_member_order(self):
+        automaton = compile_pattern_set(ZIP_PATTERNS)
+        for value in ["90001", "Chicago", "Los Angeles", ""]:
+            ids = automaton.match_set(value)
+            for index, pattern in enumerate(automaton.patterns):
+                assert (index in ids) == compile_pattern(pattern).matches(value)
+
+    def test_bit_of_round_trips_members(self):
+        automaton = compile_pattern_set(ZIP_PATTERNS)
+        for index, pattern in enumerate(automaton.patterns):
+            assert automaton.bit_of(pattern) == index
+
+    def test_scans_counter_counts_values_not_patterns(self):
+        automaton = build_multi_automaton(canonical_pattern_set(ZIP_PATTERNS))
+        assert automaton.scans == 0
+        for value in ["90001", "10055", "Chicago"]:
+            automaton.match_bits(value)
+        assert automaton.scans == 3
+
+
+class TestMemoization:
+    def test_same_frozen_set_shares_one_automaton(self):
+        first = compile_pattern_set(ZIP_PATTERNS)
+        second = compile_pattern_set(list(reversed(ZIP_PATTERNS)))
+        duplicated = compile_pattern_set(ZIP_PATTERNS + ZIP_PATTERNS[:2])
+        assert first is second is duplicated
+
+    def test_canonical_pattern_set_dedupes_and_sorts(self):
+        ordered = canonical_pattern_set([r"\D{5}", r"{{900}}\D{2}", r"\D{5}"])
+        assert len(ordered) == 2
+        strings = [p.to_pattern_string() for p in ordered]
+        assert strings == sorted(strings)
+
+    def test_empty_set_is_rejected(self):
+        with pytest.raises(PatternError):
+            compile_pattern_set([])
+
+
+class TestStateBudget:
+    def test_budget_exceeded_raises_and_compile_returns_none(self):
+        names = ["Donald", "David", "Maria", "Helen", "Peter", "Laura", "Oscar", "Nancy"]
+        anchored = canonical_pattern_set(
+            [parse_pattern(r"\A*\S{{" + name + r"}}\A*") for name in names]
+        )
+        with pytest.raises(StateBudgetExceeded):
+            build_multi_automaton(anchored, state_budget=64)
+        assert compile_pattern_set(anchored, state_budget=64) is None
+        # The failure itself is memoized: asking again must not re-explore.
+        assert compile_pattern_set(anchored, state_budget=64) is None
+
+    def test_budget_is_relative_to_the_union_size(self):
+        # Even a huge absolute budget aborts a pathological set quickly: the
+        # effective ceiling is a small multiple of the union-NFA size.
+        names = ["Donald", "David", "Maria", "Helen", "Peter", "Laura", "Oscar", "Nancy"]
+        anchored = canonical_pattern_set(
+            [parse_pattern(r"\A*\S{{" + name + r"}}\A*") for name in names]
+        )
+        with pytest.raises(StateBudgetExceeded):
+            build_multi_automaton(anchored, state_budget=10**9)
+
+
+class TestDfaFriendliness:
+    def test_anchored_patterns_are_friendly(self):
+        for text in [r"{{900}}\D{2}", r"Los\ Angeles", r"\LU\LL*", r"{{\D{3}}}\A*"]:
+            assert is_dfa_friendly(parse_pattern(text))
+
+    def test_free_start_patterns_are_not(self):
+        for text in [r"\A*\S{{Don}}\A*", r"{{\A*}}", r"\A+x", r"\A*"]:
+            assert not is_dfa_friendly(parse_pattern(text))
+
+    def test_bounded_any_prefix_is_friendly(self):
+        assert is_dfa_friendly(parse_pattern(r"\A{0,3}x"))
+
+
+# ---------------------------------------------------------------------------
+# Property: shared-DFA match sets == per-pattern engines (satellite)
+# ---------------------------------------------------------------------------
+
+_values = st.text(alphabet="ABCabc019-, XYZxyz.", max_size=10)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    pattern_list=st.lists(patterns(), min_size=1, max_size=5),
+    values=st.lists(_values, min_size=1, max_size=8),
+)
+def test_multi_automaton_agrees_with_both_single_pattern_engines(pattern_list, values):
+    automaton = compile_pattern_set(pattern_list)
+    # Pathological random sets may exceed the state budget; those fall back
+    # to per-pattern matching in production and are vacuous here.
+    assume(automaton is not None)
+    for value in list(values) + [""]:
+        bits = automaton.match_bits(value)
+        for index, pattern in enumerate(automaton.patterns):
+            dfa_says = bool((bits >> index) & 1)
+            assert dfa_says == compile_pattern(pattern).match(value).matched
+            assert dfa_says == reference_match(pattern, value).matched
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern_list=st.lists(patterns(), min_size=2, max_size=4), value=_values)
+def test_union_membership_is_exactly_the_per_pattern_disjunction(pattern_list, value):
+    automaton = compile_pattern_set(pattern_list)
+    assume(automaton is not None)
+    any_match = any(compile_pattern(p).matches(value) for p in automaton.patterns)
+    assert bool(automaton.match_bits(value)) == any_match

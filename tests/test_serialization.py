@@ -209,3 +209,48 @@ def test_cli_detect_save_round_trips(tmp_path, capsys):
     assert code == 0
     assert load_pfds(saved) == load_pfds(saved)
     capsys.readouterr()
+
+
+def test_cli_validate_reports_per_pfd_coverage_and_violations(tmp_path, capsys):
+    csv_path = _dirty_zip_csv(tmp_path)
+    saved = tmp_path / "pfds.json"
+    code = cli_main(
+        ["discover", str(csv_path), "--min-support", "2", "--save", str(saved)]
+    )
+    assert code == 0
+    capsys.readouterr()
+
+    code = cli_main(["validate", str(csv_path), "--load", str(saved)])
+    assert code == 0
+    output = capsys.readouterr().out
+    loaded = load_pfds(saved)
+    assert f"loaded {len(loaded)} PFD(s)" in output
+    assert "coverage=" in output
+    assert "violations=" in output
+    assert f"/{len(loaded)} PFD(s) hold" in output
+
+
+def test_cli_validate_missing_file_exits_2(tmp_path, capsys):
+    csv_path = _dirty_zip_csv(tmp_path)
+    code = cli_main(
+        ["validate", str(csv_path), "--load", str(tmp_path / "nope.json")]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
+
+
+def test_cli_validate_unknown_attribute_exits_2(tmp_path, capsys):
+    from repro.core.pfd import make_pfd
+    from repro.core.serialization import save_pfds
+
+    csv_path = _dirty_zip_csv(tmp_path)
+    saved = tmp_path / "other.json"
+    save_pfds(
+        saved,
+        [make_pfd("nope", "city", [{"nope": r"{{\D{3}}}\D{2}", "city": "⊥"}])],
+    )
+    code = cli_main(["validate", str(csv_path), "--load", str(saved)])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
