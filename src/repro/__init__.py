@@ -46,7 +46,14 @@ from .core import (
     save_pfds,
 )
 from .dataset import Relation, Schema, read_csv, write_csv
-from .engine import ColumnMatchSet, DictionaryColumn, PatternEvaluator, default_evaluator
+from .engine import (
+    ColumnMatchSet,
+    DictionaryColumn,
+    PartitionManager,
+    PatternEvaluator,
+    StrippedPartition,
+    default_evaluator,
+)
 from .discovery import (
     DiscoveryConfig,
     DiscoveryResult,
@@ -81,6 +88,8 @@ __all__ = [
     "Schema",
     "DictionaryColumn",
     "ColumnMatchSet",
+    "PartitionManager",
+    "StrippedPartition",
     "PatternEvaluator",
     "default_evaluator",
     "read_csv",

@@ -15,7 +15,7 @@ from collections import defaultdict
 from typing import Iterable, Optional, Sequence
 
 from ..constraints.base import CellRef, Violation
-from ..core.pfd import PFD, prime_for_pfds
+from ..core.pfd import PFD, prime_for_pfds, prime_partitions_for_pfds
 from ..dataset.relation import Relation
 from ..engine.evaluator import PatternEvaluator
 
@@ -97,9 +97,14 @@ class ErrorDetector:
         Evaluation is set-at-a-time across the *whole* PFD set: the tableau
         patterns of every PFD touching one column are matched in a single
         shared-DFA batch up front, so sibling PFDs on the same attribute share
-        one scan per distinct value instead of one scan each.
+        one scan per distinct value instead of one scan each.  The violating
+        groups themselves come from the relation's stripped-partition cache,
+        primed here once for all tableau rows: two PFDs whose rows share an
+        (attribute, pattern) pair locate their groups in the same cached
+        equivalence classes.
         """
         prime_for_pfds(relation, self.pfds, self.evaluator)
+        prime_partitions_for_pfds(relation, self.pfds, self.evaluator)
         all_violations: list[Violation] = []
         evidence: dict[CellRef, list[Violation]] = defaultdict(list)
         for pfd in self.pfds:

@@ -36,6 +36,8 @@ class RepairResult:
     relation: Relation
     repairs: list[Repair]
     unresolved: list[CellRef]
+    #: Suspect cells still flagged after re-detection (``verify=True`` only).
+    remaining_error_cells: Optional[frozenset[CellRef]] = None
 
     @property
     def repaired_cells(self) -> set[CellRef]:
@@ -68,6 +70,13 @@ class Repairer:
     dry_run:
         When True the input relation is left untouched and the proposed
         repairs are only reported.
+    verify:
+        When True (and not a dry run), the repaired relation is re-detected
+        and the still-flagged suspect cells are reported in
+        :attr:`RepairResult.remaining_error_cells`.  Each applied repair
+        invalidates only the touched attribute's cached partitions, so the
+        re-detection regroups exactly the mutated columns and reuses the
+        rest of the shared equivalence classes.
     """
 
     def __init__(
@@ -76,11 +85,13 @@ class Repairer:
         min_evidence: int = 1,
         dry_run: bool = False,
         evaluator: Optional[PatternEvaluator] = None,
+        verify: bool = False,
     ):
         self.pfds = list(pfds)
         self.min_evidence = min_evidence
         self.dry_run = dry_run
         self.evaluator = evaluator
+        self.verify = verify
 
     def repair(
         self, relation: Relation, report: Optional[DetectionReport] = None
@@ -107,7 +118,18 @@ class Repairer:
                     justification=error.constraints,
                 )
             )
-        return RepairResult(relation=target, repairs=repairs, unresolved=unresolved)
+        remaining: Optional[frozenset[CellRef]] = None
+        if self.verify and not self.dry_run:
+            verification = ErrorDetector(
+                self.pfds, min_evidence=self.min_evidence, evaluator=self.evaluator
+            ).detect(target)
+            remaining = frozenset(verification.error_cells)
+        return RepairResult(
+            relation=target,
+            repairs=repairs,
+            unresolved=unresolved,
+            remaining_error_cells=remaining,
+        )
 
 
 def repair_errors(

@@ -38,6 +38,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="maximum number of LHS attributes (default 1)")
     parser.add_argument("--no-generalize", action="store_true",
                         help="keep constant PFDs instead of generalizing to variable PFDs")
+    parser.add_argument("--stats", action="store_true",
+                        help="print partition-cache hit/miss counters and "
+                             "per-level candidate counts")
 
 
 def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
@@ -50,6 +53,17 @@ def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
     )
 
 
+def _print_discovery_stats(relation, result) -> None:
+    """The ``--stats`` report: partition-cache counters and per-level
+    candidate counts (the partition layer's observability hook)."""
+    stats = result.partition_stats or relation.partitions().stats
+    print(stats.summary())
+    manager = relation.partitions()
+    print(f"cached partitions: {manager.cached_partition_count()}")
+    for level in sorted(result.candidates_per_level):
+        print(f"level {level}: {result.candidates_per_level[level]} candidate(s)")
+
+
 def _command_discover(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv)
     result = PFDDiscoverer(_config_from_args(args)).discover(relation)
@@ -58,6 +72,8 @@ def _command_discover(args: argparse.Namespace) -> int:
         for dependency in result.dependencies:
             print()
             print(dependency.pfd.describe())
+    if args.stats:
+        _print_discovery_stats(relation, result)
     if args.save:
         path = save_pfds(args.save, result.pfds)
         print(f"saved {len(result.pfds)} PFD(s) to {path}")
@@ -75,8 +91,12 @@ def _command_detect(args: argparse.Namespace) -> int:
             relation
         )
         pfds = result.pfds
+        if args.stats:
+            _print_discovery_stats(relation, result)
     report = detect_errors(relation, pfds, evaluator=evaluator)
     print(report.summary())
+    if args.load and args.stats:
+        print(relation.partitions().stats.summary())
     if args.save:
         path = save_pfds(args.save, pfds)
         print(f"saved {len(pfds)} PFD(s) to {path}")

@@ -4,12 +4,18 @@ FDs are both a baseline constraint language (Section 1.1 of the paper shows
 why they miss pattern-level errors) and the *embedded* dependency inside
 every CFD and PFD.  Violation semantics follow the textbook definition: two
 tuples agreeing on ``X`` but disagreeing on some attribute of ``Y``.
+
+Evaluation is partition-based: the LHS grouping comes from the relation's
+cached stripped partitions (TANE-style — singleton groups, which can never
+violate an FD, are never materialized), and RHS agreement is checked against
+dictionary codes.  Repeated candidate checks over the same relation — the
+FDep/CFDFinder baselines enumerate many — therefore share one grouping pass
+per attribute set instead of re-hashing every row per candidate.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import defaultdict
 from typing import Iterable, Sequence
 
 from ..dataset.relation import Relation
@@ -56,8 +62,19 @@ class FD:
     # -- evaluation ----------------------------------------------------------
 
     def holds_on(self, relation: Relation) -> bool:
-        """True iff the relation has no violating tuple pair."""
-        return not self._first_violation_exists(relation)
+        """True iff the relation has no violating tuple pair.
+
+        Checked TANE-style: every stripped LHS class must agree on every RHS
+        attribute's dictionary code — cost proportional to the stripped
+        classes, not the row count, and the LHS partition is shared with
+        every other candidate over the same attribute set.
+        """
+        relation.schema.validate_attributes(self.attributes())
+        partition = relation.partitions().attribute_set_partition(self.lhs)
+        return all(
+            partition.refines_codes(relation.dictionary(rhs_attr).codes)
+            for rhs_attr in self.rhs
+        )
 
     def violations(self, relation: Relation) -> list[Violation]:
         """All violations, one per (LHS group, disagreeing RHS attribute).
@@ -66,25 +83,32 @@ class FD:
         LHS group that disagree on an RHS attribute are reported as a single
         violation whose cells cover the whole group, with the minority-value
         cells marked as suspects (majority voting, as used by the error
-        detection experiments of Section 5.3).
+        detection experiments of Section 5.3).  The groups are the stripped
+        classes of the cached LHS partition; RHS values are bucketed through
+        dictionary codes.
         """
         relation.schema.validate_attributes(self.attributes())
-        groups = self._lhs_groups(relation)
+        partition = relation.partitions().attribute_set_partition(self.lhs)
+        rhs_columns = {attr: relation.dictionary(attr) for attr in self.rhs}
         found: list[Violation] = []
-        for key, row_ids in groups.items():
-            if len(row_ids) < 2:
-                continue
+        for row_ids in partition.classes:
             for rhs_attr in self.rhs:
-                values = defaultdict(list)
+                column = rhs_columns[rhs_attr]
+                codes = column.codes
+                buckets: dict[int, list[int]] = {}
                 for row_id in row_ids:
-                    values[relation.cell(row_id, rhs_attr)].append(row_id)
-                if len(values) < 2:
+                    buckets.setdefault(codes[row_id], []).append(row_id)
+                if len(buckets) < 2:
                     continue
-                majority_value, _ = max(values.items(), key=lambda item: (len(item[1]), item[0]))
+                majority_code, _ = max(
+                    buckets.items(),
+                    key=lambda item: (len(item[1]), column.values[item[0]]),
+                )
+                majority_value = column.values[majority_code]
                 suspects = tuple(
                     CellRef(row_id, rhs_attr)
-                    for value, ids in values.items()
-                    if value != majority_value
+                    for code, ids in buckets.items()
+                    if code != majority_code
                     for row_id in ids
                 )
                 cells = tuple(
@@ -102,27 +126,6 @@ class FD:
                     )
                 )
         return found
-
-    def _lhs_groups(self, relation: Relation) -> dict[tuple[str, ...], list[int]]:
-        groups: dict[tuple[str, ...], list[int]] = defaultdict(list)
-        for row_id in range(relation.row_count):
-            key = tuple(relation.cell(row_id, attr) for attr in self.lhs)
-            if any(not part for part in key):
-                continue
-            groups[key].append(row_id)
-        return groups
-
-    def _first_violation_exists(self, relation: Relation) -> bool:
-        seen: dict[tuple[str, ...], tuple[str, ...]] = {}
-        for row_id in range(relation.row_count):
-            key = tuple(relation.cell(row_id, attr) for attr in self.lhs)
-            if any(not part for part in key):
-                continue
-            rhs_values = tuple(relation.cell(row_id, attr) for attr in self.rhs)
-            if key in seen and seen[key] != rhs_values:
-                return True
-            seen.setdefault(key, rhs_values)
-        return False
 
     # -- display -------------------------------------------------------------
 

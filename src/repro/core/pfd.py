@@ -15,7 +15,13 @@ must match the RHS.
 
 The implementation groups data tuples by their extracted constrained LHS
 values, which makes the check linear in the table size per tableau row
-(instead of quadratic over tuple pairs).
+(instead of quadratic over tuple pairs).  The grouping itself is served by
+the relation's stripped-partition cache
+(:meth:`~repro.dataset.relation.Relation.partitions`): each tableau row's
+LHS corresponds to an intersection of per-(attribute, pattern) partitions,
+built once and shared across violations, support, statistics, discovery
+validation, and error detection — the per-row walk then touches equivalence
+classes, not raw rows.
 
 Pattern matching itself is vectorized through :mod:`repro.engine`: every
 tableau cell is matched once per *distinct* column value (via the memoized
@@ -44,6 +50,7 @@ from ..constraints.base import CellRef, Violation, embedded_dependency_key
 from ..constraints.fd import FD
 from ..dataset.relation import Relation
 from ..engine.evaluator import PatternEvaluator, default_evaluator
+from ..engine.partitions import PartitionManager, StrippedPartition
 from ..exceptions import ConstraintError
 from ..patterns.ast import Pattern
 from .tableau import CellSpec, PatternTableau, PatternTuple, Wildcard
@@ -103,6 +110,33 @@ def prime_for_pfds(
         if attribute in known and len(patterns) >= 2:
             evaluator.match_column_many(patterns, relation.dictionary(attribute))
     return evaluator
+
+
+def prime_partitions_for_pfds(
+    relation: Relation,
+    pfds: Iterable["PFD"],
+    evaluator: Optional[PatternEvaluator] = None,
+) -> PartitionManager:
+    """Build the leaf partitions that evaluating ``pfds`` will group by.
+
+    Every (attribute, LHS pattern) pair across all tableau rows of all
+    supplied PFDs maps to one stripped partition in the relation's cache;
+    building them here — after :func:`prime_for_pfds` has batched the
+    pattern matching — means sibling PFDs sharing a pattern share one
+    grouping pass, and the subsequent per-row evaluation only intersects
+    cached classes.  Attributes missing from the schema are skipped (the
+    per-PFD evaluation reports them).
+    """
+    manager = relation.partitions()
+    known = set(relation.attribute_names)
+    for pfd in pfds:
+        for row in pfd.tableau:
+            for attribute in pfd.lhs:
+                if attribute in known:
+                    manager.pattern_partition(
+                        attribute, row.pattern(attribute), evaluator=evaluator
+                    )
+    return manager
 
 
 @dataclasses.dataclass(frozen=True)
@@ -215,55 +249,28 @@ class PFD:
             if len(patterns) >= 2:
                 evaluator.match_column_many(patterns, relation.dictionary(attribute))
 
-    def _lhs_keys(
+    def _row_partition(
         self,
         relation: Relation,
         row: PatternTuple,
         evaluator: PatternEvaluator,
-    ) -> dict[int, tuple[str, ...]]:
-        """The extracted constrained LHS key of every tuple matching the LHS
-        of a tableau row, keyed by tuple id (ascending).
+    ) -> StrippedPartition:
+        """The stripped partition of a tableau row's LHS: covered rows are
+        the tuples matching every LHS pattern (with non-empty cells), and
+        classes group them by the tuple of extracted constrained parts.
 
-        Patterns are matched once per distinct column value through the
-        evaluator; the per-distinct key components are then broadcast to rows
-        via the dictionary codes.  A tuple is excluded when any LHS cell is
-        empty or fails its pattern.
+        Served from the relation's partition cache: single-attribute rows
+        read one (attribute, pattern) leaf, multi-attribute rows intersect
+        the cached leaves via the probe-table product — nothing re-groups
+        the relation row by row.
         """
-        per_attribute: list[tuple[list[int], list[Optional[str]]]] = []
-        for attribute in self.lhs:
-            column = relation.dictionary(attribute)
-            match = evaluator.match_column(row.pattern(attribute), column)
-            components: list[Optional[str]] = []
-            for value, result in zip(column.values, match.results):
-                if not value or not result.matched:
-                    components.append(None)
-                else:
-                    # Cells without a constrained part only require matching;
-                    # they contribute a constant component to the key.
-                    components.append(
-                        result.constrained_value
-                        if result.constrained_value is not None
-                        else ""
-                    )
-            per_attribute.append((column.codes, components))
-        keys: dict[int, tuple[str, ...]] = {}
-        if len(per_attribute) == 1:
-            codes, components = per_attribute[0]
-            for row_id, code in enumerate(codes):
-                component = components[code]
-                if component is not None:
-                    keys[row_id] = (component,)
-            return keys
-        for row_id in range(relation.row_count):
-            key: list[str] = []
-            for codes, components in per_attribute:
-                component = components[codes[row_id]]
-                if component is None:
-                    break
-                key.append(component)
-            else:
-                keys[row_id] = tuple(key)
-        return keys
+        manager = relation.partitions()
+        keys = [
+            manager.key(attribute, row.pattern(attribute)) for attribute in self.lhs
+        ]
+        if len(keys) == 1:
+            return manager.partition_for(keys[0], evaluator)
+        return manager.intersection(keys, evaluator)
 
     def matching_rows(
         self,
@@ -273,7 +280,7 @@ class PFD:
     ) -> list[int]:
         """Tuple ids matching every LHS pattern of ``row`` (its support set)."""
         evaluator = evaluator or default_evaluator()
-        return list(self._lhs_keys(relation, row, evaluator))
+        return list(self._row_partition(relation, row, evaluator).covered)
 
     # -- satisfaction / violations ---------------------------------------------
 
@@ -306,7 +313,7 @@ class PFD:
         self, relation: Relation, row: PatternTuple, evaluator: PatternEvaluator
     ) -> list[Violation]:
         found: list[Violation] = []
-        supported = self._lhs_keys(relation, row, evaluator)
+        supported = self._row_partition(relation, row, evaluator).covered
         if not supported:
             return found
         rhs_expected = {
@@ -341,12 +348,12 @@ class PFD:
     def _variable_row_violations(
         self, relation: Relation, row: PatternTuple, evaluator: PatternEvaluator
     ) -> list[Violation]:
-        groups: dict[tuple[str, ...], list[int]] = defaultdict(list)
-        for row_id, key in self._lhs_keys(relation, row, evaluator).items():
-            groups[key].append(row_id)
         # Variable rows need a pair of LHS-equivalent tuples to witness a
-        # violation; skip the RHS work entirely when no group has one.
-        if not any(len(row_ids) >= 2 for row_ids in groups.values()):
+        # violation — which is exactly what the stripped classes are: the
+        # singletons are already gone, so the RHS work below scales with the
+        # surviving classes, not with the relation.
+        partition = self._row_partition(relation, row, evaluator)
+        if not partition.classes:
             return []
         # Per-code RHS bucket, computed once per attribute (it depends only on
         # the pattern and the column, not on the LHS group): a tuple that
@@ -371,9 +378,7 @@ class PFD:
                     bucket_by_code.append((False, value))
             rhs_buckets[attribute] = (column.codes, bucket_by_code)
         found: list[Violation] = []
-        for key, row_ids in groups.items():
-            if len(row_ids) < 2:
-                continue
+        for row_ids in partition.classes:
             for attribute in self.rhs:
                 codes, bucket_by_code = rhs_buckets[attribute]
                 buckets: dict[tuple[bool, str], list[int]] = defaultdict(list)

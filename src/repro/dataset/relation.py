@@ -17,6 +17,7 @@ import random
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..engine.dictionary import DictionaryColumn
+from ..engine.partitions import PartitionManager
 from ..exceptions import SchemaError
 from .schema import Attribute, AttributeRole, Schema
 
@@ -42,6 +43,7 @@ class Relation:
         if len(lengths) > 1:
             raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
         self._dictionaries: dict[str, DictionaryColumn] = {}
+        self._partitions: Optional[PartitionManager] = None
 
     # -- constructors -------------------------------------------------------
 
@@ -122,6 +124,19 @@ class Relation:
             self._dictionaries[name] = cached
         return cached
 
+    def partitions(self) -> PartitionManager:
+        """The relation's stripped-partition (PLI) cache.
+
+        Built lazily on first use; :meth:`set_cell` invalidates the touched
+        attribute's partitions (and any intersection involving it) while
+        :meth:`append_row` invalidates everything, mirroring the dictionary
+        cache.  The manager object itself is stable across mutations, so its
+        hit/miss statistics describe the relation's whole lifetime.
+        """
+        if self._partitions is None:
+            self._partitions = PartitionManager(self)
+        return self._partitions
+
     def cell(self, row_id: int, name: str) -> str:
         """The value of attribute ``name`` in tuple ``row_id``."""
         return self._columns[name][row_id]
@@ -158,6 +173,8 @@ class Relation:
         for name, value in zip(self.schema.attribute_names, values):
             self._columns[name].append(value)
         self._dictionaries.clear()
+        if self._partitions is not None:
+            self._partitions.invalidate()
         return self.row_count - 1
 
     def set_cell(self, row_id: int, name: str, value: object) -> None:
@@ -165,6 +182,8 @@ class Relation:
         self.schema.position(name)
         self._columns[name][row_id] = _normalize_cell(value)
         self._dictionaries.pop(name, None)
+        if self._partitions is not None:
+            self._partitions.invalidate_attribute(name)
 
     # -- derivation ----------------------------------------------------------
 

@@ -70,20 +70,28 @@ def enumerate_substring_groups(
     relation: Relation, lhs: str, rhs: str, min_length: int = 1
 ) -> list[SubstringGroup]:
     """Steps 1–2 of the brute-force algorithm: all substrings with positions
-    collapsed (exact string matching), each with its RHS bag."""
+    collapsed (exact string matching), each with its RHS bag.
+
+    The quadratic substring enumeration runs once per *distinct* LHS value —
+    the dictionary-encoded column broadcasts each value's substring set to
+    all of its rows — so duplicated tables only pay for their distinct
+    values, and the RHS bags are filled from dictionary codes instead of
+    per-row cell lookups.
+    """
     if relation.row_count > _MAX_ROWS:
         raise DiscoveryError(
             f"brute-force discovery is limited to {_MAX_ROWS} rows "
             f"(got {relation.row_count}); use PFDDiscoverer instead"
         )
-    bags: dict[str, list[tuple[int, str]]] = defaultdict(list)
-    for row_id in range(relation.row_count):
-        value = relation.cell(row_id, lhs)
+    column = relation.dictionary(lhs)
+    rhs_column = relation.dictionary(rhs)
+    rows_by_code = column.rows_by_code()
+    substring_codes: dict[str, list[int]] = {}
+    for code, value in enumerate(column.values):
         if not value:
             continue
         if len(value) > _MAX_VALUE_LENGTH:
             value = value[:_MAX_VALUE_LENGTH]
-        rhs_value = relation.cell(row_id, rhs)
         seen: set[str] = set()
         for start in range(len(value)):
             for end in range(start + min_length, len(value) + 1):
@@ -91,15 +99,22 @@ def enumerate_substring_groups(
                 if substring in seen:
                     continue
                 seen.add(substring)
-                bags[substring].append((row_id, rhs_value))
-    groups = [
-        SubstringGroup(
-            substring=substring,
-            rhs_values=tuple(rhs_value for _, rhs_value in entries),
-            row_ids=tuple(row_id for row_id, _ in entries),
+                substring_codes.setdefault(substring, []).append(code)
+    rhs_codes = rhs_column.codes
+    groups = []
+    for substring, codes in substring_codes.items():
+        row_ids = sorted(
+            row_id for code in codes for row_id in rows_by_code[code]
         )
-        for substring, entries in bags.items()
-    ]
+        groups.append(
+            SubstringGroup(
+                substring=substring,
+                rhs_values=tuple(
+                    rhs_column.values[rhs_codes[row_id]] for row_id in row_ids
+                ),
+                row_ids=tuple(row_ids),
+            )
+        )
     groups.sort(key=lambda group: (-group.support, -len(group.substring), group.substring))
     return groups
 

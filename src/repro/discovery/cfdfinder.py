@@ -7,6 +7,12 @@ the constant-CFD mining strategy: for every candidate embedded dependency
 is accepted when its confidence reaches the threshold, and the dependency is
 reported when the accepted tableau covers enough of the table.  Variable
 (wildcard) CFDs are reported when the embedded FD itself holds approximately.
+
+Frequent LHS value groups are the stripped classes of the relation's cached
+partition layer (:meth:`~repro.dataset.relation.Relation.partitions`):
+multi-attribute LHS sets intersect the cached single-attribute partitions
+instead of re-hashing every row per candidate, and RHS confidence is counted
+over dictionary codes.
 """
 
 from __future__ import annotations
@@ -14,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import time
-from collections import defaultdict
 from typing import Optional, Sequence
 
 from ..constraints.base import embedded_dependency_key
@@ -97,27 +102,36 @@ class CFDFinder:
     def _evaluate_candidate(
         self, relation: Relation, lhs: Sequence[str], rhs: str
     ) -> Optional[CFD]:
-        groups: dict[tuple[str, ...], list[int]] = defaultdict(list)
-        for row_id in range(relation.row_count):
-            key = tuple(relation.cell(row_id, attr) for attr in lhs)
-            if any(not part for part in key):
-                continue
-            groups[key].append(row_id)
+        partition = relation.partitions().attribute_set_partition(lhs)
+        groups: Sequence[Sequence[int]] = partition.classes
+        if self.min_support <= 1:
+            # Stripped partitions drop singleton groups; resurrect them only
+            # when the support threshold actually admits them, merged back in
+            # first-row order.
+            in_class = partition.probe_table()
+            singles = [(row,) for row in partition.covered if row not in in_class]
+            groups = sorted([*groups, *singles], key=lambda rows: rows[0])
 
+        rhs_column = relation.dictionary(rhs)
+        rhs_codes = rhs_column.codes
         tableau_rows: list[CFDTuple] = []
         covered = 0
-        for key, row_ids in groups.items():
+        for row_ids in groups:
             if len(row_ids) < self.min_support:
                 continue
-            counts: dict[str, int] = defaultdict(int)
+            counts: dict[int, int] = {}
             for row_id in row_ids:
-                counts[relation.cell(row_id, rhs)] += 1
-            top_value, top_count = max(counts.items(), key=lambda item: (item[1], item[0]))
+                code = rhs_codes[row_id]
+                counts[code] = counts.get(code, 0) + 1
+            top_code, top_count = max(
+                counts.items(), key=lambda item: (item[1], rhs_column.values[item[0]])
+            )
+            top_value = rhs_column.values[top_code]
             if not top_value:
                 continue
             if top_count / len(row_ids) < self.confidence:
                 continue
-            cells = {attr: value for attr, value in zip(lhs, key)}
+            cells = {attr: relation.cell(row_ids[0], attr) for attr in lhs}
             cells[rhs] = top_value
             tableau_rows.append(CFDTuple.from_mapping(cells))
             covered += len(row_ids)
@@ -136,11 +150,14 @@ class CFDFinder:
         return None
 
     def _fd_confidence(self, relation: Relation, fd: FD) -> float:
-        violating: set[int] = set()
-        for violation in fd.violations(relation):
-            violating.update(cell.row_id for cell in violation.suspect_cells)
         if relation.row_count == 0:
             return 1.0
+        # Suspect rows straight from the shared LHS partition (the same one
+        # the constant mining above grouped by) — no Violation objects.
+        partition = relation.partitions().attribute_set_partition(fd.lhs)
+        violating: set[int] = set()
+        for rhs_attr in fd.rhs:
+            violating.update(partition.minority_rows(relation.dictionary(rhs_attr).codes))
         return 1.0 - len(violating) / relation.row_count
 
 

@@ -10,6 +10,13 @@ dirty).
 
 The output is a list of :class:`~repro.constraints.fd.FD` together with the
 embedded-dependency keys used by the evaluation harness.
+
+Candidate checking is partition-based: every LHS set maps to a cached
+stripped partition (:meth:`~repro.dataset.relation.Relation.partitions`),
+multi-attribute sets are probe-table intersections of the level-1
+partitions, and both the exact check and the approximate violation ratio
+walk equivalence classes against RHS dictionary codes — no per-candidate
+row re-grouping.
 """
 
 from __future__ import annotations
@@ -105,9 +112,14 @@ class FDepDiscoverer:
     def _holds(self, relation: Relation, fd: FD) -> bool:
         if self.max_violation_ratio <= 0.0:
             return fd.holds_on(relation)
+        # Approximate check: suspect rows are the minority members of the
+        # stripped LHS classes, read directly off the cached partition —
+        # no Violation objects are materialized for rejected candidates.
+        partition = relation.partitions().attribute_set_partition(fd.lhs)
         violating_rows: set[int] = set()
-        for violation in fd.violations(relation):
-            violating_rows.update(cell.row_id for cell in violation.suspect_cells)
+        for rhs_attr in fd.rhs:
+            codes = relation.dictionary(rhs_attr).codes
+            violating_rows.update(partition.minority_rows(codes))
         if relation.row_count == 0:
             return True
         return len(violating_rows) / relation.row_count <= self.max_violation_ratio
@@ -115,10 +127,29 @@ class FDepDiscoverer:
     def _is_key_like(self, relation: Relation, lhs: Sequence[str]) -> bool:
         if relation.row_count == 0:
             return False
-        seen = set()
-        for row_id in range(relation.row_count):
-            seen.add(tuple(relation.cell(row_id, attr) for attr in lhs))
-        return len(seen) / relation.row_count >= self.key_distinct_ratio
+        # Distinct combinations over the covered (no empty cell) rows follow
+        # from the partition's shape: every covered row is either inside a
+        # stripped class (one combination per class) or a singleton.
+        partition = relation.partitions().attribute_set_partition(lhs)
+        distinct = (
+            partition.covered_count
+            - partition.stripped_row_count
+            + partition.class_count
+        )
+        uncovered = relation.row_count - partition.covered_count
+        if uncovered:
+            # Rows with an empty cell fall outside the partition; their key
+            # tuples cannot collide with covered ones (those have no empty
+            # component), so counting them separately stays exact.
+            covered = set(partition.covered)
+            distinct += len(
+                {
+                    tuple(relation.cell(row_id, attr) for attr in lhs)
+                    for row_id in range(relation.row_count)
+                    if row_id not in covered
+                }
+            )
+        return distinct / relation.row_count >= self.key_distinct_ratio
 
 
 def discover_fds(

@@ -198,10 +198,19 @@ def generalize_tableau(
         PatternTableau([PatternTuple.from_mapping(cells)]),
         relation_name,
     )
+    # Partition-based early pruning: the candidate row's support is bounded
+    # by the rows covered by the plain LHS attribute partitions (pattern
+    # matching only shrinks that set), so a deficient bound rejects the
+    # candidate before any pattern is matched or extracted.
+    bound = relation.partitions().attribute_set_partition(tuple(lhs)).covered_count
+    if bound < config.min_support:
+        return GeneralizationOutcome(None, support=0)
     # Validate in one evaluation pass: support once, violations once (the
     # violation_ratio convenience would recompute the support internally).
     # The shared evaluator memoizes the candidate's per-column matches, so a
-    # later full validation of the accepted PFD reuses them.
+    # later full validation of the accepted PFD reuses them — and the row's
+    # pattern-projected partition, built here, is reused by any later
+    # violations/statistics call on the same relation.
     support = candidate.support(relation, evaluator=evaluator)
     if support < config.min_support:
         return GeneralizationOutcome(None, support=support)

@@ -41,6 +41,10 @@ class CandidateLattice:
         self._satisfied: dict[str, list[frozenset[str]]] = {}
         #: candidates explicitly pruned (e.g. coverage bound cannot be met).
         self._pruned: set[tuple[frozenset[str], str]] = set()
+        #: LHS sets whose covered rows cannot reach the support/coverage
+        #: floor; supersets cover a subset of the same rows, so the whole
+        #: cone above them is pruned for every RHS.
+        self._deficient: list[frozenset[str]] = []
 
     # -- pruning ------------------------------------------------------------
 
@@ -52,10 +56,19 @@ class CandidateLattice:
         """Explicitly prune a single candidate (coverage bound, etc.)."""
         self._pruned.add((frozenset(lhs), rhs))
 
+    def mark_coverage_deficient(self, lhs: Iterable[str]) -> None:
+        """Record that ``lhs`` cannot cover enough rows (partition-based
+        bound): ``lhs`` and every superset are pruned for every RHS, since
+        an intersection partition only ever covers fewer rows."""
+        self._deficient.append(frozenset(lhs))
+
     def is_pruned(self, lhs: Iterable[str], rhs: str) -> bool:
         lhs_set = frozenset(lhs)
         if (lhs_set, rhs) in self._pruned:
             return True
+        for deficient in self._deficient:
+            if deficient <= lhs_set:
+                return True
         for satisfied in self._satisfied.get(rhs, ()):
             if satisfied < lhs_set:
                 return True

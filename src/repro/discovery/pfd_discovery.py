@@ -7,7 +7,11 @@ Pipeline, mirroring the pseudo-code:
 2. **Index**: build the hash-based inverted list from ``(part, position)``
    to tuple ids for every usable attribute (lines 5–12).
 3. **Candidates**: enumerate candidate dependencies ``X -> B`` level by level
-   over the attribute-set lattice (restriction (iv)).
+   over the attribute-set lattice (restriction (iv)).  Before any tableau
+   work, each LHS set is screened against the relation's cached stripped
+   partitions: the candidate's covered rows (the intersection of the
+   level-1 partitions, memoized on lattice descent) bound the achievable
+   support and coverage, and a deficient LHS prunes its whole superset cone.
 4. For each candidate, walk the frequent patterns of the LHS driver
    attribute; for each pattern with support ≥ K find the dominant RHS
    pattern among the same tuples and accept the pair when the agreement is
@@ -23,6 +27,7 @@ Pipeline, mirroring the pseudo-code:
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from collections import defaultdict
 from typing import Iterable, Optional, Sequence
@@ -33,6 +38,7 @@ from ..dataset.index import PatternIndex
 from ..dataset.profiler import TableProfile, profile_relation
 from ..dataset.relation import Relation
 from ..engine.evaluator import PatternEvaluator
+from ..engine.partitions import PartitionStats
 from ..patterns.ast import (
     ClassAtom,
     ConstrainedGroup,
@@ -78,6 +84,10 @@ class DiscoveryResult:
     runtime_seconds: float
     candidate_count: int
     index_entries: int
+    #: Candidates enumerated per lattice level (after pruning).
+    candidates_per_level: dict[int, int] = dataclasses.field(default_factory=dict)
+    #: Snapshot of the relation's partition-cache counters after discovery.
+    partition_stats: Optional[PartitionStats] = None
 
     @property
     def pfds(self) -> list[PFD]:
@@ -158,9 +168,24 @@ class PFDDiscoverer:
 
         dependencies: list[DiscoveredDependency] = []
         candidate_count = 0
+        candidates_per_level: dict[int, int] = {}
+        manager = relation.partitions()
+        # A tableau needs at least one group of min_support rows and must
+        # cover min_coverage of the table; both are bounded by the covered
+        # rows of the LHS partition, known before any pattern work.
+        coverage_floor = max(
+            config.min_support, math.ceil(config.min_coverage * relation.row_count)
+        )
         for level in range(1, config.max_lhs_size + 1):
             for lhs, rhs in lattice.level(level):
                 candidate_count += 1
+                candidates_per_level[level] = candidates_per_level.get(level, 0) + 1
+                partition = manager.attribute_set_partition(lhs)
+                if partition.covered_count < coverage_floor:
+                    # Intersections only shrink the covered set: prune the
+                    # whole superset cone, for every RHS.
+                    lattice.mark_coverage_deficient(lhs)
+                    continue
                 dependency = self._evaluate_candidate(relation, index, lhs, rhs)
                 if dependency is None:
                     continue
@@ -174,6 +199,8 @@ class PFDDiscoverer:
             runtime_seconds=runtime,
             candidate_count=candidate_count,
             index_entries=index.total_entries(),
+            candidates_per_level=candidates_per_level,
+            partition_stats=dataclasses.replace(manager.stats),
         )
 
     # -- candidate evaluation ---------------------------------------------------
@@ -422,11 +449,19 @@ class PFDDiscoverer:
         support = len(ids)
         required = config.required_rhs_agreement(support)
 
-        counts: dict[str, int] = defaultdict(int)
+        # Dominance counting over dictionary codes: integer bincount instead
+        # of hashing one string per row of the group.
+        column = relation.dictionary(rhs)
+        codes = column.codes
+        code_counts: dict[int, int] = {}
         for row_id in ids:
-            value = relation.cell(row_id, rhs)
-            if value:
-                counts[value] += 1
+            code = codes[row_id]
+            code_counts[code] = code_counts.get(code, 0) + 1
+        counts = {
+            column.values[code]: count
+            for code, count in code_counts.items()
+            if column.values[code]
+        }
         if counts:
             top_value, top_count = max(counts.items(), key=lambda item: (item[1], item[0]))
             if top_count >= required:

@@ -20,11 +20,18 @@ encoding — the standard analytical-engine layout (dictionary-encoded columns
   a whole pattern set into one shared DFA
   (:func:`repro.patterns.multi.compile_pattern_set`) and scans each distinct
   value once, yielding per-value bitmasks of *all* matching patterns that
-  later per-pattern calls are seeded from.
+  later per-pattern calls are seeded from;
+* :class:`~repro.engine.partitions.StrippedPartition` /
+  :class:`~repro.engine.partitions.PartitionManager` — the equivalence-class
+  tier: TANE-style stripped partitions per attribute (read off
+  ``rows_by_code``) or per (attribute, tableau pattern), with memoized
+  probe-table intersections for multi-attribute candidates, cached per
+  relation and invalidated on mutation.
 """
 
 from .dictionary import DictionaryColumn
 from .evaluator import ColumnMatch, ColumnMatchSet, PatternEvaluator, default_evaluator
+from .partitions import PartitionKey, PartitionManager, PartitionStats, StrippedPartition
 
 __all__ = [
     "DictionaryColumn",
@@ -32,4 +39,8 @@ __all__ = [
     "ColumnMatchSet",
     "PatternEvaluator",
     "default_evaluator",
+    "PartitionKey",
+    "PartitionManager",
+    "PartitionStats",
+    "StrippedPartition",
 ]

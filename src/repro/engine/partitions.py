@@ -1,0 +1,484 @@
+"""Stripped partitions (position list indexes) over dictionary-encoded columns.
+
+A *partition* of a relation groups tuple ids into equivalence classes: two
+rows belong to the same class when they agree on the grouping key.  TANE
+(Huhtala et al.) made two observations that this module adopts wholesale:
+
+* classes of size one can never witness a violation of a functional
+  dependency, so they are **stripped** — dropped from the representation;
+* the partition of a multi-attribute set ``{A, B}`` is the *product* of the
+  single-attribute partitions, computable from the stripped classes alone
+  with the classic probe-table algorithm — it never has to be re-grouped
+  from the raw rows.
+
+The pattern twist of this library adds a third kind of grouping key: the
+*extracted constrained part* of a tableau pattern.  A pattern-projected
+partition groups the rows whose value matches the pattern by that part, and
+is seeded from the engine's memoized per-distinct-value matches
+(:meth:`~repro.engine.evaluator.PatternEvaluator.match_column`, itself fed by
+the shared-DFA :class:`~repro.engine.evaluator.ColumnMatchSet` masks), so
+building one costs no pattern matching beyond what the evaluator already
+cached.
+
+Three partition sources, one cache
+----------------------------------
+
+:class:`PartitionManager` — created lazily per relation via
+:meth:`repro.dataset.relation.Relation.partitions` and invalidated on
+mutation exactly like the dictionary cache — memoizes:
+
+(a) **attribute partitions**, read straight off
+    :meth:`~repro.engine.dictionary.DictionaryColumn.rows_by_code` (the
+    dictionary's row lists *are* the equivalence classes);
+(b) **pattern-projected partitions**, keyed by ``(attribute, pattern)``;
+(c) **multi-attribute/pattern intersections**, keyed by the frozen set of
+    leaf keys and built by peeling one leaf off a memoized level-``(n-1)``
+    prefix — the lattice-descent shape of level-wise discovery, where every
+    level-``n`` candidate shares its first ``n-1`` attributes with a
+    previously validated candidate.
+
+Everything downstream — ``PFD.violations``, FD checking, the discovery
+baselines, error detection and repair — asks this manager for classes
+instead of re-grouping the relation row by row, which makes per-candidate
+work scale with the number (and size) of surviving equivalence classes
+rather than with the raw row count.
+
+A partition object is an immutable snapshot: like a ``DictionaryColumn``, it
+keeps meaning after the relation mutates, but the manager will no longer
+hand it out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+
+from ..patterns.alphabet import CharClass
+from ..patterns.ast import ClassAtom, ConstrainedGroup, Pattern, Repeat
+from ..patterns.matcher import CompiledPattern, compile_pattern
+from .evaluator import PatternEvaluator, default_evaluator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset -> engine)
+    from ..dataset.relation import Relation
+
+PatternLike = Union[Pattern, str, CompiledPattern]
+
+#: The tableau wildcard's pattern ``{{\A*}}`` matches every non-empty value
+#: and constrains the whole value — its projected partition is exactly the
+#: attribute partition, so keys carrying it are canonicalized to plain
+#: attribute keys (one shared cache entry instead of two).
+_WILDCARD_PATTERN = Pattern(
+    (ConstrainedGroup((Repeat(ClassAtom(CharClass.ANY), 0, None),)),)
+)
+
+
+class StrippedPartition:
+    """Equivalence classes of size >= 2 over row ids.
+
+    Attributes
+    ----------
+    classes:
+        The stripped classes: tuples of row ids, each ascending, ordered by
+        their smallest member (which equals first-seen order of the grouping
+        keys — consumers that used to iterate insertion-ordered dicts see
+        the same sequence).
+    row_count:
+        Total rows of the underlying relation (for error/coverage ratios).
+
+    The *covered* rows — every row the grouping key is defined on, including
+    the stripped singletons — are kept alongside because PFD semantics need
+    them (tableau-row support counts rows, not classes; constant rows apply
+    to single tuples).  For intersections they are derived lazily from the
+    parent partitions, so candidates rejected on classes alone never pay for
+    them.
+    """
+
+    __slots__ = ("classes", "row_count", "_covered", "_parents", "_probe", "_stripped")
+
+    def __init__(
+        self,
+        classes: Sequence[Sequence[int]],
+        row_count: int,
+        covered: Optional[Sequence[int]] = None,
+        parents: Optional[tuple["StrippedPartition", "StrippedPartition"]] = None,
+    ):
+        self.classes: tuple[tuple[int, ...], ...] = tuple(
+            tuple(class_rows) for class_rows in classes
+        )
+        self.row_count = row_count
+        self._covered: Optional[tuple[int, ...]] = (
+            tuple(covered) if covered is not None else None
+        )
+        self._parents = parents
+        self._probe: Optional[dict[int, int]] = None
+        self._stripped: Optional[int] = None
+
+    # -- size ----------------------------------------------------------------
+
+    @property
+    def class_count(self) -> int:
+        """Number of stripped (size >= 2) classes."""
+        return len(self.classes)
+
+    @property
+    def stripped_row_count(self) -> int:
+        """Total rows inside the stripped classes (TANE's ``||π||``)."""
+        if self._stripped is None:
+            self._stripped = sum(len(class_rows) for class_rows in self.classes)
+        return self._stripped
+
+    @property
+    def covered(self) -> tuple[int, ...]:
+        """All rows the grouping key is defined on (singletons included)."""
+        if self._covered is None:
+            if self._parents is None:
+                raise ValueError("partition was built without covered rows")
+            left, right = self._parents
+            right_covered = set(right.covered)
+            self._covered = tuple(
+                row for row in left.covered if row in right_covered
+            )
+        return self._covered
+
+    @property
+    def covered_count(self) -> int:
+        return len(self.covered)
+
+    @property
+    def error(self) -> float:
+        """TANE's partition error ``e``: the fraction of rows that must be
+        removed before the grouping key identifies tuples uniquely."""
+        if not self.row_count:
+            return 0.0
+        return (self.stripped_row_count - self.class_count) / self.row_count
+
+    # -- algebra -------------------------------------------------------------
+
+    def probe_table(self) -> dict[int, int]:
+        """Row id -> index of its stripped class (singletons absent)."""
+        if self._probe is None:
+            probe: dict[int, int] = {}
+            for index, class_rows in enumerate(self.classes):
+                for row in class_rows:
+                    probe[row] = index
+            self._probe = probe
+        return self._probe
+
+    def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
+        """The product partition (rows equivalent under *both* keys).
+
+        The classic probe-table algorithm: only the stripped classes are
+        visited, so the cost is ``O(||self|| + ||other||)`` — independent of
+        the relation's row count.
+        """
+        if not self.classes or not other.classes:
+            return StrippedPartition((), self.row_count, parents=(self, other))
+        probe = self.probe_table()
+        produced: list[tuple[int, ...]] = []
+        for class_rows in other.classes:
+            groups: dict[int, list[int]] = {}
+            for row in class_rows:
+                index = probe.get(row)
+                if index is not None:
+                    groups.setdefault(index, []).append(row)
+            for rows in groups.values():
+                if len(rows) >= 2:
+                    produced.append(tuple(rows))
+        produced.sort(key=lambda rows: rows[0])
+        return StrippedPartition(produced, self.row_count, parents=(self, other))
+
+    def refines(self, other: "StrippedPartition") -> bool:
+        """True when every class of ``self`` sits inside one class of
+        ``other`` (the TANE validity check for exact dependencies)."""
+        probe = other.probe_table()
+        for class_rows in self.classes:
+            target = probe.get(class_rows[0])
+            if target is None:
+                return False
+            for row in class_rows[1:]:
+                if probe.get(row) != target:
+                    return False
+        return True
+
+    def refines_codes(self, codes: Sequence[int]) -> bool:
+        """True when every class agrees on ``codes`` (a per-row code array,
+        e.g. a RHS column's dictionary codes — empty values included, which
+        is exactly the textbook FD comparison semantics)."""
+        for class_rows in self.classes:
+            expected = codes[class_rows[0]]
+            for row in class_rows[1:]:
+                if codes[row] != expected:
+                    return False
+        return True
+
+    def minority_rows(self, codes: Sequence[int]) -> list[int]:
+        """Rows outside the majority ``codes`` bucket of their class.
+
+        The per-class majority is the bucket with the most rows (ties broken
+        toward the smaller code, matching first-seen value order); the
+        returned suspects drive approximate-dependency ratios without
+        materializing violation objects.
+        """
+        suspects: list[int] = []
+        for class_rows in self.classes:
+            buckets: dict[int, list[int]] = {}
+            for row in class_rows:
+                buckets.setdefault(codes[row], []).append(row)
+            if len(buckets) < 2:
+                continue
+            majority = max(buckets.items(), key=lambda item: (len(item[1]), -item[0]))[0]
+            for code, rows in buckets.items():
+                if code != majority:
+                    suspects.extend(rows)
+        return suspects
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StrippedPartition(classes={self.class_count}, "
+            f"stripped_rows={self.stripped_row_count}, rows={self.row_count})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionKey:
+    """Cache key of one leaf partition: an attribute, optionally projected
+    through a tableau pattern (``pattern is None`` = plain attribute)."""
+
+    attribute: str
+    pattern: Optional[CompiledPattern] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.pattern is None:
+            return f"PartitionKey({self.attribute!r})"
+        return f"PartitionKey({self.attribute!r}, {self.pattern.pattern.to_pattern_string()!r})"
+
+
+@dataclasses.dataclass
+class PartitionStats:
+    """Cache-effectiveness counters of one :class:`PartitionManager`."""
+
+    attribute_hits: int = 0
+    attribute_misses: int = 0
+    pattern_hits: int = 0
+    pattern_misses: int = 0
+    intersection_hits: int = 0
+    intersection_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.attribute_hits + self.pattern_hits + self.intersection_hits
+
+    @property
+    def misses(self) -> int:
+        return self.attribute_misses + self.pattern_misses + self.intersection_misses
+
+    def summary(self) -> str:
+        return (
+            f"partition cache: {self.hits} hits / {self.misses} misses "
+            f"(attribute {self.attribute_hits}/{self.attribute_misses}, "
+            f"pattern {self.pattern_hits}/{self.pattern_misses}, "
+            f"intersection {self.intersection_hits}/{self.intersection_misses})"
+        )
+
+
+class PartitionManager:
+    """Build, cache, and intersect stripped partitions for one relation.
+
+    Obtained via :meth:`repro.dataset.relation.Relation.partitions`; the
+    relation invalidates the affected entries on mutation (``set_cell``
+    drops one attribute's partitions and every intersection touching it,
+    ``append_row`` drops everything), so a served partition always reflects
+    the current rows.  Counters in :attr:`stats` survive invalidation —
+    they describe the manager's whole lifetime.
+    """
+
+    def __init__(self, relation: "Relation"):
+        self._relation = relation
+        self._attribute: dict[str, StrippedPartition] = {}
+        self._pattern: dict[PartitionKey, StrippedPartition] = {}
+        self._intersections: dict[frozenset[PartitionKey], StrippedPartition] = {}
+        self.stats = PartitionStats()
+
+    # -- keys ----------------------------------------------------------------
+
+    def key(self, attribute: str, pattern: Optional[PatternLike] = None) -> PartitionKey:
+        """The canonical cache key for ``attribute`` (optionally projected
+        through ``pattern``; the wildcard pattern canonicalizes away)."""
+        if pattern is None:
+            return PartitionKey(attribute)
+        compiled = pattern if isinstance(pattern, CompiledPattern) else compile_pattern(pattern)
+        if compiled.pattern == _WILDCARD_PATTERN:
+            return PartitionKey(attribute)
+        return PartitionKey(attribute, compiled)
+
+    # -- leaf partitions -----------------------------------------------------
+
+    def attribute_partition(self, attribute: str) -> StrippedPartition:
+        """Equivalence classes of whole attribute values (empty cells are
+        uncovered, mirroring the grouping semantics of FD/PFD evaluation)."""
+        cached = self._attribute.get(attribute)
+        if cached is not None:
+            self.stats.attribute_hits += 1
+            return cached
+        self.stats.attribute_misses += 1
+        column = self._relation.dictionary(attribute)
+        rows_by_code = column.rows_by_code()
+        # Dictionary values are in first-seen order, so walking the codes in
+        # order yields classes already sorted by their smallest row id.
+        classes = []
+        for code, value in enumerate(column.values):
+            if value and len(rows_by_code[code]) >= 2:
+                classes.append(tuple(rows_by_code[code]))
+        empty_code = column.code_of("")
+        if empty_code is None:
+            covered: tuple[int, ...] = tuple(range(column.row_count))
+        else:
+            covered = tuple(
+                row for row, code in enumerate(column.codes) if code != empty_code
+            )
+        partition = StrippedPartition(classes, column.row_count, covered=covered)
+        self._attribute[attribute] = partition
+        return partition
+
+    def pattern_partition(
+        self,
+        attribute: str,
+        pattern: PatternLike,
+        evaluator: Optional[PatternEvaluator] = None,
+    ) -> StrippedPartition:
+        """Rows matching ``pattern``, grouped by extracted constrained part.
+
+        Matching runs through the evaluator's memoized per-distinct-value
+        results (seeded from any prior set-at-a-time batch), so only the
+        row-id grouping itself is new work — and it happens once per
+        (attribute, pattern), no matter how many tableau rows, candidates,
+        or detection passes ask again.
+        """
+        key = self.key(attribute, pattern)
+        if key.pattern is None:
+            return self.attribute_partition(attribute)
+        return self._pattern_partition(key, evaluator)
+
+    def _pattern_partition(
+        self, key: PartitionKey, evaluator: Optional[PatternEvaluator]
+    ) -> StrippedPartition:
+        cached = self._pattern.get(key)
+        if cached is not None:
+            self.stats.pattern_hits += 1
+            return cached
+        self.stats.pattern_misses += 1
+        evaluator = evaluator or default_evaluator()
+        column = self._relation.dictionary(key.attribute)
+        match = evaluator.match_column(key.pattern, column)
+        # Per-code grouping component: None excludes the rows (empty value or
+        # failed match); a cell without a constrained part contributes a
+        # constant component — matching is then the only requirement.
+        components: list[Optional[str]] = []
+        for value, result in zip(column.values, match.results):
+            if not value or not result.matched:
+                components.append(None)
+            else:
+                components.append(
+                    result.constrained_value
+                    if result.constrained_value is not None
+                    else ""
+                )
+        groups: dict[str, list[int]] = {}
+        covered: list[int] = []
+        for row, code in enumerate(column.codes):
+            component = components[code]
+            if component is None:
+                continue
+            covered.append(row)
+            groups.setdefault(component, []).append(row)
+        classes = [tuple(rows) for rows in groups.values() if len(rows) >= 2]
+        partition = StrippedPartition(classes, column.row_count, covered=covered)
+        self._pattern[key] = partition
+        return partition
+
+    def partition_for(
+        self, key: PartitionKey, evaluator: Optional[PatternEvaluator] = None
+    ) -> StrippedPartition:
+        """The leaf partition of one canonical key."""
+        if key.pattern is None:
+            return self.attribute_partition(key.attribute)
+        return self._pattern_partition(key, evaluator)
+
+    # -- intersections -------------------------------------------------------
+
+    def intersection(
+        self,
+        keys: Iterable[PartitionKey],
+        evaluator: Optional[PatternEvaluator] = None,
+    ) -> StrippedPartition:
+        """The product of the leaf partitions of ``keys``, memoized.
+
+        A level-``n`` request peels one leaf off the canonically ordered key
+        set and intersects it into the memoized level-``(n-1)`` prefix, so a
+        lattice descent reuses every previously intersected prefix instead
+        of rebuilding from the rows.
+        """
+        key_set = frozenset(keys)
+        if not key_set:
+            raise ValueError("intersection() needs at least one partition key")
+        if len(key_set) == 1:
+            return self.partition_for(next(iter(key_set)), evaluator)
+        cached = self._intersections.get(key_set)
+        if cached is not None:
+            self.stats.intersection_hits += 1
+            return cached
+        self.stats.intersection_misses += 1
+        ordered = sorted(key_set, key=_key_order)
+        last = ordered[-1]
+        prefix = self.intersection(ordered[:-1], evaluator)
+        leaf = self.partition_for(last, evaluator)
+        partition = prefix.intersect(leaf)
+        self._intersections[key_set] = partition
+        return partition
+
+    def attribute_set_partition(self, attributes: Sequence[str]) -> StrippedPartition:
+        """The (possibly multi-) attribute partition of plain values — the
+        grouping every FD-style consumer used to rebuild per candidate."""
+        keys = [PartitionKey(attribute) for attribute in attributes]
+        if len(keys) == 1:
+            return self.attribute_partition(keys[0].attribute)
+        return self.intersection(keys)
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate_attribute(self, attribute: str) -> None:
+        """Drop every cached partition that reads ``attribute``."""
+        self._attribute.pop(attribute, None)
+        self._pattern = {
+            key: partition
+            for key, partition in self._pattern.items()
+            if key.attribute != attribute
+        }
+        self._intersections = {
+            key_set: partition
+            for key_set, partition in self._intersections.items()
+            if all(key.attribute != attribute for key in key_set)
+        }
+
+    def invalidate(self) -> None:
+        """Drop every cached partition (counters are kept)."""
+        self._attribute.clear()
+        self._pattern.clear()
+        self._intersections.clear()
+
+    def cached_partition_count(self) -> int:
+        return len(self._attribute) + len(self._pattern) + len(self._intersections)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionManager(cached={self.cached_partition_count()}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )
+
+
+def _key_order(key: PartitionKey) -> tuple[str, str]:
+    """Canonical leaf order inside an intersection (attribute, then pattern
+    string), so equal key sets always peel the same prefix."""
+    if key.pattern is None:
+        return (key.attribute, "")
+    return (key.attribute, key.pattern.pattern.to_pattern_string())

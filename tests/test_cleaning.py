@@ -129,6 +129,18 @@ class TestRepair:
         for error in injected.errors:
             assert injected.relation.cell(error.cell.row_id, "city") == error.injected_value
 
+    def test_verify_reports_remaining_errors(self, zip_city_relation, zip_city_pfd):
+        injected = inject_errors(zip_city_relation, "city", 0.1, mode="outside", seed=1)
+        repairer = Repairer([zip_city_pfd], verify=True)
+        result = repairer.repair(injected.relation)
+        # The majority-vote repairs fix every injected error, and the
+        # re-detection (running on the mutated copy through fresh partitions)
+        # confirms nothing is left flagged.
+        assert result.remaining_error_cells == frozenset()
+        # Without verify, the field stays unset.
+        plain = Repairer([zip_city_pfd]).repair(injected.relation)
+        assert plain.remaining_error_cells is None
+
     def test_repairs_carry_justification(self, zip_city_relation, zip_city_pfd):
         injected = inject_errors(zip_city_relation, "city", 0.1, seed=1)
         result = repair_errors(injected.relation, [zip_city_pfd])
