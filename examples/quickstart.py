@@ -3,14 +3,7 @@
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    DiscoveryConfig,
-    Relation,
-    detect_errors,
-    discover_pfds,
-    make_pfd,
-    repair_errors,
-)
+from repro import CleaningSession, DiscoveryConfig, Relation, make_pfd
 
 
 def main() -> None:
@@ -47,7 +40,9 @@ def main() -> None:
             print("  violation:", violation)
 
     # ------------------------------------------------------------------
-    # 3. Discover PFDs automatically (a slightly larger, dirtier table).
+    # 3. Discover PFDs automatically (a slightly larger, dirtier table),
+    #    through a CleaningSession so detection and repair below reuse the
+    #    engine state discovery primes.
     # ------------------------------------------------------------------
     rows = []
     for prefix, city in (("900", "Los Angeles"), ("606", "Chicago"), ("100", "New York")):
@@ -57,7 +52,8 @@ def main() -> None:
     table.set_cell(5, "city", "Chicago")      # inject two errors
     table.set_cell(20, "city", "Los Angeles")
 
-    result = discover_pfds(table, DiscoveryConfig(min_support=5, noise_ratio=0.1))
+    session = CleaningSession(table, config=DiscoveryConfig(min_support=5, noise_ratio=0.1))
+    result = session.discover()
     print()
     print(result.summary())
     for dependency in result.dependencies:
@@ -71,15 +67,17 @@ def main() -> None:
     # ------------------------------------------------------------------
     validated = result.dependency_for(("zip",), "city")
     assert validated is not None
-    report = detect_errors(table, [validated.pfd])
+    report = session.detect([validated.pfd])
     print()
     print(report.summary())
 
-    repaired = repair_errors(table, [validated.pfd])
+    repaired = session.repair([validated.pfd])
     print()
     print(repaired.summary())
     print("\nrow 5 after repair:", repaired.relation.row_dict(5))
     print("row 20 after repair:", repaired.relation.row_dict(20))
+    print()
+    print(session.stats().summary())
 
 
 if __name__ == "__main__":

@@ -19,17 +19,25 @@ The library provides:
 * :mod:`repro.cleaning` — error injection, detection, repair, and metrics;
 * :mod:`repro.datagen` — the synthetic 15-table benchmark suite;
 * :mod:`repro.experiments` — runners that regenerate every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation;
+* :mod:`repro.session` — the :class:`CleaningSession` facade tying the
+  pipeline together over one shared engine state.
 
 Quickstart
 ----------
->>> from repro import Relation, discover_pfds, detect_errors
->>> table = Relation.from_rows(
+>>> from repro import CleaningSession
+>>> session = CleaningSession.from_rows(
 ...     ["zip", "city"],
 ...     [("90001", "Los Angeles"), ("90002", "Los Angeles"), ("90003", "Los Angeles")],
 ... )
->>> result = discover_pfds(table)
->>> pfds = result.pfds
+>>> result = session.discover()     # memoized; primes the shared caches
+>>> report = session.detect()       # reuses them — no re-priming
+>>> repaired = session.repair()     # applies + verifies on a copy
+>>> print(session.stats().summary())  # doctest: +SKIP
+
+The free functions (:func:`discover_pfds`, :func:`detect_errors`,
+:func:`repair_errors`, :func:`validate_pfds`) remain as convenience wrappers
+that run a single stage through a throwaway session.
 """
 
 from .cleaning import detect_errors, inject_errors, repair_errors
@@ -64,10 +72,22 @@ from .discovery import (
 )
 from .inference import check_consistency, implies
 from .patterns import Pattern, compile_pattern, parse_pattern
+from .session import (
+    CleaningSession,
+    PFDValidation,
+    SessionStats,
+    ValidationReport,
+    validate_pfds,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CleaningSession",
+    "SessionStats",
+    "ValidationReport",
+    "PFDValidation",
+    "validate_pfds",
     "detect_errors",
     "inject_errors",
     "repair_errors",

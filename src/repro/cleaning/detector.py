@@ -152,7 +152,15 @@ def detect_errors(
     min_evidence: int = 1,
     evaluator: Optional[PatternEvaluator] = None,
 ) -> DetectionReport:
-    """Convenience wrapper around :class:`ErrorDetector`."""
-    return ErrorDetector(pfds, min_evidence=min_evidence, evaluator=evaluator).detect(
-        relation
+    """Convenience wrapper: detection through a throwaway
+    :class:`~repro.session.CleaningSession`.
+
+    Callers running more than one pipeline stage on the same relation
+    should hold a session instead, so discovery, detection, and repair
+    share one evaluator and one partition cache.
+    """
+    from ..session import CleaningSession  # local import: session sits above
+
+    return CleaningSession(relation, evaluator=evaluator).detect(
+        pfds, min_evidence=min_evidence
     )

@@ -137,6 +137,18 @@ def repair_errors(
     pfds: Sequence[PFD],
     min_evidence: int = 1,
     evaluator: Optional[PatternEvaluator] = None,
+    verify: bool = False,
 ) -> RepairResult:
-    """Convenience wrapper around :class:`Repairer`."""
-    return Repairer(pfds, min_evidence=min_evidence, evaluator=evaluator).repair(relation)
+    """Convenience wrapper: repair through a throwaway
+    :class:`~repro.session.CleaningSession`.
+
+    ``verify`` defaults to False here for backwards compatibility; the
+    session's :meth:`~repro.session.CleaningSession.repair` defaults to
+    True.  Callers running more than one pipeline stage on the same
+    relation should hold a session instead.
+    """
+    from ..session import CleaningSession  # local import: session sits above
+
+    return CleaningSession(relation, evaluator=evaluator).repair(
+        pfds, min_evidence=min_evidence, verify=verify
+    )

@@ -1,30 +1,43 @@
 """Command line interface: ``pfd-discover``.
 
+Every data-facing sub-command is a thin shell over one
+:class:`~repro.session.CleaningSession`: the CSV is loaded once, the engine
+caches (evaluator, dictionaries, stripped partitions) are primed once, and
+the stages compose — ``clean`` runs discover → detect → repair end-to-end
+without re-reading or re-priming anything.
+
 Sub-commands
 ------------
 ``discover``  — run PFD discovery on a CSV file and print the dependencies.
 ``detect``    — discover (or load) PFDs and report suspected errors.
+``repair``    — discover (or load) PFDs, detect, and apply repairs.
+``clean``     — end-to-end: discover → detect → repair → write the repaired
+                CSV plus a JSON report.  Exits 0 when the repaired table is
+                clean, 1 when suspect cells remain, 2 on errors.
 ``validate``  — load saved PFDs and report per-PFD coverage / violations.
 ``suite``     — materialize the 15-table synthetic benchmark suite to CSV.
 ``experiment``— run one of the paper's experiments (table3/table7/table8/
                 figure5/figure6/efficiency) and print the reproduced rows.
+
+``--stats`` (on discover/detect/validate/repair/clean) prints the session's
+:class:`~repro.session.SessionStats` — shared-cache counters covering both
+pattern matching and the partition layer.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
-from .cleaning.detector import detect_errors
-from .core.pfd import prime_for_pfds
 from .core.serialization import load_pfds, save_pfds
-from .dataset.csvio import read_csv
 from .datagen.suite import materialize_suite
+from .dataset.csvio import write_csv
 from .discovery.config import DiscoveryConfig
-from .discovery.pfd_discovery import PFDDiscoverer
-from .engine.evaluator import PatternEvaluator
 from .exceptions import ReproError
+from .session import CleaningSession
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -38,9 +51,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="maximum number of LHS attributes (default 1)")
     parser.add_argument("--no-generalize", action="store_true",
                         help="keep constant PFDs instead of generalizing to variable PFDs")
+    _add_stats_argument(parser)
+
+
+def _add_stats_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
-                        help="print partition-cache hit/miss counters and "
-                             "per-level candidate counts")
+                        help="print the session's shared-cache counters "
+                             "(pattern matching + partition cache)")
 
 
 def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
@@ -53,80 +70,134 @@ def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
     )
 
 
-def _print_discovery_stats(relation, result) -> None:
-    """The ``--stats`` report: partition-cache counters and per-level
-    candidate counts (the partition layer's observability hook)."""
-    stats = result.partition_stats or relation.partitions().stats
-    print(stats.summary())
-    manager = relation.partitions()
-    print(f"cached partitions: {manager.cached_partition_count()}")
-    for level in sorted(result.candidates_per_level):
-        print(f"level {level}: {result.candidates_per_level[level]} candidate(s)")
+def _session_from_args(args: argparse.Namespace) -> CleaningSession:
+    config = _config_from_args(args) if hasattr(args, "min_support") else None
+    return CleaningSession.from_csv(args.csv, config=config)
+
+
+def _session_pfds(session: CleaningSession, args: argparse.Namespace):
+    """The PFD set a command works with: loaded from ``--load``, otherwise
+    discovered on the session (memoized for any later stage)."""
+    if getattr(args, "load", None):
+        pfds = load_pfds(args.load)
+        print(f"loaded {len(pfds)} PFD(s) from {args.load}")
+        return pfds
+    return session.discover().pfds
+
+
+def _print_stats(session: CleaningSession) -> None:
+    print(session.stats().summary())
+    discovery = session.discovery
+    if discovery is not None:
+        for level in sorted(discovery.candidates_per_level):
+            print(f"level {level}: {discovery.candidates_per_level[level]} candidate(s)")
+
+
+def _maybe_save(args: argparse.Namespace, pfds) -> None:
+    if getattr(args, "save", None):
+        path = save_pfds(args.save, pfds)
+        print(f"saved {len(pfds)} PFD(s) to {path}")
 
 
 def _command_discover(args: argparse.Namespace) -> int:
-    relation = read_csv(args.csv)
-    result = PFDDiscoverer(_config_from_args(args)).discover(relation)
+    session = _session_from_args(args)
+    result = session.discover()
     print(result.summary())
     if args.verbose:
         for dependency in result.dependencies:
             print()
             print(dependency.pfd.describe())
     if args.stats:
-        _print_discovery_stats(relation, result)
-    if args.save:
-        path = save_pfds(args.save, result.pfds)
-        print(f"saved {len(result.pfds)} PFD(s) to {path}")
+        _print_stats(session)
+    _maybe_save(args, result.pfds)
     return 0
 
 
 def _command_detect(args: argparse.Namespace) -> int:
-    relation = read_csv(args.csv)
-    evaluator = PatternEvaluator()
-    if args.load:
-        pfds = load_pfds(args.load)
-        print(f"loaded {len(pfds)} PFD(s) from {args.load}")
-    else:
-        result = PFDDiscoverer(_config_from_args(args), evaluator=evaluator).discover(
-            relation
-        )
-        pfds = result.pfds
-        if args.stats:
-            _print_discovery_stats(relation, result)
-    report = detect_errors(relation, pfds, evaluator=evaluator)
+    session = _session_from_args(args)
+    pfds = _session_pfds(session, args)
+    report = session.detect(pfds if args.load else None)
     print(report.summary())
-    if args.load and args.stats:
-        print(relation.partitions().stats.summary())
-    if args.save:
-        path = save_pfds(args.save, pfds)
-        print(f"saved {len(pfds)} PFD(s) to {path}")
+    if args.stats:
+        _print_stats(session)
+    _maybe_save(args, pfds)
     return 0
 
 
+def _command_repair(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    pfds = _session_pfds(session, args)
+    result = session.repair(
+        pfds if args.load else None,
+        min_evidence=args.min_evidence,
+        verify=not args.no_verify,
+    )
+    print(result.summary())
+    if result.remaining_error_cells is not None:
+        print(
+            f"verification: {len(result.remaining_error_cells)} suspect cell(s) "
+            "remain on the repaired table"
+        )
+    if args.output:
+        path = Path(args.output)
+        write_csv(result.relation, path)
+        print(f"wrote repaired CSV to {path}")
+    if args.stats:
+        _print_stats(session)
+    _maybe_save(args, pfds)
+    return 0
+
+
+def _command_clean(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    pfds = _session_pfds(session, args)
+    explicit = pfds if args.load else None
+    report = session.detect(explicit, min_evidence=args.min_evidence)
+    print(report.summary())
+    result = session.repair(explicit, min_evidence=args.min_evidence, verify=True)
+    print(result.summary())
+    remaining = result.remaining_error_cells or frozenset()
+    print(
+        f"verification: {len(remaining)} suspect cell(s) remain on the repaired table"
+    )
+
+    output = Path(args.output) if args.output else Path(args.csv).with_suffix(".cleaned.csv")
+    write_csv(result.relation, output)
+    print(f"wrote repaired CSV to {output}")
+
+    stats = session.stats()
+    if args.report:
+        report_doc = {
+            "input": str(args.csv),
+            "output": str(output),
+            "pfds": len(pfds),
+            "pfds_loaded": bool(args.load),
+            "detected_errors": len(report.errors),
+            "repairs_applied": len(result.repairs),
+            "unresolved_cells": len(result.unresolved),
+            "remaining_errors": len(remaining),
+            "clean": not remaining,
+            "stats": stats.to_json_dict(),
+        }
+        report_path = Path(args.report)
+        report_path.write_text(
+            json.dumps(report_doc, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote JSON report to {report_path}")
+    if args.stats:
+        _print_stats(session)
+    _maybe_save(args, pfds)
+    return 0 if not remaining else 1
+
+
 def _command_validate(args: argparse.Namespace) -> int:
-    relation = read_csv(args.csv)
+    session = CleaningSession.from_csv(args.csv)
     pfds = load_pfds(args.load)
     print(f"loaded {len(pfds)} PFD(s) from {args.load}")
-    # One shared evaluator for the whole report: sibling PFDs on the same
-    # column are batched set-at-a-time (prime_for_pfds inside the PFD calls).
-    evaluator = PatternEvaluator()
-    prime_for_pfds(relation, pfds, evaluator)
-    total_violations = 0
-    holding = 0
-    for pfd in pfds:
-        coverage = pfd.coverage(relation, evaluator=evaluator)
-        violations = pfd.violations(relation, evaluator=evaluator)
-        total_violations += len(violations)
-        if not violations:
-            holding += 1
-        print(
-            f"  {pfd}: coverage={coverage:.2%}, "
-            f"violations={len(violations)}"
-        )
-    print(
-        f"{holding}/{len(pfds)} PFD(s) hold on {relation.name!r} "
-        f"({total_violations} violation(s) in total)"
-    )
+    print(session.validate(pfds).summary())
+    if args.stats:
+        _print_stats(session)
     return 0
 
 
@@ -192,12 +263,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(detect)
     detect.set_defaults(handler=_command_detect)
 
+    repair = subparsers.add_parser(
+        "repair", help="detect and repair errors in a CSV file using discovered PFDs"
+    )
+    repair.add_argument("csv", help="path to the input CSV file")
+    repair.add_argument("--load", metavar="PATH",
+                        help="load PFDs from a JSON file instead of discovering them")
+    repair.add_argument("--save", metavar="PATH",
+                        help="write the PFDs used for repair to a JSON file")
+    repair.add_argument("--output", metavar="PATH",
+                        help="write the repaired table to this CSV file")
+    repair.add_argument("--min-evidence", type=int, default=1,
+                        help="violations needed before a cell is repaired (default 1)")
+    repair.add_argument("--no-verify", action="store_true",
+                        help="skip re-detecting on the repaired table")
+    _add_config_arguments(repair)
+    repair.set_defaults(handler=_command_repair)
+
+    clean = subparsers.add_parser(
+        "clean",
+        help="end-to-end cleaning: discover, detect, repair, write CSV + report "
+             "(exit 0 clean / 1 errors remain / 2 failure)",
+    )
+    clean.add_argument("csv", help="path to the input CSV file")
+    clean.add_argument("--load", metavar="PATH",
+                       help="load PFDs from a JSON file instead of discovering them")
+    clean.add_argument("--save", metavar="PATH",
+                       help="write the PFDs used for cleaning to a JSON file")
+    clean.add_argument("--output", metavar="PATH",
+                       help="repaired CSV path (default: <input>.cleaned.csv)")
+    clean.add_argument("--report", metavar="PATH",
+                       help="write a JSON cleaning report to this path")
+    clean.add_argument("--min-evidence", type=int, default=1,
+                       help="violations needed before a cell is repaired (default 1)")
+    _add_config_arguments(clean)
+    clean.set_defaults(handler=_command_clean)
+
     validate = subparsers.add_parser(
         "validate", help="validate saved PFDs against a CSV file (coverage + violations)"
     )
     validate.add_argument("csv", help="path to the input CSV file")
     validate.add_argument("--load", metavar="PATH", required=True,
                           help="JSON file of PFDs to validate (from discover/detect --save)")
+    _add_stats_argument(validate)
     validate.set_defaults(handler=_command_validate)
 
     suite = subparsers.add_parser("suite", help="materialize the synthetic benchmark suite as CSV")

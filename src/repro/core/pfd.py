@@ -112,6 +112,21 @@ def prime_for_pfds(
     return evaluator
 
 
+def gather_partition_keys(pfds: Iterable["PFD"]) -> list[tuple[str, Pattern]]:
+    """The distinct (attribute, LHS pattern) pairs ``pfds`` will group by.
+
+    One pair per stripped-partition *leaf*: duplicates across tableau rows
+    and across sibling PFDs are dropped (order preserved), so priming walks
+    each leaf exactly once instead of re-asking the cache per row.
+    """
+    keys: dict[tuple[str, Pattern], None] = {}
+    for pfd in pfds:
+        for row in pfd.tableau:
+            for attribute in pfd.lhs:
+                keys[(attribute, row.pattern(attribute))] = None
+    return list(keys)
+
+
 def prime_partitions_for_pfds(
     relation: Relation,
     pfds: Iterable["PFD"],
@@ -129,13 +144,9 @@ def prime_partitions_for_pfds(
     """
     manager = relation.partitions()
     known = set(relation.attribute_names)
-    for pfd in pfds:
-        for row in pfd.tableau:
-            for attribute in pfd.lhs:
-                if attribute in known:
-                    manager.pattern_partition(
-                        attribute, row.pattern(attribute), evaluator=evaluator
-                    )
+    for attribute, pattern in gather_partition_keys(pfds):
+        if attribute in known:
+            manager.pattern_partition(attribute, pattern, evaluator=evaluator)
     return manager
 
 

@@ -44,6 +44,7 @@ class Relation:
             raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
         self._dictionaries: dict[str, DictionaryColumn] = {}
         self._partitions: Optional[PartitionManager] = None
+        self._version = 0
 
     # -- constructors -------------------------------------------------------
 
@@ -99,6 +100,15 @@ class Relation:
     def row_count(self) -> int:
         first = self.schema.attribute_names[0]
         return len(self._columns[first])
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter: bumped by :meth:`append_row` and
+        :meth:`set_cell`, alongside the dictionary/partition invalidation.
+        Consumers holding results derived from the relation (e.g. a
+        :class:`~repro.session.CleaningSession`'s memoized stages) compare
+        versions to decide whether a cached result is still current."""
+        return self._version
 
     def __len__(self) -> int:
         return self.row_count
@@ -175,6 +185,7 @@ class Relation:
         self._dictionaries.clear()
         if self._partitions is not None:
             self._partitions.invalidate()
+        self._version += 1
         return self.row_count - 1
 
     def set_cell(self, row_id: int, name: str, value: object) -> None:
@@ -184,6 +195,7 @@ class Relation:
         self._dictionaries.pop(name, None)
         if self._partitions is not None:
             self._partitions.invalidate_attribute(name)
+        self._version += 1
 
     # -- derivation ----------------------------------------------------------
 

@@ -502,5 +502,13 @@ def discover_pfds(
     config: Optional[DiscoveryConfig] = None,
     evaluator: Optional[PatternEvaluator] = None,
 ) -> DiscoveryResult:
-    """Module-level convenience wrapper around :class:`PFDDiscoverer`."""
-    return PFDDiscoverer(config, evaluator=evaluator).discover(relation)
+    """Convenience wrapper: discovery through a throwaway
+    :class:`~repro.session.CleaningSession`.
+
+    Callers running more than one pipeline stage on the same relation
+    should hold a session instead, so detection and repair reuse the
+    evaluator and partition state primed here.
+    """
+    from ..session import CleaningSession  # local import: session sits above
+
+    return CleaningSession(relation, config=config, evaluator=evaluator).discover()

@@ -27,6 +27,12 @@ encoding — the standard analytical-engine layout (dictionary-encoded columns
   ``rows_by_code``) or per (attribute, tableau pattern), with memoized
   probe-table intersections for multi-attribute candidates, cached per
   relation and invalidated on mutation.
+
+The user-facing handle on all of this shared state is the
+:class:`~repro.session.CleaningSession` facade: one evaluator plus one
+relation (and therefore one dictionary + partition cache) threaded through
+profile → discover → detect → repair → validate, with every counter above
+surfaced as a structured :class:`~repro.session.SessionStats` snapshot.
 """
 
 from .dictionary import DictionaryColumn

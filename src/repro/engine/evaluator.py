@@ -233,6 +233,13 @@ class PatternEvaluator:
         Patterns evaluated through the per-pattern fallback inside
         ``match_column_many`` (single-pattern batches or a blown state
         budget).
+    pattern_set_compilations:
+        Shared-DFA builds requested by this evaluator (one per
+        ``match_column_many`` batch with >= 2 new DFA-friendly patterns).
+        The builds themselves are memoized globally per frozen pattern set,
+        so this counts how often *this* evaluator had to ask — the number a
+        :class:`~repro.session.CleaningSession` drives to zero by reusing
+        one evaluator across pipeline stages.
     """
 
     #: Absolute state budget handed to :func:`compile_pattern_set` (the
@@ -252,6 +259,7 @@ class PatternEvaluator:
         self.cache_hits = 0
         self.multi_scans = 0
         self.multi_fallbacks = 0
+        self.pattern_set_compilations = 0
 
     def match_column(self, pattern: PatternLike, column: DictionaryColumn) -> ColumnMatch:
         """Match ``pattern`` against every distinct value of ``column``.
@@ -337,6 +345,7 @@ class PatternEvaluator:
         unfriendly = [c for c in missing if not is_dfa_friendly(c.pattern)]
         automaton = None
         if len(friendly) >= 2:
+            self.pattern_set_compilations += 1
             automaton = compile_pattern_set(
                 [compiled.pattern for compiled in friendly],
                 state_budget=self.state_budget,

@@ -21,12 +21,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence
 
-from ..cleaning.detector import detect_errors
 from ..cleaning.evaluation import cell_precision_recall
 from ..cleaning.injection import inject_errors
 from ..datagen.generators import build_zip_state_table
 from ..discovery.config import DiscoveryConfig
-from ..discovery.pfd_discovery import PFDDiscoverer
+from ..session import CleaningSession
 from .reporting import format_table
 
 
@@ -121,14 +120,16 @@ def evaluate_point(
         noise_ratio=noise_ratio,
         min_coverage=0.05,
     )
-    result = PFDDiscoverer(config).discover(dirty)
+    # Discovery and detection on the dirty table share one session state.
+    session = CleaningSession(dirty, config=config)
+    result = session.discover()
     if target_dependency is not None:
         lhs, rhs = target_dependency
         dependency = result.dependency_for((lhs,), rhs)
         pfds = [dependency.pfd] if dependency is not None else []
     else:
         pfds = result.pfds
-    report = detect_errors(dirty, pfds)
+    report = session.detect(pfds)
     detected_cells = {cell for cell in report.error_cells if cell.attribute == attribute}
     metrics = cell_precision_recall(detected_cells, injection.error_cells)
     return SweepPoint(

@@ -15,14 +15,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from ..cleaning.detector import detect_errors
 from ..datagen.generators import (
     build_gov_contacts,
     build_name_gender_table,
     build_udw_alumni,
 )
 from ..discovery.config import DiscoveryConfig
-from ..discovery.pfd_discovery import PFDDiscoverer
+from ..session import CleaningSession
 from .reporting import format_table
 
 
@@ -66,7 +65,9 @@ def _showcase(
 ) -> DependencyShowcase:
     config = config or DiscoveryConfig(min_support=4, noise_ratio=0.05, min_coverage=0.05)
     relation = table.relation
-    result = PFDDiscoverer(config.with_overrides(generalize=False)).discover(relation)
+    # One session per showcase: detection below reuses the caches primed here.
+    session = CleaningSession(relation, config=config.with_overrides(generalize=False))
+    result = session.discover()
     dependency = result.dependency_for((lhs,), rhs)
     patterns: list[str] = []
     detected: list[str] = []
@@ -74,7 +75,7 @@ def _showcase(
     if dependency is not None:
         for row in dependency.pfd.tableau.rows[:max_samples]:
             patterns.append(row.render((lhs,), (rhs,)))
-        report = detect_errors(relation, [dependency.pfd])
+        report = session.detect([dependency.pfd])
         detected_count = len(report.errors)
         for error in report.errors[:max_samples]:
             row_values = relation.row_dict(error.cell.row_id)

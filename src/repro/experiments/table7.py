@@ -17,7 +17,6 @@ import dataclasses
 import time
 from typing import Optional, Sequence
 
-from ..cleaning.detector import detect_errors
 from ..cleaning.evaluation import cell_precision_recall, dependency_precision_recall
 from ..datagen.generators import GeneratedTable
 from ..datagen.suite import benchmark_suite
@@ -25,6 +24,7 @@ from ..discovery.cfdfinder import CFDFinder
 from ..discovery.config import DiscoveryConfig
 from ..discovery.fdep import FDepDiscoverer
 from ..discovery.pfd_discovery import PFDDiscoverer
+from ..session import CleaningSession
 from .reporting import format_percent, format_table
 
 
@@ -151,7 +151,11 @@ def evaluate_table(
         runtime_seconds=cfd_result.runtime_seconds,
     )
 
-    pfd_result = PFDDiscoverer(config).discover(relation)
+    # One session carries PFD discovery *and* the downstream error detection
+    # (rows 15-16): detection reuses the evaluator and partition state that
+    # discovery primed instead of re-priming from scratch.
+    session = CleaningSession(relation, config=config)
+    pfd_result = session.discover()
     pfd_pr = dependency_precision_recall(pfd_result.dependency_keys, truth)
     pfd_row = MethodRow(
         method="PFD",
@@ -177,7 +181,7 @@ def evaluate_table(
         for dependency in pfd_result.dependencies
         if dependency.key in truth
     ]
-    report = detect_errors(relation, validated)
+    report = session.detect(validated)
     detection_pr = cell_precision_recall(report.error_cells, table.error_cells.keys())
     detection_row = ErrorDetectionRow(
         detected_errors=len(report.errors),

@@ -1,0 +1,457 @@
+"""The :class:`CleaningSession` facade — one stateful object over the whole
+profile → discover → detect → repair → validate pipeline.
+
+The paper's workflow is inherently staged: induce patterns, discover PFDs,
+then detect and repair errors *against the same table*.  The engine layers
+built underneath (dictionary-encoded columns, the memoized
+:class:`~repro.engine.evaluator.PatternEvaluator`, shared-DFA pattern sets,
+and the stripped-partition cache) all amortize work across stages — but only
+if the stages actually share them.  Free functions over a bare
+:class:`~repro.dataset.relation.Relation` make that sharing the caller's
+problem: our own CLI used to re-load the data, re-prime the evaluator, and
+rebuild partition caches between invocations.
+
+A ``CleaningSession`` owns the relation *plus* all engine state and exposes
+the pipeline as chainable, memoized stages::
+
+    session = CleaningSession.from_csv("zips.csv")
+    result = session.discover()          # primes dictionaries + partitions
+    report = session.detect()            # zero new pattern-set compilations
+    repaired = session.repair()          # reuses the memoized detection
+    print(session.stats().summary())     # one structured counter object
+
+Each stage
+
+* returns the existing result dataclass (``DiscoveryResult``,
+  ``DetectionReport``, ``RepairResult``, plus the new
+  :class:`ValidationReport`),
+* primes the shared caches exactly once (one evaluator, one partition
+  manager, for the session's whole lifetime), and
+* is memoized per argument set — and invalidated when the relation mutates,
+  by watching :attr:`Relation.version` (which is bumped by the same
+  ``set_cell``/``append_row`` hooks that invalidate the dictionary and
+  partition caches).
+
+The historical free functions (:func:`repro.discover_pfds`,
+:func:`repro.detect_errors`, :func:`repro.repair_errors`) remain as thin
+convenience wrappers that construct a throwaway session.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .cleaning.detector import DetectionReport, ErrorDetector
+from .cleaning.repair import Repairer, RepairResult
+from .core.pfd import PFD, prime_for_pfds, prime_partitions_for_pfds
+from .dataset.csvio import read_csv
+from .dataset.profiler import TableProfile, profile_relation
+from .dataset.relation import Relation
+from .dataset.schema import Schema
+from .discovery.config import DiscoveryConfig
+from .discovery.pfd_discovery import DiscoveryResult, PFDDiscoverer
+from .engine.evaluator import PatternEvaluator
+from .engine.partitions import PartitionStats
+from .exceptions import ReproError
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionStats:
+    """A structured snapshot of one session's shared-cache counters.
+
+    Unifies what ``pfd-discover --stats`` used to print ad hoc: the
+    evaluator's match/scan counters, the relation's partition-cache
+    counters, and the cache sizes, plus which pipeline stages have run.
+    Snapshots are immutable; take one before and one after a stage and
+    compare fields to see what the stage actually cost.
+    """
+
+    relation_name: str
+    row_count: int
+    column_count: int
+    #: Stage names that have completed on this session, in first-run order.
+    stages: tuple[str, ...]
+    #: Per-distinct-value ``CompiledPattern.match`` calls issued.
+    match_calls: int
+    #: ``match_column`` calls answered from the evaluator's memo.
+    match_cache_hits: int
+    #: Shared-DFA scans (one per distinct value per new-pattern batch).
+    multi_scans: int
+    #: Patterns that took the per-pattern fallback inside a batch.
+    multi_fallbacks: int
+    #: Shared-DFA builds requested (a stage reusing the session's evaluator
+    #: on an already-primed pattern set requests zero).
+    pattern_set_compilations: int
+    #: Partition-cache hit/miss counters (lifetime of the relation's manager).
+    partitions: PartitionStats
+    #: Partitions currently cached on the relation.
+    cached_partitions: int
+    #: Columns with memoized per-pattern match results.
+    cached_match_columns: int
+
+    @property
+    def partition_hits(self) -> int:
+        return self.partitions.hits
+
+    @property
+    def partition_misses(self) -> int:
+        """Partition builds: every miss built a partition from scratch."""
+        return self.partitions.misses
+
+    def summary(self) -> str:
+        lines = [
+            f"session stats for {self.relation_name!r} "
+            f"({self.row_count} rows, {self.column_count} columns)",
+            f"  stages run: {', '.join(self.stages) if self.stages else '(none)'}",
+            f"  pattern matching: {self.match_calls} match calls, "
+            f"{self.match_cache_hits} cache hits, "
+            f"{self.multi_scans} shared-DFA scans, "
+            f"{self.multi_fallbacks} fallbacks, "
+            f"{self.pattern_set_compilations} pattern-set compilations",
+            f"  {self.partitions.summary()}",
+            f"  cached partitions: {self.cached_partitions}",
+            f"  cached match columns: {self.cached_match_columns}",
+        ]
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable form (used by ``pfd-discover clean --report``)."""
+        return {
+            "relation": self.relation_name,
+            "rows": self.row_count,
+            "columns": self.column_count,
+            "stages": list(self.stages),
+            "match_calls": self.match_calls,
+            "match_cache_hits": self.match_cache_hits,
+            "multi_scans": self.multi_scans,
+            "multi_fallbacks": self.multi_fallbacks,
+            "pattern_set_compilations": self.pattern_set_compilations,
+            "partition_hits": self.partition_hits,
+            "partition_misses": self.partition_misses,
+            "cached_partitions": self.cached_partitions,
+            "cached_match_columns": self.cached_match_columns,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class PFDValidation:
+    """Coverage / violation outcome of one PFD on the session's relation."""
+
+    pfd: PFD
+    coverage: float
+    violation_count: int
+
+    @property
+    def holds(self) -> bool:
+        return self.violation_count == 0
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Per-PFD coverage and violation counts on one relation."""
+
+    relation_name: str
+    entries: list[PFDValidation]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(entry.violation_count for entry in self.entries)
+
+    @property
+    def holding_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.holds)
+
+    @property
+    def all_hold(self) -> bool:
+        return self.holding_count == len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def summary(self) -> str:
+        lines = []
+        for entry in self.entries:
+            lines.append(
+                f"  {entry.pfd}: coverage={entry.coverage:.2%}, "
+                f"violations={entry.violation_count}"
+            )
+        lines.append(
+            f"{self.holding_count}/{len(self.entries)} PFD(s) hold on "
+            f"{self.relation_name!r} ({self.total_violations} violation(s) in total)"
+        )
+        return "\n".join(lines)
+
+
+#: Sentinel for "the session's own discovered PFDs" in stage memo keys.
+_DISCOVERED = object()
+
+
+class CleaningSession:
+    """One relation, one engine state, the whole cleaning pipeline.
+
+    Parameters
+    ----------
+    relation:
+        The table to clean.  The session observes (but never copies) it;
+        mutations through ``set_cell``/``append_row`` invalidate every
+        memoized stage result automatically.
+    config:
+        Default :class:`DiscoveryConfig` for :meth:`discover` (and for the
+        implicit discovery that :meth:`detect` runs when no PFDs are given).
+    evaluator:
+        Optional shared :class:`PatternEvaluator`.  Defaults to a fresh,
+        session-scoped one — the usual choice, keeping the many throwaway
+        candidate patterns of discovery out of the process-wide cache.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        config: Optional[DiscoveryConfig] = None,
+        evaluator: Optional[PatternEvaluator] = None,
+    ):
+        self.relation = relation
+        self.config = config
+        self.evaluator = evaluator or PatternEvaluator()
+        self._observed_version = relation.version
+        self._stages_run: dict[str, None] = {}
+        self._profile: Optional[TableProfile] = None
+        self._discovery: Optional[tuple[DiscoveryConfig, DiscoveryResult]] = None
+        self._detection: Optional[tuple[tuple, DetectionReport]] = None
+        self._repair: Optional[tuple[tuple, RepairResult]] = None
+        self._validation: Optional[tuple[tuple, ValidationReport]] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_csv(
+        cls,
+        source: Union[str, Path],
+        config: Optional[DiscoveryConfig] = None,
+        evaluator: Optional[PatternEvaluator] = None,
+        **read_csv_kwargs,
+    ) -> "CleaningSession":
+        """Open a session on a CSV file (one load for the whole pipeline)."""
+        return cls(
+            read_csv(source, **read_csv_kwargs), config=config, evaluator=evaluator
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Union[Schema, Sequence[str]],
+        rows,
+        name: str = "R",
+        config: Optional[DiscoveryConfig] = None,
+    ) -> "CleaningSession":
+        """Open a session on rows built in memory (mirrors
+        :meth:`Relation.from_rows`)."""
+        return cls(Relation.from_rows(schema, rows, name=name), config=config)
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Drop every memoized stage result if the relation has mutated.
+
+        Piggybacks on the same mutation hooks that invalidate the
+        dictionary and partition caches: ``set_cell``/``append_row`` bump
+        :attr:`Relation.version`, and the next stage call lands here.
+        """
+        if self.relation.version != self._observed_version:
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Forget all memoized stage results (engine caches stay shared)."""
+        self._observed_version = self.relation.version
+        self._profile = None
+        self._discovery = None
+        self._detection = None
+        self._repair = None
+        self._validation = None
+
+    def _mark(self, stage: str) -> None:
+        self._stages_run[stage] = None
+
+    # -- stages --------------------------------------------------------------
+
+    def profile(self) -> TableProfile:
+        """Profile the relation's columns (memoized; feeds :meth:`discover`)."""
+        self._sync()
+        if self._profile is None:
+            self._profile = profile_relation(self.relation)
+            self._mark("profile")
+        return self._profile
+
+    def discover(self, config: Optional[DiscoveryConfig] = None) -> DiscoveryResult:
+        """Discover PFDs (memoized per config; primes all shared caches).
+
+        Uses ``config``, else the session's default, else
+        ``DiscoveryConfig()``.  A no-argument call returns the last
+        discovery, whatever config produced it; a repeated call with an
+        equal config returns the cached :class:`DiscoveryResult`; a
+        *different* explicit config (or a relation mutation) recomputes and
+        drops the downstream detect / repair memos, whose default PFD set
+        would otherwise be stale.
+        """
+        self._sync()
+        if config is None and self._discovery is not None:
+            return self._discovery[1]
+        effective = config or self.config or DiscoveryConfig()
+        if self._discovery is not None and self._discovery[0] == effective:
+            return self._discovery[1]
+        discoverer = PFDDiscoverer(effective, evaluator=self.evaluator)
+        # Reuse the profile only when the profile stage already ran: a fresh
+        # discovery profiles inside its own timed region, so its reported
+        # runtime_seconds stays comparable with the seed (and with the
+        # FDep/CFDFinder baselines in the experiment tables).
+        result = discoverer.discover(self.relation, profile=self._profile)
+        self._discovery = (effective, result)
+        self._detection = None
+        self._repair = None
+        self._validation = None
+        self._mark("discover")
+        return result
+
+    @property
+    def pfds(self) -> list[PFD]:
+        """The session's discovered PFDs (runs :meth:`discover` if needed)."""
+        return self.discover().pfds
+
+    @property
+    def discovery(self) -> Optional[DiscoveryResult]:
+        """The memoized discovery result, or None if :meth:`discover` has
+        not run (or was invalidated by a mutation)."""
+        self._sync()
+        return self._discovery[1] if self._discovery is not None else None
+
+    def _resolve_pfds(self, pfds: Optional[Sequence[PFD]]) -> tuple[object, list[PFD]]:
+        """Explicit PFDs, or the session's discovered set (with a stable
+        memo-key marker so "the discovered set" survives re-discovery)."""
+        if pfds is None:
+            return _DISCOVERED, self.discover().pfds
+        resolved = list(pfds)
+        return tuple(resolved), resolved
+
+    def detect(
+        self,
+        pfds: Optional[Sequence[PFD]] = None,
+        min_evidence: int = 1,
+    ) -> DetectionReport:
+        """Detect suspect cells (memoized; defaults to the discovered PFDs).
+
+        Runs on the session's evaluator and partition manager, so after
+        :meth:`discover` has primed them this performs zero additional
+        pattern-set compilations and reuses the cached partition leaves.
+        """
+        self._sync()
+        marker, resolved = self._resolve_pfds(pfds)
+        key = (marker, min_evidence)
+        if self._detection is not None and self._detection[0] == key:
+            return self._detection[1]
+        report = ErrorDetector(
+            resolved, min_evidence=min_evidence, evaluator=self.evaluator
+        ).detect(self.relation)
+        self._detection = (key, report)
+        self._mark("detect")
+        return report
+
+    def repair(
+        self,
+        pfds: Optional[Sequence[PFD]] = None,
+        min_evidence: int = 1,
+        verify: bool = True,
+        dry_run: bool = False,
+    ) -> RepairResult:
+        """Apply the detector's suggestions (memoized; verification on).
+
+        Feeds the memoized :meth:`detect` report straight into the
+        :class:`Repairer`, so repairing never re-detects on the session's
+        relation.  Repairs are applied to a *copy* (unless ``dry_run``), so
+        the session's own caches stay valid; with ``verify=True`` the copy
+        is re-detected and still-flagged cells land in
+        :attr:`RepairResult.remaining_error_cells`.
+        """
+        self._sync()
+        marker, resolved = self._resolve_pfds(pfds)
+        key = (marker, min_evidence, verify, dry_run)
+        if self._repair is not None and self._repair[0] == key:
+            return self._repair[1]
+        report = self.detect(pfds, min_evidence=min_evidence)
+        result = Repairer(
+            resolved,
+            min_evidence=min_evidence,
+            dry_run=dry_run,
+            evaluator=self.evaluator,
+            verify=verify,
+        ).repair(self.relation, report=report)
+        self._repair = (key, result)
+        self._mark("repair")
+        return result
+
+    def validate(self, pfds: Optional[Sequence[PFD]] = None) -> ValidationReport:
+        """Per-PFD coverage and violation counts (memoized).
+
+        Primes the evaluator set-at-a-time and the partition leaves once for
+        the whole PFD set, so sibling PFDs on the same column share one
+        shared-DFA scan per distinct value and one grouping pass per leaf.
+        """
+        self._sync()
+        marker, resolved = self._resolve_pfds(pfds)
+        key = (marker,)
+        if self._validation is not None and self._validation[0] == key:
+            return self._validation[1]
+        prime_for_pfds(self.relation, resolved, self.evaluator)
+        prime_partitions_for_pfds(self.relation, resolved, self.evaluator)
+        entries = [
+            PFDValidation(
+                pfd=pfd,
+                coverage=pfd.coverage(self.relation, evaluator=self.evaluator),
+                violation_count=len(
+                    pfd.violations(self.relation, evaluator=self.evaluator)
+                ),
+            )
+            for pfd in resolved
+        ]
+        report = ValidationReport(relation_name=self.relation.name, entries=entries)
+        self._validation = (key, report)
+        self._mark("validate")
+        return report
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> SessionStats:
+        """An immutable snapshot of the session's shared-cache counters."""
+        manager = self.relation.partitions()
+        return SessionStats(
+            relation_name=self.relation.name,
+            row_count=self.relation.row_count,
+            column_count=len(self.relation.attribute_names),
+            stages=tuple(self._stages_run),
+            match_calls=self.evaluator.match_calls,
+            match_cache_hits=self.evaluator.cache_hits,
+            multi_scans=self.evaluator.multi_scans,
+            multi_fallbacks=self.evaluator.multi_fallbacks,
+            pattern_set_compilations=self.evaluator.pattern_set_compilations,
+            partitions=dataclasses.replace(manager.stats),
+            cached_partitions=manager.cached_partition_count(),
+            cached_match_columns=self.evaluator.cached_column_count(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CleaningSession({self.relation.name!r}, rows={self.relation.row_count}, "
+            f"stages={list(self._stages_run)})"
+        )
+
+
+def validate_pfds(
+    relation: Relation,
+    pfds: Sequence[PFD],
+    evaluator: Optional[PatternEvaluator] = None,
+) -> ValidationReport:
+    """Convenience wrapper: validate ``pfds`` through a throwaway session."""
+    if not pfds:
+        raise ReproError("validate_pfds needs at least one PFD")
+    return CleaningSession(relation, evaluator=evaluator).validate(pfds)

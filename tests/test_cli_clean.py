@@ -1,0 +1,138 @@
+"""The ``pfd-discover repair`` and ``pfd-discover clean`` subcommands, plus
+the ``--stats`` routing through :class:`~repro.session.SessionStats`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.pfd import make_pfd
+from repro.core.serialization import save_pfds
+from repro.dataset.csvio import read_csv, write_csv
+from repro.dataset.relation import Relation
+
+
+@pytest.fixture
+def dirty_zip_csv(tmp_path):
+    rows = [(f"{90000 + i:05d}", "Los Angeles") for i in range(4)] * 4
+    rows.append(("90000", "Las Angeles"))  # minority typo inside the 90000 group
+    relation = Relation.from_rows(["zip", "city"], rows, name="zips")
+    path = tmp_path / "zips.csv"
+    write_csv(relation, path)
+    return path
+
+
+def test_cli_repair_discovers_and_repairs(dirty_zip_csv, tmp_path, capsys):
+    out_path = tmp_path / "repaired.csv"
+    code = cli_main(
+        ["repair", str(dirty_zip_csv), "--min-support", "2", "--noise", "0.1", "--output", str(out_path)]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "repairs applied" in output
+    assert "verification:" in output
+    assert out_path.exists()
+    repaired = read_csv(out_path)
+    assert "Las Angeles" not in repaired.column("city")
+
+
+def test_cli_repair_load_and_stats(dirty_zip_csv, tmp_path, capsys):
+    saved = tmp_path / "pfds.json"
+    assert cli_main(
+        ["discover", str(dirty_zip_csv), "--min-support", "2", "--noise", "0.1", "--save", str(saved)]
+    ) == 0
+    capsys.readouterr()
+    code = cli_main(["repair", str(dirty_zip_csv), "--load", str(saved), "--stats"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "loaded" in output
+    assert "session stats" in output
+    assert "partition cache:" in output
+
+
+def test_cli_clean_end_to_end_exit_zero(dirty_zip_csv, tmp_path, capsys):
+    out_path = tmp_path / "cleaned.csv"
+    report_path = tmp_path / "report.json"
+    code = cli_main(
+        [
+            "clean", str(dirty_zip_csv),
+            "--min-support", "2", "--noise", "0.1",
+            "--output", str(out_path),
+            "--report", str(report_path),
+            "--stats",
+        ]
+    )
+    assert code == 0  # every suspect cell was repaired
+    output = capsys.readouterr().out
+    assert "suspected errors" in output
+    assert "repairs applied" in output
+    assert "wrote repaired CSV to" in output
+    assert "wrote JSON report to" in output
+    assert "session stats" in output
+
+    repaired = read_csv(out_path)
+    assert "Las Angeles" not in repaired.column("city")
+
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    assert report["clean"] is True
+    assert report["remaining_errors"] == 0
+    assert report["repairs_applied"] >= 1
+    assert report["detected_errors"] >= report["repairs_applied"]
+    assert report["stats"]["partition_misses"] >= 1
+    assert report["output"] == str(out_path)
+
+
+def test_cli_clean_default_output_path(dirty_zip_csv, capsys):
+    code = cli_main(["clean", str(dirty_zip_csv), "--min-support", "2", "--noise", "0.1"])
+    assert code == 0
+    capsys.readouterr()
+    default_output = dirty_zip_csv.with_suffix(".cleaned.csv")
+    assert default_output.exists()
+
+
+def test_cli_clean_exit_one_when_errors_remain(tmp_path, capsys):
+    # A variable-row violation whose majority bucket does NOT match the RHS
+    # pattern yields no repair suggestion: the suspect cell stays flagged
+    # after repair, so clean reports "not clean" via exit code 1.
+    relation = Relation.from_rows(
+        ["city", "zip"],
+        [
+            ("Springfield", "ABCDE"),
+            ("Springfield", "ABCDE"),
+            ("Springfield", "10001"),
+        ],
+        name="towns",
+    )
+    csv_path = tmp_path / "towns.csv"
+    write_csv(relation, csv_path)
+    pfds_path = tmp_path / "pfds.json"
+    save_pfds(
+        pfds_path,
+        [make_pfd("city", "zip", [{"city": "⊥", "zip": r"{{1000}}\D"}])],
+    )
+    code = cli_main(["clean", str(csv_path), "--load", str(pfds_path)])
+    assert code == 1
+    output = capsys.readouterr().out
+    assert "suspect cell(s) remain" in output
+
+
+def test_cli_clean_missing_input_exits_two(tmp_path, capsys):
+    code = cli_main(["clean", str(tmp_path / "nope.csv")])
+    assert code == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_cli_validate_stats_flag(dirty_zip_csv, tmp_path, capsys):
+    saved = tmp_path / "pfds.json"
+    assert cli_main(
+        ["discover", str(dirty_zip_csv), "--min-support", "2", "--noise", "0.1", "--save", str(saved)]
+    ) == 0
+    capsys.readouterr()
+    code = cli_main(["validate", str(dirty_zip_csv), "--load", str(saved), "--stats"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "coverage=" in output
+    assert "session stats" in output
+    assert "partition cache:" in output

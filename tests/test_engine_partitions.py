@@ -173,9 +173,11 @@ class TestPartitionManager:
         pfd_a = make_pfd("zip", "city", [{"zip": r"{{\D{3}}}\D{2}", "city": "⊥"}])
         pfd_b = make_pfd("zip", "state", [{"zip": r"{{\D{3}}}\D{2}", "state": "⊥"}])
         manager = prime_partitions_for_pfds(relation, [pfd_a, pfd_b])
-        # Both PFDs share one (zip, pattern) leaf: one miss, one hit.
+        # Both PFDs share one (zip, pattern) leaf, deduped *before* the cache
+        # is probed: exactly one build, no redundant lookups.
         assert manager.stats.pattern_misses == 1
-        assert manager.stats.pattern_hits == 1
+        assert manager.stats.pattern_hits == 0
+        assert manager.cached_partition_count() == 1
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,78 @@
+"""Public-API snapshot: ``repro.__all__`` is a contract.
+
+Future refactors must not silently drop (or accidentally grow) the exported
+surface — update this snapshot deliberately alongside the change.
+"""
+
+from __future__ import annotations
+
+import repro
+
+EXPECTED_ALL = {
+    # session facade
+    "CleaningSession",
+    "SessionStats",
+    "ValidationReport",
+    "PFDValidation",
+    "validate_pfds",
+    # cleaning
+    "detect_errors",
+    "inject_errors",
+    "repair_errors",
+    # constraints
+    "CFD",
+    "FD",
+    "CellRef",
+    "Violation",
+    # core
+    "PFD",
+    "PatternTableau",
+    "PatternTuple",
+    "WILDCARD",
+    "load_pfds",
+    "make_pfd",
+    "pfds_from_json",
+    "pfds_to_json",
+    "save_pfds",
+    # dataset
+    "Relation",
+    "Schema",
+    "read_csv",
+    "write_csv",
+    # engine
+    "DictionaryColumn",
+    "ColumnMatchSet",
+    "PartitionManager",
+    "StrippedPartition",
+    "PatternEvaluator",
+    "default_evaluator",
+    # discovery
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "PFDDiscoverer",
+    "discover_cfds",
+    "discover_fds",
+    "discover_pfds",
+    # inference
+    "check_consistency",
+    "implies",
+    # patterns
+    "Pattern",
+    "compile_pattern",
+    "parse_pattern",
+    # metadata
+    "__version__",
+}
+
+
+def test_public_api_snapshot():
+    assert set(repro.__all__) == EXPECTED_ALL
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+def test_no_duplicate_exports():
+    assert len(repro.__all__) == len(set(repro.__all__))
