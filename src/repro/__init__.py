@@ -57,6 +57,7 @@ from .dataset import Relation, Schema, read_csv, write_csv
 from .engine import (
     ColumnMatchSet,
     DictionaryColumn,
+    DictionaryDelta,
     PartitionManager,
     PatternEvaluator,
     StrippedPartition,
@@ -107,6 +108,7 @@ __all__ = [
     "Relation",
     "Schema",
     "DictionaryColumn",
+    "DictionaryDelta",
     "ColumnMatchSet",
     "PartitionManager",
     "StrippedPartition",

@@ -91,7 +91,7 @@ class ErrorDetector:
         # Scoped per detector unless the caller shares one (e.g. discovery's).
         self.evaluator = evaluator or PatternEvaluator()
 
-    def detect(self, relation: Relation) -> DetectionReport:
+    def detect(self, relation: Relation, since_row: int = 0) -> DetectionReport:
         """Evaluate every PFD and aggregate suspect cells into a report.
 
         Evaluation is set-at-a-time across the *whole* PFD set: the tableau
@@ -102,13 +102,25 @@ class ErrorDetector:
         primed here once for all tableau rows: two PFDs whose rows share an
         (attribute, pattern) pair locate their groups in the same cached
         equivalence classes.
+
+        ``since_row`` scopes detection to the delta of an append (see
+        :meth:`repro.core.pfd.PFD.violations`): the violation search only
+        visits appended tuples (constant rows) and equivalence classes
+        containing appended rows (variable rows) — a PFD whose tableau-row
+        partitions gained nothing in the delta contributes no work beyond
+        those per-row early exits.  Suspect cells of a scoped report may
+        still reference pre-existing rows: an appended tuple can turn an
+        old cell into the minority of its class, and a class an appended
+        row joined is re-examined as a whole.
         """
         prime_for_pfds(relation, self.pfds, self.evaluator)
         prime_partitions_for_pfds(relation, self.pfds, self.evaluator)
         all_violations: list[Violation] = []
         evidence: dict[CellRef, list[Violation]] = defaultdict(list)
         for pfd in self.pfds:
-            for violation in pfd.violations(relation, evaluator=self.evaluator):
+            for violation in pfd.violations(
+                relation, evaluator=self.evaluator, since_row=since_row
+            ):
                 all_violations.append(violation)
                 for cell in violation.suspect_cells:
                     evidence[cell].append(violation)

@@ -14,6 +14,11 @@ Sub-commands
 ``clean``     — end-to-end: discover → detect → repair → write the repaired
                 CSV plus a JSON report.  Exits 0 when the repaired table is
                 clean, 1 when suspect cells remain, 2 on errors.
+``ingest``    — append a CSV of new rows to a cleaned base table and report
+                only the errors the batch introduced (delta detection over
+                the incrementally maintained engine caches).  Same exit-code
+                convention as ``clean``: 0 delta clean, 1 new errors, 2 on
+                failure.
 ``validate``  — load saved PFDs and report per-PFD coverage / violations.
 ``suite``     — materialize the 15-table synthetic benchmark suite to CSV.
 ``experiment``— run one of the paper's experiments (table3/table7/table8/
@@ -32,9 +37,10 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .cleaning.detector import DetectionReport
 from .core.serialization import load_pfds, save_pfds
 from .datagen.suite import materialize_suite
-from .dataset.csvio import write_csv
+from .dataset.csvio import read_csv, write_csv
 from .discovery.config import DiscoveryConfig
 from .exceptions import ReproError
 from .session import CleaningSession
@@ -191,6 +197,73 @@ def _command_clean(args: argparse.Namespace) -> int:
     return 0 if not remaining else 1
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    pfds = _session_pfds(session, args)
+    base_rows = session.relation.row_count
+
+    batch = read_csv(args.batch)
+    if batch.attribute_names != session.relation.attribute_names:
+        raise ReproError(
+            f"batch columns {list(batch.attribute_names)} do not match "
+            f"base columns {list(session.relation.attribute_names)}"
+        )
+    appended = session.append(batch.iter_rows())
+    print(f"appended {len(appended)} row(s) to {args.csv} ({base_rows} before)")
+
+    if len(appended):
+        report = session.detect_new(
+            pfds if args.load else None, min_evidence=args.min_evidence
+        )
+    else:
+        # A legitimately empty batch: nothing to validate, the delta is clean.
+        report = DetectionReport(
+            relation_name=session.relation.name, errors=[], violations=[]
+        )
+    print(report.summary())
+
+    if args.output:
+        path = Path(args.output)
+        write_csv(session.relation, path)
+        print(f"wrote merged CSV to {path}")
+
+    error_rows = sorted({error.cell.row_id for error in report.errors})
+    if args.report:
+        report_doc = {
+            "base": str(args.csv),
+            "batch": str(args.batch),
+            "rows_before": base_rows,
+            "rows_appended": len(appended),
+            "appended_start": appended.start,
+            "pfds": len(pfds),
+            "pfds_loaded": bool(args.load),
+            "new_errors": len(report.errors),
+            "error_rows": error_rows,
+            "errors": [
+                {
+                    "row": error.cell.row_id,
+                    "attribute": error.cell.attribute,
+                    "value": error.current_value,
+                    "suggested": error.suggested_value,
+                    "evidence": error.evidence_count,
+                }
+                for error in report.errors
+            ],
+            "clean": not report.errors,
+            "stats": session.stats().to_json_dict(),
+        }
+        report_path = Path(args.report)
+        report_path.write_text(
+            json.dumps(report_doc, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote JSON delta report to {report_path}")
+    if args.stats:
+        _print_stats(session)
+    _maybe_save(args, pfds)
+    return 0 if not report.errors else 1
+
+
 def _command_validate(args: argparse.Namespace) -> int:
     session = CleaningSession.from_csv(args.csv)
     pfds = load_pfds(args.load)
@@ -298,6 +371,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="violations needed before a cell is repaired (default 1)")
     _add_config_arguments(clean)
     clean.set_defaults(handler=_command_clean)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="append a CSV batch to a cleaned base table and report only the "
+             "errors the batch introduced (exit 0 delta clean / 1 new errors / 2 failure)",
+    )
+    ingest.add_argument("csv", help="path to the cleaned base CSV file")
+    ingest.add_argument("batch", help="path to the CSV file of rows to append")
+    ingest.add_argument("--load", metavar="PATH",
+                        help="load PFDs from a JSON file instead of discovering them "
+                             "on the base table")
+    ingest.add_argument("--save", metavar="PATH",
+                        help="write the PFDs used for delta detection to a JSON file")
+    ingest.add_argument("--output", metavar="PATH",
+                        help="write the merged (base + batch) table to this CSV file")
+    ingest.add_argument("--report", metavar="PATH",
+                        help="write a JSON delta report to this path")
+    ingest.add_argument("--min-evidence", type=int, default=1,
+                        help="violations needed before a cell is reported (default 1)")
+    _add_config_arguments(ingest)
+    ingest.set_defaults(handler=_command_ingest)
 
     validate = subparsers.add_parser(
         "validate", help="validate saved PFDs against a CSV file (coverage + violations)"

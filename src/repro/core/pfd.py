@@ -42,6 +42,7 @@ value (plus constrained-part extraction on the values that matched).
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from collections import defaultdict
 from typing import Iterable, Mapping, Optional, Sequence, Union
@@ -302,29 +303,55 @@ class PFD:
         return not self.violations(relation, evaluator=evaluator)
 
     def violations(
-        self, relation: Relation, evaluator: Optional[PatternEvaluator] = None
+        self,
+        relation: Relation,
+        evaluator: Optional[PatternEvaluator] = None,
+        since_row: int = 0,
     ) -> list[Violation]:
         """All violations of the PFD on ``relation``.
 
         Constant rows yield one violation per offending tuple; variable rows
         yield one violation per offending group (with the minority cells
         marked as suspects, as used by the error-detection experiments).
+
+        ``since_row`` scopes the search to the *delta* of an append: only
+        tuples with ``row_id >= since_row`` (constant rows) and equivalence
+        classes containing at least one such tuple (variable rows) are
+        examined.  Because classes keep their row ids ascending, the class
+        filter is one comparison against the last member, and — together
+        with the delta-maintained partition cache — the scoped search is
+        exactly the set of violations a full evaluation would report minus
+        those whose participating ``cells`` all predate ``since_row``.  A
+        touched class is re-examined as a whole, so on a base that was not
+        fully clean the scoped report can (re-)flag pre-existing suspect
+        cells whose class the delta joined.
         """
         relation.schema.validate_attributes(self.attributes())
         evaluator = prime_for_pfds(relation, (self,), evaluator)
         found: list[Violation] = []
         for row in self.tableau:
             if row.is_constant_row(self.lhs, self.rhs):
-                found.extend(self._constant_row_violations(relation, row, evaluator))
+                found.extend(
+                    self._constant_row_violations(relation, row, evaluator, since_row)
+                )
             else:
-                found.extend(self._variable_row_violations(relation, row, evaluator))
+                found.extend(
+                    self._variable_row_violations(relation, row, evaluator, since_row)
+                )
         return found
 
     def _constant_row_violations(
-        self, relation: Relation, row: PatternTuple, evaluator: PatternEvaluator
+        self,
+        relation: Relation,
+        row: PatternTuple,
+        evaluator: PatternEvaluator,
+        since_row: int = 0,
     ) -> list[Violation]:
         found: list[Violation] = []
         supported = self._row_partition(relation, row, evaluator).covered
+        if since_row:
+            # Covered rows are ascending: bisect to the first delta row.
+            supported = supported[bisect.bisect_left(supported, since_row):]
         if not supported:
             return found
         rhs_expected = {
@@ -357,14 +384,25 @@ class PFD:
         return found
 
     def _variable_row_violations(
-        self, relation: Relation, row: PatternTuple, evaluator: PatternEvaluator
+        self,
+        relation: Relation,
+        row: PatternTuple,
+        evaluator: PatternEvaluator,
+        since_row: int = 0,
     ) -> list[Violation]:
         # Variable rows need a pair of LHS-equivalent tuples to witness a
         # violation — which is exactly what the stripped classes are: the
         # singletons are already gone, so the RHS work below scales with the
         # surviving classes, not with the relation.
         partition = self._row_partition(relation, row, evaluator)
-        if not partition.classes:
+        classes = partition.classes
+        if since_row:
+            # A class touches the delta iff its largest (= last) member is an
+            # appended row; untouched classes were fully checked before.
+            classes = tuple(
+                class_rows for class_rows in classes if class_rows[-1] >= since_row
+            )
+        if not classes:
             return []
         # Per-code RHS bucket, computed once per attribute (it depends only on
         # the pattern and the column, not on the LHS group): a tuple that
@@ -389,7 +427,7 @@ class PFD:
                     bucket_by_code.append((False, value))
             rhs_buckets[attribute] = (column.codes, bucket_by_code)
         found: list[Violation] = []
-        for row_ids in partition.classes:
+        for row_ids in classes:
             for attribute in self.rhs:
                 codes, bucket_by_code = rhs_buckets[attribute]
                 buckets: dict[tuple[bool, str], list[int]] = defaultdict(list)

@@ -62,8 +62,7 @@ class Relation:
         if not isinstance(schema, Schema):
             schema = Schema(schema, name=name)
         relation = cls(schema)
-        for row in rows:
-            relation.append_row(row)
+        relation.append_rows(rows)
         return relation
 
     @classmethod
@@ -82,8 +81,7 @@ class Relation:
                 raise SchemaError("cannot infer a schema from zero dict rows")
             schema = Schema(list(rows[0].keys()), name=name)
         relation = cls(schema)
-        for row in rows:
-            relation.append_row([row.get(name, "") for name in schema.attribute_names])
+        relation.append_rows(rows)
         return relation
 
     # -- size / access ------------------------------------------------------
@@ -121,11 +119,13 @@ class Relation:
     def dictionary(self, name: str) -> DictionaryColumn:
         """The dictionary encoding of column ``name``.
 
-        Built lazily on first use and cached; :meth:`append_row` and
-        :meth:`set_cell` invalidate the cache, so the returned object always
-        reflects the current column contents.  Everything downstream (the
-        pattern index, PFD validation, error detection) keys its memoized
-        per-distinct-value work on the returned object's identity.
+        Built lazily on first use and cached; :meth:`set_cell` invalidates
+        the cache while :meth:`append_rows` / :meth:`append_row` *extend*
+        the cached object in place, so the returned object always reflects
+        the current column contents.  Everything downstream (the pattern
+        index, PFD validation, error detection) keys its memoized
+        per-distinct-value work on the returned object's identity — which
+        appends deliberately preserve.
         """
         self.schema.position(name)
         cached = self._dictionaries.get(name)
@@ -139,9 +139,10 @@ class Relation:
 
         Built lazily on first use; :meth:`set_cell` invalidates the touched
         attribute's partitions (and any intersection involving it) while
-        :meth:`append_row` invalidates everything, mirroring the dictionary
-        cache.  The manager object itself is stable across mutations, so its
-        hit/miss statistics describe the relation's whole lifetime.
+        :meth:`append_rows` / :meth:`append_row` *extend* the cached entries
+        with the appended row ids, mirroring the dictionary cache.  The
+        manager object itself is stable across mutations, so its hit/miss
+        statistics describe the relation's whole lifetime.
         """
         if self._partitions is None:
             self._partitions = PartitionManager(self)
@@ -169,24 +170,65 @@ class Relation:
 
     # -- mutation ------------------------------------------------------------
 
-    def append_row(self, row: Union[Sequence[object], Mapping[str, object]]) -> int:
-        """Append one tuple; returns its row id."""
+    def _normalize_row(self, row: Union[Sequence[object], Mapping[str, object]]) -> list[str]:
         if isinstance(row, Mapping):
-            values = [_normalize_cell(row.get(name, "")) for name in self.schema.attribute_names]
-        else:
-            if len(row) != len(self.schema):
-                raise SchemaError(
-                    f"row has {len(row)} values, schema {self.schema.name!r} "
-                    f"has {len(self.schema)} attributes"
+            return [_normalize_cell(row.get(name, "")) for name in self.schema.attribute_names]
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row has {len(row)} values, schema {self.schema.name!r} "
+                f"has {len(self.schema)} attributes"
+            )
+        return [_normalize_cell(value) for value in row]
+
+    def append_row(self, row: Union[Sequence[object], Mapping[str, object]]) -> int:
+        """Append one tuple; returns its row id.
+
+        A one-row batch through :meth:`append_rows` — cached dictionaries
+        and partitions are *extended*, not discarded, so a single-row append
+        no longer throws away the engine state of unaffected attributes.
+        """
+        return self.append_rows((row,)).start
+
+    def append_rows(
+        self, rows: Iterable[Union[Sequence[object], Mapping[str, object]]]
+    ) -> range:
+        """Append a batch of tuples; returns the appended row-id range.
+
+        This is the incremental ingestion path: instead of invalidating the
+        engine caches wholesale, every cached
+        :class:`~repro.engine.dictionary.DictionaryColumn` is extended in
+        place (fresh codes for unseen values, row lists patched) and the
+        resulting per-column deltas are routed to the stripped-partition
+        cache, which patches its equivalence classes and refreshes memoized
+        intersections.  Downstream consumers keyed on the dictionary
+        objects' identity (the pattern evaluator's memoized masks) observe
+        the growth and extend themselves lazily.  An empty batch is a no-op
+        (no version bump).
+        """
+        normalized = [self._normalize_row(row) for row in rows]
+        start = self.row_count
+        if not normalized:
+            return range(start, start)
+        names = self.schema.attribute_names
+        for position, name in enumerate(names):
+            column = self._columns[name]
+            for values in normalized:
+                column.append(values[position])
+        if self._dictionaries:
+            deltas = {
+                name: dictionary.extend(
+                    [values[self.schema.position(name)] for values in normalized]
                 )
-            values = [_normalize_cell(value) for value in row]
-        for name, value in zip(self.schema.attribute_names, values):
-            self._columns[name].append(value)
-        self._dictionaries.clear()
-        if self._partitions is not None:
-            self._partitions.invalidate()
+                for name, dictionary in self._dictionaries.items()
+            }
+            if self._partitions is not None:
+                self._partitions.extend(deltas)
+        elif self._partitions is not None:
+            # No cached dictionaries to derive deltas from: the partitions
+            # (if any survived) cannot be patched — full rebuild on demand.
+            self._partitions.extend({})
         self._version += 1
-        return self.row_count - 1
+        return range(start, start + len(normalized))
 
     def set_cell(self, row_id: int, name: str, value: object) -> None:
         """Overwrite one cell (used by error injection and repair)."""
@@ -302,6 +344,5 @@ def concat(relations: Sequence[Relation], name: Optional[str] = None) -> Relatio
             )
     result = first.copy(name=name or first.name)
     for other in relations[1:]:
-        for row in other.iter_rows():
-            result.append_row(row)
+        result.append_rows(other.iter_rows())
     return result

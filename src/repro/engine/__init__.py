@@ -28,6 +28,13 @@ encoding — the standard analytical-engine layout (dictionary-encoded columns
   probe-table intersections for multi-attribute candidates, cached per
   relation and invalidated on mutation.
 
+Batch ingestion keeps all three tiers warm instead of rebuilding them:
+:meth:`~repro.dataset.relation.Relation.append_rows` extends dictionaries in
+place (:class:`~repro.engine.dictionary.DictionaryDelta` describes each
+batch), the evaluator's memoized masks self-heal by matching only the newly
+introduced distinct values, and the partition manager patches equivalence
+classes and refreshes memoized intersections from the patched leaves.
+
 The user-facing handle on all of this shared state is the
 :class:`~repro.session.CleaningSession` facade: one evaluator plus one
 relation (and therefore one dictionary + partition cache) threaded through
@@ -35,12 +42,13 @@ profile → discover → detect → repair → validate, with every counter abov
 surfaced as a structured :class:`~repro.session.SessionStats` snapshot.
 """
 
-from .dictionary import DictionaryColumn
+from .dictionary import DictionaryColumn, DictionaryDelta
 from .evaluator import ColumnMatch, ColumnMatchSet, PatternEvaluator, default_evaluator
 from .partitions import PartitionKey, PartitionManager, PartitionStats, StrippedPartition
 
 __all__ = [
     "DictionaryColumn",
+    "DictionaryDelta",
     "ColumnMatch",
     "ColumnMatchSet",
     "PatternEvaluator",

@@ -10,14 +10,53 @@ becomes per-*distinct*-value work.
 The class is deliberately standalone (it knows nothing about relations,
 schemas, or patterns) so that the dataset and core layers can depend on it
 without cycles.  Relations build and cache one instance per column via
-:meth:`repro.dataset.relation.Relation.dictionary` and invalidate the cache
-on mutation; everything downstream treats a ``DictionaryColumn`` as
-immutable.
+:meth:`repro.dataset.relation.Relation.dictionary`.  Cell overwrites
+(``set_cell``) invalidate the cache, but batch ingestion *extends* it:
+:meth:`DictionaryColumn.extend` appends new rows in place — unseen values
+get fresh codes at the end of the dictionary, ``rows_by_code``/``counts``
+are patched rather than rebuilt — and returns a :class:`DictionaryDelta`
+describing exactly what changed, which the partition layer and the pattern
+evaluator use to delta-maintain their own caches.  Existing codes, values,
+and row lists are never reordered by an extend, so every result computed
+per distinct value stays valid; downstream caches only have to *grow*.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Optional, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class DictionaryDelta:
+    """What one :meth:`DictionaryColumn.extend` call appended.
+
+    Attributes
+    ----------
+    attribute:
+        The column name (mirrors :attr:`DictionaryColumn.attribute`).
+    start_row:
+        Row id of the first appended row (== row count before the extend).
+    appended_codes:
+        One code per appended row, in append order (``start_row + i`` has
+        code ``appended_codes[i]``).
+    old_distinct_count:
+        Dictionary size before the extend; codes ``>= old_distinct_count``
+        belong to values first seen in this batch.
+    """
+
+    attribute: str
+    start_row: int
+    appended_codes: tuple[int, ...]
+    old_distinct_count: int
+
+    @property
+    def row_count(self) -> int:
+        return len(self.appended_codes)
+
+    def new_rows(self) -> range:
+        """The appended row ids."""
+        return range(self.start_row, self.start_row + len(self.appended_codes))
 
 
 class DictionaryColumn:
@@ -66,6 +105,49 @@ class DictionaryColumn:
         column = cls(tuple(code_of), codes, attribute=attribute)
         column._code_of = code_of
         return column
+
+    # -- mutation -------------------------------------------------------------
+
+    def extend(self, cells: Iterable[str]) -> DictionaryDelta:
+        """Append rows in place; returns the delta description.
+
+        Unseen values receive fresh codes *after* every existing one, so all
+        previously handed-out codes (and anything memoized per code) remain
+        valid; the lazily built ``rows_by_code`` / ``counts`` structures are
+        patched rather than invalidated.  This is the primitive behind
+        :meth:`repro.dataset.relation.Relation.append_rows`.
+        """
+        if self._code_of is None:
+            self._code_of = {v: code for code, v in enumerate(self.values)}
+        code_of = self._code_of
+        start_row = len(self.codes)
+        old_distinct = len(self.values)
+        appended: list[int] = []
+        new_values: list[str] = []
+        for cell in cells:
+            code = code_of.get(cell)
+            if code is None:
+                code = len(code_of)
+                code_of[cell] = code
+                new_values.append(cell)
+            appended.append(code)
+        if new_values:
+            self.values = self.values + tuple(new_values)
+        self.codes.extend(appended)
+        if self._rows_by_code is not None:
+            self._rows_by_code.extend([] for _ in range(len(self.values) - old_distinct))
+            for offset, code in enumerate(appended):
+                self._rows_by_code[code].append(start_row + offset)
+        if self._counts is not None:
+            self._counts.extend(0 for _ in range(len(self.values) - old_distinct))
+            for code in appended:
+                self._counts[code] += 1
+        return DictionaryDelta(
+            attribute=self.attribute,
+            start_row=start_row,
+            appended_codes=tuple(appended),
+            old_distinct_count=old_distinct,
+        )
 
     # -- size ----------------------------------------------------------------
 

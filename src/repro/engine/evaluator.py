@@ -22,9 +22,21 @@ within its state budget — or for single-pattern sets — the evaluator falls
 back to the per-pattern path transparently.
 
 The caches are keyed weakly by the ``DictionaryColumn`` object: relations
-drop (and re-create) their cached dictionaries on mutation, so a stale entry
-can never be observed, and dictionaries of dead relations are evicted
-automatically.
+drop (and re-create) their cached dictionaries on cell overwrites, so a
+stale entry can never be observed, and dictionaries of dead relations are
+evicted automatically.
+
+Batch ingestion (:meth:`repro.dataset.relation.Relation.append_rows`)
+*extends* dictionaries in place instead of dropping them, so a cached
+``ColumnMatch`` / ``ColumnMatchSet`` can be shorter than its column.  Both
+entry points self-heal: before serving a cached entry they compare lengths
+against ``column.distinct_count`` and match only the *newly introduced*
+distinct values — through the shared DFA for the mask sets (the set
+compilation is memoized globally, so repeated extends reuse it) and through
+the per-pattern matcher for constrained-part results.  Because any evaluator
+may hold masks for a column the relation just extended, healing happens at
+read time per evaluator; no notification protocol is needed, and a stale
+length can never be observed by consumers that go through the evaluator.
 """
 
 from __future__ import annotations
@@ -75,6 +87,10 @@ class ColumnMatch:
     @property
     def pattern_string(self) -> str:
         return self.compiled.pattern.to_pattern_string()
+
+    def _extend(self, new_results: tuple[MatchResult, ...]) -> None:
+        """Grow the per-code results in place (codes only ever append)."""
+        self.results = self.results + new_results
 
     def result_for_row(self, row_id: int) -> MatchResult:
         return self.results[self.column.codes[row_id]]
@@ -282,11 +298,14 @@ class PatternEvaluator:
             self._cache[column] = per_column
         cached = per_column.get(compiled)
         if cached is not None:
+            if len(cached.results) < column.distinct_count:
+                self._heal_column_match(cached, column, compiled)
             self.cache_hits += 1
             return cached
         match = compiled.match
         match_set = self._multi.get(column)
         if match_set is not None and compiled in match_set._bit_of:
+            self._sync_match_set(match_set, column)
             # Seeded from the set-at-a-time masks: extract only where matched.
             mask = match_set.matched_mask(compiled)
             results = tuple(
@@ -327,10 +346,104 @@ class PatternEvaluator:
         if match_set is None:
             match_set = ColumnMatchSet(column)
             self._multi[column] = match_set
+        else:
+            self._sync_match_set(match_set, column)
         missing = [c for c in requested if c not in match_set._bit_of]
         if missing:
             self._extend_match_set(match_set, column, missing)
         return match_set
+
+    def _heal_column_match(
+        self,
+        cached: ColumnMatch,
+        column: DictionaryColumn,
+        compiled: CompiledPattern,
+    ) -> None:
+        """Grow a memoized :class:`ColumnMatch` to cover codes the column
+        gained since it was built (an in-place dictionary extend)."""
+        match_set = self._multi.get(column)
+        seeded = match_set is not None and compiled in match_set._bit_of
+        if seeded:
+            # May heal this very entry through its own tail loop; re-check.
+            self._sync_match_set(match_set, column)
+            if len(cached.results) >= column.distinct_count:
+                return
+        start = len(cached.results)
+        new_values = column.values[start:]
+        match = compiled.match
+        if seeded:
+            bit = match_set._bit_of[compiled]
+            bits = match_set.bits
+            hits = [(bits[start + offset] >> bit) & 1 for offset in range(len(new_values))]
+            new_results = tuple(
+                match(value) if hit else _FAILED
+                for hit, value in zip(hits, new_values)
+            )
+            self.match_calls += sum(hits)
+        else:
+            new_results = tuple(match(value) for value in new_values)
+            self.match_calls += len(new_values)
+        cached._extend(new_results)
+
+    def _sync_match_set(self, match_set: ColumnMatchSet, column: DictionaryColumn) -> None:
+        """Grow a memoized :class:`ColumnMatchSet` to cover codes the column
+        gained since the last scan (an in-place dictionary extend).
+
+        Only the *new* distinct values are matched: the DFA-friendly members
+        are rescanned set-at-a-time through :func:`compile_pattern_set`
+        (memoized globally per frozen pattern set, so consecutive extends
+        reuse one compiled automaton) and the rest fall back to per-pattern
+        matching of the delta values.
+        """
+        start = len(match_set.bits)
+        if start >= column.distinct_count:
+            return
+        new_values = column.values[start:]
+        match_set.bits.extend(0 for _ in new_values)
+        members = match_set.patterns
+        if not members:
+            return
+        friendly = [c for c in members if is_dfa_friendly(c.pattern)]
+        remaining = [c for c in members if not is_dfa_friendly(c.pattern)]
+        automaton = None
+        if len(friendly) >= 2:
+            self.pattern_set_compilations += 1
+            automaton = compile_pattern_set(
+                [compiled.pattern for compiled in friendly],
+                state_budget=self.state_budget,
+            )
+        if automaton is None:
+            remaining = list(members)
+        else:
+            # Remap the automaton's canonical member order onto the set's
+            # registration bits (they differ when members accumulated over
+            # several batches).
+            by_pattern = {compiled.pattern: compiled for compiled in friendly}
+            target_bit = [
+                match_set._bit_of[by_pattern[member]] for member in automaton.patterns
+            ]
+            scanned = automaton.match_bits_many(new_values)
+            bits = match_set.bits
+            for offset, value_bits in enumerate(scanned):
+                if not value_bits:
+                    continue
+                mapped = 0
+                source = 0
+                while value_bits:
+                    if value_bits & 1:
+                        mapped |= 1 << target_bit[source]
+                    value_bits >>= 1
+                    source += 1
+                bits[start + offset] |= mapped
+            self.multi_scans += len(new_values)
+        bits = match_set.bits
+        for compiled in remaining:
+            bit = match_set._bit_of[compiled]
+            match = compiled.match
+            for offset, value in enumerate(new_values):
+                if match(value).matched:
+                    bits[start + offset] |= 1 << bit
+            self.match_calls += len(new_values)
 
     def _extend_match_set(
         self,

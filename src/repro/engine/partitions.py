@@ -46,16 +46,45 @@ rather than with the raw row count.
 A partition object is an immutable snapshot: like a ``DictionaryColumn``, it
 keeps meaning after the relation mutates, but the manager will no longer
 hand it out.
+
+Delta maintenance
+-----------------
+
+Batch ingestion (:meth:`repro.dataset.relation.Relation.append_rows`) does
+not invalidate this cache — it *extends* it.  :meth:`PartitionManager.extend`
+receives the per-column :class:`~repro.engine.dictionary.DictionaryDelta`
+records and
+
+* patches every cached **attribute partition** by appending the new row ids
+  to their equivalence classes (promoting singletons that gained a partner,
+  inserting classes of newly seen values in first-occurrence order) —
+  reading the row lists the dictionary already maintains in place;
+* patches every cached **pattern partition** from per-key grouping state
+  kept since the build: only the distinct values first seen in the batch
+  are matched against the pattern, and the new covered rows are appended to
+  their component groups;
+* marks every memoized **intersection** whose leaves were patched as
+  *stale*: the next request refreshes it by re-running the probe-table
+  product over the patched leaf classes (cost ``O(||π||)``, never a regroup
+  of raw rows), so appends themselves stay O(patched leaves) and entries a
+  workload stopped reading cost nothing; entries it cannot patch (no delta
+  available for the column) are dropped and rebuilt cold on demand.
+
+The patched partitions are bit-identical — classes, class order, covered
+rows, and row counts — to what a from-scratch rebuild would produce, which
+the incremental-append property tests pin.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 
 from ..patterns.alphabet import CharClass
 from ..patterns.ast import ClassAtom, ConstrainedGroup, Pattern, Repeat
 from ..patterns.matcher import CompiledPattern, compile_pattern
+from .dictionary import DictionaryDelta
 from .evaluator import PatternEvaluator, default_evaluator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset -> engine)
@@ -263,6 +292,11 @@ class PartitionStats:
     pattern_misses: int = 0
     intersection_hits: int = 0
     intersection_misses: int = 0
+    #: Cached partitions patched in place by :meth:`PartitionManager.extend`
+    #: (delta maintenance instead of a full rebuild).
+    attribute_extends: int = 0
+    pattern_extends: int = 0
+    intersection_refreshes: int = 0
 
     @property
     def hits(self) -> int:
@@ -272,31 +306,78 @@ class PartitionStats:
     def misses(self) -> int:
         return self.attribute_misses + self.pattern_misses + self.intersection_misses
 
+    @property
+    def extends(self) -> int:
+        return self.attribute_extends + self.pattern_extends + self.intersection_refreshes
+
     def summary(self) -> str:
         return (
             f"partition cache: {self.hits} hits / {self.misses} misses "
             f"(attribute {self.attribute_hits}/{self.attribute_misses}, "
             f"pattern {self.pattern_hits}/{self.pattern_misses}, "
-            f"intersection {self.intersection_hits}/{self.intersection_misses})"
+            f"intersection {self.intersection_hits}/{self.intersection_misses}), "
+            f"{self.extends} delta extends"
         )
+
+
+class _PatternGroups:
+    """Mutable grouping state behind one cached pattern partition.
+
+    Kept so :meth:`PartitionManager.extend_pattern` can patch the partition
+    in O(delta): ``components[code]`` is the extracted constrained part of
+    the distinct value at ``code`` (``None`` = uncovered), ``groups`` maps a
+    component to *all* its row ids (singletons included — the stripped
+    classes are derived by filtering), ``covered`` is the ascending covered
+    row list.
+    """
+
+    __slots__ = ("components", "groups", "covered")
+
+    def __init__(self) -> None:
+        self.components: list[Optional[str]] = []
+        self.groups: dict[str, list[int]] = {}
+        self.covered: list[int] = []
+
+    def append_component(self, value: str, result) -> None:
+        """Record the grouping component of one distinct value: ``None``
+        excludes its rows (empty value or failed match); a match without a
+        constrained part contributes a constant component — matching is then
+        the only requirement."""
+        if not value or not result.matched:
+            self.components.append(None)
+        elif result.constrained_value is not None:
+            self.components.append(result.constrained_value)
+        else:
+            self.components.append("")
+
+    def partition(self, row_count: int) -> StrippedPartition:
+        classes = [tuple(rows) for rows in self.groups.values() if len(rows) >= 2]
+        return StrippedPartition(classes, row_count, covered=tuple(self.covered))
 
 
 class PartitionManager:
     """Build, cache, and intersect stripped partitions for one relation.
 
     Obtained via :meth:`repro.dataset.relation.Relation.partitions`; the
-    relation invalidates the affected entries on mutation (``set_cell``
-    drops one attribute's partitions and every intersection touching it,
-    ``append_row`` drops everything), so a served partition always reflects
-    the current rows.  Counters in :attr:`stats` survive invalidation —
-    they describe the manager's whole lifetime.
+    relation invalidates the affected entries on cell overwrites
+    (``set_cell`` drops one attribute's partitions and every intersection
+    touching it) and *extends* them on batch ingestion (``append_rows``
+    routes the per-column dictionary deltas through :meth:`extend`), so a
+    served partition always reflects the current rows.  Counters in
+    :attr:`stats` survive invalidation — they describe the manager's whole
+    lifetime.
     """
 
     def __init__(self, relation: "Relation"):
         self._relation = relation
         self._attribute: dict[str, StrippedPartition] = {}
         self._pattern: dict[PartitionKey, StrippedPartition] = {}
+        self._pattern_groups: dict[PartitionKey, _PatternGroups] = {}
         self._intersections: dict[frozenset[PartitionKey], StrippedPartition] = {}
+        #: Intersections evicted by :meth:`extend` whose leaves were all
+        #: patched: the next request refreshes them from the patched leaf
+        #: classes and is counted as a refresh, not a cold build.
+        self._stale_intersections: set[frozenset[PartitionKey]] = set()
         self.stats = PartitionStats()
 
     # -- keys ----------------------------------------------------------------
@@ -370,30 +451,18 @@ class PartitionManager:
         evaluator = evaluator or default_evaluator()
         column = self._relation.dictionary(key.attribute)
         match = evaluator.match_column(key.pattern, column)
-        # Per-code grouping component: None excludes the rows (empty value or
-        # failed match); a cell without a constrained part contributes a
-        # constant component — matching is then the only requirement.
-        components: list[Optional[str]] = []
+        state = _PatternGroups()
         for value, result in zip(column.values, match.results):
-            if not value or not result.matched:
-                components.append(None)
-            else:
-                components.append(
-                    result.constrained_value
-                    if result.constrained_value is not None
-                    else ""
-                )
-        groups: dict[str, list[int]] = {}
-        covered: list[int] = []
+            state.append_component(value, result)
         for row, code in enumerate(column.codes):
-            component = components[code]
+            component = state.components[code]
             if component is None:
                 continue
-            covered.append(row)
-            groups.setdefault(component, []).append(row)
-        classes = [tuple(rows) for rows in groups.values() if len(rows) >= 2]
-        partition = StrippedPartition(classes, column.row_count, covered=covered)
+            state.covered.append(row)
+            state.groups.setdefault(component, []).append(row)
+        partition = state.partition(column.row_count)
         self._pattern[key] = partition
+        self._pattern_groups[key] = state
         return partition
 
     def partition_for(
@@ -427,7 +496,11 @@ class PartitionManager:
         if cached is not None:
             self.stats.intersection_hits += 1
             return cached
-        self.stats.intersection_misses += 1
+        if key_set in self._stale_intersections:
+            self._stale_intersections.discard(key_set)
+            self.stats.intersection_refreshes += 1
+        else:
+            self.stats.intersection_misses += 1
         ordered = sorted(key_set, key=_key_order)
         last = ordered[-1]
         prefix = self.intersection(ordered[:-1], evaluator)
@@ -444,6 +517,133 @@ class PartitionManager:
             return self.attribute_partition(keys[0].attribute)
         return self.intersection(keys)
 
+    # -- delta maintenance ---------------------------------------------------
+
+    def extend(self, deltas: Mapping[str, DictionaryDelta]) -> None:
+        """Patch every cached partition for a batch of appended rows.
+
+        ``deltas`` maps attribute names to the
+        :class:`~repro.engine.dictionary.DictionaryDelta` their dictionary
+        returned from the in-place extend (missing attributes had no cached
+        dictionary — their partitions, if any, are dropped and rebuilt on
+        demand).  Leaf partitions are patched in place; memoized
+        intersections are marked stale and refreshed on next request by the
+        probe-table product over the patched leaf classes, reusing the
+        level-wise prefix descent.  Partition *objects* are never mutated —
+        each cache slot receives a fresh snapshot, so partitions handed out
+        before the append keep describing the old rows.
+        """
+        for attribute in list(self._attribute):
+            delta = deltas.get(attribute)
+            if delta is None:
+                self._attribute.pop(attribute)
+            else:
+                self.extend_attribute(attribute, delta)
+        for key in list(self._pattern):
+            delta = deltas.get(key.attribute)
+            state = self._pattern_groups.get(key)
+            if delta is None or state is None:
+                self._pattern.pop(key)
+                self._pattern_groups.pop(key, None)
+            else:
+                self.extend_pattern(key, delta)
+        # Intersections go stale, not cold: entries whose leaves were all
+        # patched are refreshed lazily — the next request re-runs the
+        # probe-table product over the patched leaf classes (the memoized
+        # prefix descent refreshes stale prefixes on the way).  Appending is
+        # therefore O(patched leaves), never O(cached intersections), and
+        # entries a workload stopped reading cost nothing.
+        candidates = set(self._intersections) | self._stale_intersections
+        self._stale_intersections = {
+            key_set
+            for key_set in candidates
+            if all(
+                (key.pattern is None and key.attribute in self._attribute)
+                or (key.pattern is not None and key in self._pattern)
+                for key in key_set
+            )
+        }
+        self._intersections.clear()
+
+    def extend_attribute(self, attribute: str, delta: DictionaryDelta) -> StrippedPartition:
+        """Patch the cached attribute partition with one appended batch.
+
+        Appended row ids join the class of their code; singletons that
+        gained a partner are promoted to classes (inserted in
+        first-occurrence order, which keeps the class sequence identical to
+        a from-scratch build); values first seen in the batch open new
+        classes once they reach two rows.  Reads the row lists the
+        dictionary maintains in place — no regrouping.
+        """
+        column = self._relation.dictionary(attribute)
+        old = self._attribute.get(attribute)
+        if old is None:
+            return self.attribute_partition(attribute)
+        rows_by_code = column.rows_by_code()
+        added_by_code: dict[int, int] = {}
+        for code in delta.appended_codes:
+            added_by_code[code] = added_by_code.get(code, 0) + 1
+        classes = list(old.classes)
+        firsts = [class_rows[0] for class_rows in classes]
+        for code, added in added_by_code.items():
+            if not column.values[code]:
+                continue
+            rows = rows_by_code[code]
+            if len(rows) < 2:
+                continue
+            full = tuple(rows)
+            if len(rows) - added >= 2:
+                # Existing class: same first member, rows appended at the end.
+                index = bisect.bisect_left(firsts, full[0])
+                classes[index] = full
+            else:
+                # Promoted singleton or a value first seen in this batch.
+                index = bisect.bisect_left(firsts, full[0])
+                classes.insert(index, full)
+                firsts.insert(index, full[0])
+        covered = old.covered + tuple(
+            delta.start_row + offset
+            for offset, code in enumerate(delta.appended_codes)
+            if column.values[code]
+        )
+        partition = StrippedPartition(classes, column.row_count, covered=covered)
+        self._attribute[attribute] = partition
+        self.stats.attribute_extends += 1
+        return partition
+
+    def extend_pattern(self, key: PartitionKey, delta: DictionaryDelta) -> StrippedPartition:
+        """Patch one cached pattern-projected partition with a batch.
+
+        Only the distinct values *first seen in the batch* are matched
+        against the pattern (``O(new distinct)`` match calls); the appended
+        rows are then routed to their component groups through the stored
+        grouping state.
+        """
+        state = self._pattern_groups.get(key)
+        if state is None or key not in self._pattern:
+            return self._pattern_partition(key, None)
+        column = self._relation.dictionary(key.attribute)
+        compiled = key.pattern
+        assert compiled is not None  # plain-attribute keys never land here
+        # Matched directly rather than through an evaluator: the manager does
+        # not know which evaluator built the entry, the work is bounded by
+        # the batch's new distinct values, and CompiledPattern.match is the
+        # same deterministic function every evaluator path bottoms out in.
+        for code in range(len(state.components), column.distinct_count):
+            value = column.values[code]
+            state.append_component(value, compiled.match(value) if value else None)
+        for offset, code in enumerate(delta.appended_codes):
+            component = state.components[code]
+            if component is None:
+                continue
+            row = delta.start_row + offset
+            state.covered.append(row)
+            state.groups.setdefault(component, []).append(row)
+        partition = state.partition(column.row_count)
+        self._pattern[key] = partition
+        self.stats.pattern_extends += 1
+        return partition
+
     # -- invalidation --------------------------------------------------------
 
     def invalidate_attribute(self, attribute: str) -> None:
@@ -454,9 +654,19 @@ class PartitionManager:
             for key, partition in self._pattern.items()
             if key.attribute != attribute
         }
+        self._pattern_groups = {
+            key: state
+            for key, state in self._pattern_groups.items()
+            if key.attribute != attribute
+        }
         self._intersections = {
             key_set: partition
             for key_set, partition in self._intersections.items()
+            if all(key.attribute != attribute for key in key_set)
+        }
+        self._stale_intersections = {
+            key_set
+            for key_set in self._stale_intersections
             if all(key.attribute != attribute for key in key_set)
         }
 
@@ -464,7 +674,9 @@ class PartitionManager:
         """Drop every cached partition (counters are kept)."""
         self._attribute.clear()
         self._pattern.clear()
+        self._pattern_groups.clear()
         self._intersections.clear()
+        self._stale_intersections.clear()
 
     def cached_partition_count(self) -> int:
         return len(self._attribute) + len(self._pattern) + len(self._intersections)

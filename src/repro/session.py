@@ -35,6 +35,13 @@ Each stage
 The historical free functions (:func:`repro.discover_pfds`,
 :func:`repro.detect_errors`, :func:`repro.repair_errors`) remain as thin
 convenience wrappers that construct a throwaway session.
+
+Ingestion rides the same object: :meth:`CleaningSession.append` feeds a
+batch through :meth:`Relation.append_rows` (which delta-maintains the
+dictionary / mask / partition caches instead of invalidating them) while
+keeping the memoized discovery, and :meth:`CleaningSession.detect_new`
+re-validates just the appended delta — only PFDs whose partitions gained
+rows, only equivalence classes containing new rows.
 """
 
 from __future__ import annotations
@@ -222,6 +229,9 @@ class CleaningSession:
         self._detection: Optional[tuple[tuple, DetectionReport]] = None
         self._repair: Optional[tuple[tuple, RepairResult]] = None
         self._validation: Optional[tuple[tuple, ValidationReport]] = None
+        #: First row id of the batches appended via :meth:`append` that
+        #: :meth:`detect_new` has not yet examined (None = no pending delta).
+        self._delta_start: Optional[int] = None
 
     # -- constructors --------------------------------------------------------
 
@@ -270,9 +280,67 @@ class CleaningSession:
         self._detection = None
         self._repair = None
         self._validation = None
+        self._delta_start = None
 
     def _mark(self, stage: str) -> None:
         self._stages_run[stage] = None
+
+    # -- ingestion -----------------------------------------------------------
+
+    def append(self, rows) -> range:
+        """Append a batch of tuples, keeping the discovered PFDs.
+
+        Routes through :meth:`Relation.append_rows`, so the engine caches —
+        dictionaries, pattern-match masks, stripped partitions — are delta-
+        maintained rather than rebuilt.  The memoized *discovery* survives
+        (the whole point of ingestion is validating new data against the
+        constraints already learned); detection / repair / validation memos
+        are dropped, since their reports describe the pre-append table.
+        Returns the appended row-id range; consecutive appends accumulate
+        into one pending delta for :meth:`detect_new`.
+        """
+        self._sync()
+        discovery = self._discovery
+        pending = self._delta_start
+        appended = self.relation.append_rows(rows)
+        if not len(appended):
+            return appended
+        self.invalidate()
+        self._discovery = discovery
+        self._delta_start = pending if pending is not None else appended.start
+        self._mark("append")
+        return appended
+
+    def detect_new(
+        self,
+        pfds: Optional[Sequence[PFD]] = None,
+        min_evidence: int = 1,
+    ) -> DetectionReport:
+        """Detect suspect cells introduced by the pending appended batches.
+
+        Scopes the violation search to the delta (see
+        :meth:`~repro.cleaning.detector.ErrorDetector.detect` with
+        ``since_row``): only PFDs whose tableau-row partitions gained
+        covered rows are re-validated, and only equivalence classes
+        containing appended rows are walked — O(delta), not O(table), on a
+        primed session.  Defaults to the session's discovered PFDs (which
+        :meth:`append` deliberately preserves).  The pending delta is
+        consumed: a second call without a new :meth:`append` raises.
+        Suspect cells may reference pre-append rows when an appended tuple
+        turns them into the minority of their class.
+        """
+        self._sync()
+        if self._delta_start is None:
+            raise ReproError(
+                "detect_new() has no pending appended rows: call append() first"
+            )
+        _, resolved = self._resolve_pfds(pfds)
+        report = ErrorDetector(
+            resolved, min_evidence=min_evidence, evaluator=self.evaluator
+        ).detect(self.relation, since_row=self._delta_start)
+        self._delta_start = None
+        self._mark("detect_new")
+        return report
 
     # -- stages --------------------------------------------------------------
 

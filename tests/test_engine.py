@@ -54,10 +54,13 @@ def test_relation_dictionary_is_cached_and_invalidated():
     relation.set_cell(1, "a", "7")
     assert relation.dictionary("b") is b_dict
 
-    # append_row invalidates every column.
+    # append_row extends every cached dictionary in place (identity kept, so
+    # evaluator caches keyed on the object survive the append).
     relation.append_row(("3", "z"))
-    assert relation.dictionary("b") is not b_dict
+    assert relation.dictionary("b") is b_dict
     assert relation.dictionary("b").row_count == 4
+    assert relation.dictionary("b").values == ("x", "y", "z")
+    assert relation.dictionary("b").codes == [0, 1, 0, 2]
 
 
 # --------------------------------------------------------------------------

@@ -144,7 +144,7 @@ class TestPartitionManager:
         assert manager.pattern_partition("zip", r"{{\D{3}}}\D{2}") is not pattern_partition
         assert manager.attribute_set_partition(("zip", "city")) is not intersection
 
-    def test_append_row_invalidates_everything(self, relation):
+    def test_append_row_extends_instead_of_invalidating(self, relation):
         manager = relation.partitions()
         manager.attribute_partition("zip")
         manager.attribute_partition("city")
@@ -153,9 +153,16 @@ class TestPartitionManager:
 
         relation.append_row(("90002", "Los Angeles", "CA"))
 
-        assert manager.cached_partition_count() == 0
+        # The leaves were patched in place; the memoized intersection went
+        # stale and is refreshed from the patched classes on next request.
+        assert manager.cached_partition_count() == 2
+        assert manager.stats.attribute_extends == 2
         partition = manager.attribute_partition("zip")
-        assert (2, 6) in partition.classes  # the appended row joined 90002
+        assert (2, 6) in partition.classes  # the appended row promoted 90002
+        refreshed = manager.attribute_set_partition(("zip", "city"))
+        assert manager.stats.intersection_refreshes == 1
+        assert (2, 6) in refreshed.classes
+        assert manager.cached_partition_count() == 3
 
     def test_pfd_evaluation_sees_mutations_through_partition_invalidation(self):
         relation = Relation.from_rows(

@@ -41,6 +41,7 @@ EXPECTED_ALL = {
     "write_csv",
     # engine
     "DictionaryColumn",
+    "DictionaryDelta",
     "ColumnMatchSet",
     "PartitionManager",
     "StrippedPartition",
