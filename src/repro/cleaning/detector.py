@@ -17,6 +17,7 @@ from typing import Iterable, Optional, Sequence
 from ..constraints.base import CellRef, Violation
 from ..core.pfd import PFD, prime_for_pfds, prime_partitions_for_pfds
 from ..dataset.relation import Relation
+from ..engine.backend import resolve_backend
 from ..engine.evaluator import PatternEvaluator
 
 
@@ -38,6 +39,9 @@ class DetectionReport:
     relation_name: str
     errors: list[DetectedError]
     violations: list[Violation]
+    #: Engine backend the evaluation ran on (``"numpy"``/``"python"``); both
+    #: produce bit-identical reports — recorded for benchmarks/telemetry.
+    backend: str = "python"
 
     @property
     def error_cells(self) -> set[CellRef]:
@@ -142,7 +146,10 @@ class ErrorDetector:
                 )
             )
         return DetectionReport(
-            relation_name=relation.name, errors=errors, violations=all_violations
+            relation_name=relation.name,
+            errors=errors,
+            violations=all_violations,
+            backend=resolve_backend(relation.backend),
         )
 
     @staticmethod

@@ -42,6 +42,7 @@ from .core.serialization import load_pfds, save_pfds
 from .datagen.suite import materialize_suite
 from .dataset.csvio import read_csv, write_csv
 from .discovery.config import DiscoveryConfig
+from .engine.backend import BACKENDS
 from .exceptions import ReproError
 from .session import CleaningSession
 
@@ -64,6 +65,11 @@ def _add_stats_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print the session's shared-cache counters "
                              "(pattern matching + partition cache)")
+    parser.add_argument("--engine", choices=list(BACKENDS), default=None,
+                        help="engine backend: 'numpy' (vectorized columnar "
+                             "core, default when numpy is importable) or "
+                             "'python' (dependency-free fallback); both "
+                             "produce identical results")
 
 
 def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
@@ -78,7 +84,8 @@ def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
 
 def _session_from_args(args: argparse.Namespace) -> CleaningSession:
     config = _config_from_args(args) if hasattr(args, "min_support") else None
-    return CleaningSession.from_csv(args.csv, config=config)
+    backend = getattr(args, "engine", None)
+    return CleaningSession.from_csv(args.csv, config=config, backend=backend)
 
 
 def _session_pfds(session: CleaningSession, args: argparse.Namespace):

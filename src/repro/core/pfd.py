@@ -50,6 +50,8 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 from ..constraints.base import CellRef, Violation, embedded_dependency_key
 from ..constraints.fd import FD
 from ..dataset.relation import Relation
+from ..engine.backend import NUMPY, np
+from ..engine.dictionary import DictionaryColumn
 from ..engine.evaluator import PatternEvaluator, default_evaluator
 from ..engine.partitions import PartitionManager, StrippedPartition
 from ..exceptions import ConstraintError
@@ -348,17 +350,24 @@ class PFD:
         since_row: int = 0,
     ) -> list[Violation]:
         found: list[Violation] = []
-        supported = self._row_partition(relation, row, evaluator).covered
-        if since_row:
-            # Covered rows are ascending: bisect to the first delta row.
-            supported = supported[bisect.bisect_left(supported, since_row):]
-        if not supported:
-            return found
+        partition = self._row_partition(relation, row, evaluator)
         rhs_expected = {
             attribute: row.pattern(attribute).constant_value() for attribute in self.rhs
         }
         # Per-code equality against the expected constant, per RHS attribute.
         rhs_columns = {attribute: relation.dictionary(attribute) for attribute in self.rhs}
+        if partition.backend == NUMPY and all(
+            column.backend == NUMPY for column in rhs_columns.values()
+        ):
+            return self._constant_row_violations_numpy(
+                row, partition, rhs_expected, rhs_columns, since_row
+            )
+        supported = partition.covered
+        if since_row:
+            # Covered rows are ascending: bisect to the first delta row.
+            supported = supported[bisect.bisect_left(supported, since_row):]
+        if not supported:
+            return found
         rhs_equal = {
             attribute: [value == rhs_expected[attribute] for value in column.values]
             for attribute, column in rhs_columns.items()
@@ -369,18 +378,65 @@ class PFD:
                 code = column.codes[row_id]
                 if rhs_equal[attribute][code]:
                     continue
-                cells = tuple(
-                    CellRef(row_id, attr) for attr in (*self.lhs, attribute)
-                )
                 found.append(
-                    Violation(
-                        constraint_kind="PFD",
-                        constraint_repr=f"{self} @ {row.render(self.lhs, self.rhs)}",
-                        cells=cells,
-                        suspect_cells=(CellRef(row_id, attribute),),
-                        expected_value=rhs_expected[attribute],
-                    )
+                    self._constant_violation(row, row_id, attribute, rhs_expected)
                 )
+        return found
+
+    def _constant_violation(
+        self,
+        row: PatternTuple,
+        row_id: int,
+        attribute: str,
+        rhs_expected: Mapping[str, Optional[str]],
+    ) -> Violation:
+        cells = tuple(CellRef(row_id, attr) for attr in (*self.lhs, attribute))
+        return Violation(
+            constraint_kind="PFD",
+            constraint_repr=f"{self} @ {row.render(self.lhs, self.rhs)}",
+            cells=cells,
+            suspect_cells=(CellRef(row_id, attribute),),
+            expected_value=rhs_expected[attribute],
+        )
+
+    def _constant_row_violations_numpy(
+        self,
+        row: PatternTuple,
+        partition: StrippedPartition,
+        rhs_expected: Mapping[str, Optional[str]],
+        rhs_columns: Mapping[str, "DictionaryColumn"],
+        since_row: int,
+    ) -> list[Violation]:
+        """Vectorized constant-row check: per-code equality masks broadcast
+        to the supported rows via fancy indexing; Python touches only the
+        offending positions, emitting the same violations in the same
+        (row-major, then RHS attribute) order as the fallback path."""
+        supported = partition.covered_array()
+        if since_row:
+            supported = supported[np.searchsorted(supported, since_row):]
+        if not len(supported):
+            return []
+        bad: dict[str, "np.ndarray"] = {}
+        any_bad = np.zeros(len(supported), dtype=bool)
+        for attribute in self.rhs:
+            column = rhs_columns[attribute]
+            expected = rhs_expected[attribute]
+            equal = np.fromiter(
+                (value == expected for value in column.values),
+                dtype=bool,
+                count=column.distinct_count,
+            )
+            attr_bad = ~equal[column.codes_array()[supported]]
+            bad[attribute] = attr_bad
+            any_bad |= attr_bad
+        found: list[Violation] = []
+        for position in np.flatnonzero(any_bad).tolist():
+            row_id = int(supported[position])
+            for attribute in self.rhs:
+                if bad[attribute][position]:
+                    found.append(
+                        self._constant_violation(row, row_id, attribute, rhs_expected)
+                    )
         return found
 
     def _variable_row_violations(
@@ -395,6 +451,10 @@ class PFD:
         # singletons are already gone, so the RHS work below scales with the
         # surviving classes, not with the relation.
         partition = self._row_partition(relation, row, evaluator)
+        if partition.backend == NUMPY:
+            return self._variable_row_violations_numpy(
+                relation, row, evaluator, partition, since_row
+            )
         classes = partition.classes
         if since_row:
             # A class touches the delta iff its largest (= last) member is an
@@ -408,24 +468,14 @@ class PFD:
         # the pattern and the column, not on the LHS group): a tuple that
         # matches the RHS pattern is bucketed by its constrained value, a
         # non-matching tuple gets a bucket of its own keyed by the full value.
-        rhs_buckets: dict[str, tuple[list[int], list[tuple[bool, str]]]] = {}
+        rhs_buckets: dict[str, tuple[Sequence[int], list[tuple[bool, str]]]] = {}
         for attribute in self.rhs:
             column = relation.dictionary(attribute)
             match = evaluator.match_column(row.pattern(attribute), column)
-            bucket_by_code: list[tuple[bool, str]] = []
-            for value, result in zip(column.values, match.results):
-                if result.matched:
-                    bucket_by_code.append(
-                        (
-                            True,
-                            result.constrained_value
-                            if result.constrained_value is not None
-                            else "",
-                        )
-                    )
-                else:
-                    bucket_by_code.append((False, value))
-            rhs_buckets[attribute] = (column.codes, bucket_by_code)
+            rhs_buckets[attribute] = (
+                column.codes,
+                self._rhs_bucket_by_code(column, match),
+            )
         found: list[Violation] = []
         for row_ids in classes:
             for attribute in self.rhs:
@@ -441,31 +491,130 @@ class PFD:
                     # also fails the RHS — the implication is then falsified
                     # only when a matching partner exists, i.e. >= 2 buckets.
                     continue
-                majority_bucket, majority_ids = max(
-                    buckets.items(), key=lambda item: (len(item[1]), item[0][0], item[0][1])
-                )
-                suspects = tuple(
-                    CellRef(row_id, attribute)
-                    for bucket, ids in buckets.items()
-                    if bucket != majority_bucket
-                    for row_id in ids
-                )
-                expected_value: Optional[str] = None
-                if majority_bucket[0] and majority_ids:
-                    expected_value = relation.cell(majority_ids[0], attribute)
-                cells = tuple(
-                    CellRef(row_id, attr)
-                    for row_id in row_ids
-                    for attr in (*self.lhs, attribute)
-                )
                 found.append(
-                    Violation(
-                        constraint_kind="PFD",
-                        constraint_repr=f"{self} @ {row.render(self.lhs, self.rhs)}",
-                        cells=cells,
-                        suspect_cells=suspects,
-                        expected_value=expected_value,
+                    self._bucket_violation(relation, row, attribute, row_ids, buckets)
+                )
+        return found
+
+    @staticmethod
+    def _rhs_bucket_by_code(
+        column: DictionaryColumn, match
+    ) -> list[tuple[bool, str]]:
+        """Per-code RHS bucket key: a matching value is bucketed by its
+        extracted constrained part, a non-matching value by itself."""
+        bucket_by_code: list[tuple[bool, str]] = []
+        for value, result in zip(column.values, match.results):
+            if result.matched:
+                bucket_by_code.append(
+                    (
+                        True,
+                        result.constrained_value
+                        if result.constrained_value is not None
+                        else "",
                     )
+                )
+            else:
+                bucket_by_code.append((False, value))
+        return bucket_by_code
+
+    def _bucket_violation(
+        self,
+        relation: Relation,
+        row: PatternTuple,
+        attribute: str,
+        row_ids: Sequence[int],
+        buckets: Mapping[tuple[bool, str], list[int]],
+    ) -> Violation:
+        """One variable-row violation: the class disagrees on ``attribute``;
+        everything outside the majority bucket is suspect."""
+        majority_bucket, majority_ids = max(
+            buckets.items(), key=lambda item: (len(item[1]), item[0][0], item[0][1])
+        )
+        suspects = tuple(
+            CellRef(row_id, attribute)
+            for bucket, ids in buckets.items()
+            if bucket != majority_bucket
+            for row_id in ids
+        )
+        expected_value: Optional[str] = None
+        if majority_bucket[0] and majority_ids:
+            expected_value = relation.cell(majority_ids[0], attribute)
+        cells = tuple(
+            CellRef(row_id, attr)
+            for row_id in row_ids
+            for attr in (*self.lhs, attribute)
+        )
+        return Violation(
+            constraint_kind="PFD",
+            constraint_repr=f"{self} @ {row.render(self.lhs, self.rhs)}",
+            cells=cells,
+            suspect_cells=suspects,
+            expected_value=expected_value,
+        )
+
+    def _variable_row_violations_numpy(
+        self,
+        relation: Relation,
+        row: PatternTuple,
+        evaluator: PatternEvaluator,
+        partition: StrippedPartition,
+        since_row: int,
+    ) -> list[Violation]:
+        """Vectorized variable-row check.
+
+        Per RHS attribute the bucket keys are interned to integer ids per
+        *distinct* value, broadcast through the code vector to the stripped
+        rows, and the violating classes found with one all-equal-within-class
+        reduction (compare against the class's first element, repeated).
+        Python then walks only the violating classes — typically a tiny
+        fraction — re-deriving their buckets to emit violations identical,
+        order included, to the fallback path."""
+        rowids, offsets = partition.class_arrays()
+        class_count = len(offsets) - 1
+        if class_count == 0:
+            return []
+        sizes = np.diff(offsets)
+        violating = np.zeros(class_count, dtype=bool)
+        per_attribute: dict[str, "np.ndarray"] = {}
+        rhs_buckets: dict[str, tuple[Sequence[int], list[tuple[bool, str]]]] = {}
+        class_ids = None
+        for attribute in self.rhs:
+            column = relation.dictionary(attribute)
+            match = evaluator.match_column(row.pattern(attribute), column)
+            bucket_by_code = self._rhs_bucket_by_code(column, match)
+            rhs_buckets[attribute] = (column.codes, bucket_by_code)
+            id_of: dict[tuple[bool, str], int] = {}
+            bucket_ids = np.empty(column.distinct_count, dtype=np.int64)
+            for code, bucket in enumerate(bucket_by_code):
+                bucket_ids[code] = id_of.setdefault(bucket, len(id_of))
+            stripped = bucket_ids[column.codes_array()[rowids]]
+            first = np.repeat(stripped[offsets[:-1]], sizes)
+            disagree = stripped != first
+            attr_bad = np.zeros(class_count, dtype=bool)
+            if disagree.any():
+                if class_ids is None:
+                    class_ids = np.repeat(
+                        np.arange(class_count, dtype=np.int64), sizes
+                    )
+                attr_bad[np.unique(class_ids[disagree])] = True
+            per_attribute[attribute] = attr_bad
+            violating |= attr_bad
+        if since_row:
+            # A class touches the delta iff its largest (= last) member is an
+            # appended row; untouched classes were fully checked before.
+            violating &= rowids[offsets[1:] - 1] >= since_row
+        found: list[Violation] = []
+        for class_index in np.flatnonzero(violating).tolist():
+            row_ids = rowids[offsets[class_index]:offsets[class_index + 1]].tolist()
+            for attribute in self.rhs:
+                if not per_attribute[attribute][class_index]:
+                    continue
+                codes, bucket_by_code = rhs_buckets[attribute]
+                buckets: dict[tuple[bool, str], list[int]] = defaultdict(list)
+                for row_id in row_ids:
+                    buckets[bucket_by_code[codes[row_id]]].append(row_id)
+                found.append(
+                    self._bucket_violation(relation, row, attribute, row_ids, buckets)
                 )
         return found
 
@@ -502,9 +651,17 @@ class PFD:
         """Number of tuples matched by at least one tableau row's LHS."""
         evaluator = evaluator or default_evaluator()
         self._prime_lhs(relation, evaluator)
+        partitions = [
+            self._row_partition(relation, row, evaluator) for row in self.tableau
+        ]
+        if partitions and all(p.backend == NUMPY for p in partitions):
+            union = partitions[0].covered_array()
+            for partition in partitions[1:]:
+                union = np.union1d(union, partition.covered_array())
+            return int(len(union))
         covered: set[int] = set()
-        for row in self.tableau:
-            covered.update(self.matching_rows(relation, row, evaluator=evaluator))
+        for partition in partitions:
+            covered.update(partition.covered)
         return len(covered)
 
     def coverage(

@@ -9,6 +9,14 @@ tuple-id lists used by the discovery algorithm's inverted index.
 Relations are cheap to project, filter, and copy, and support the handful of
 relational operations the discovery / cleaning pipelines need.  They are not
 a general-purpose dataframe.
+
+The engine structures a relation derives — dictionary columns, match masks,
+stripped partitions — come in two representations (see
+:mod:`repro.engine.backend`): the vectorized ``numpy`` columnar core and the
+pure-Python fallback.  ``Relation(backend=...)`` (or :meth:`set_backend`)
+pins one; by default the process default applies (``REPRO_ENGINE`` env var,
+else numpy when importable).  Derived relations (``copy``/``project``/
+``select_rows``) inherit the pin.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from ..engine.backend import resolve_backend
 from ..engine.dictionary import DictionaryColumn
 from ..engine.partitions import PartitionManager
 from ..exceptions import SchemaError
@@ -33,8 +42,16 @@ def _normalize_cell(value: object) -> str:
 class Relation:
     """A named, schema-typed, column-oriented table of strings."""
 
-    def __init__(self, schema: Schema, columns: Optional[Mapping[str, Sequence[str]]] = None):
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Optional[Mapping[str, Sequence[str]]] = None,
+        backend: Optional[str] = None,
+    ):
         self.schema = schema
+        #: Engine backend pin (``"numpy"``/``"python"``); ``None`` defers to
+        #: the process default at each dictionary build.
+        self.backend: Optional[str] = resolve_backend(backend) if backend else None
         self._columns: dict[str, list[str]] = {
             name: list(columns[name]) if columns and name in columns else []
             for name in schema.attribute_names
@@ -54,6 +71,7 @@ class Relation:
         schema: Union[Schema, Sequence[str]],
         rows: Iterable[Sequence[object]],
         name: str = "R",
+        backend: Optional[str] = None,
     ) -> "Relation":
         """Build a relation from an iterable of row tuples.
 
@@ -61,7 +79,7 @@ class Relation:
         """
         if not isinstance(schema, Schema):
             schema = Schema(schema, name=name)
-        relation = cls(schema)
+        relation = cls(schema, backend=backend)
         relation.append_rows(rows)
         return relation
 
@@ -71,6 +89,7 @@ class Relation:
         rows: Sequence[Mapping[str, object]],
         schema: Optional[Schema] = None,
         name: str = "R",
+        backend: Optional[str] = None,
     ) -> "Relation":
         """Build a relation from a list of dict rows.
 
@@ -80,7 +99,7 @@ class Relation:
             if not rows:
                 raise SchemaError("cannot infer a schema from zero dict rows")
             schema = Schema(list(rows[0].keys()), name=name)
-        relation = cls(schema)
+        relation = cls(schema, backend=backend)
         relation.append_rows(rows)
         return relation
 
@@ -130,9 +149,23 @@ class Relation:
         self.schema.position(name)
         cached = self._dictionaries.get(name)
         if cached is None:
-            cached = DictionaryColumn.from_values(self._columns[name], attribute=name)
+            cached = DictionaryColumn.from_values(
+                self._columns[name], attribute=name, backend=self.backend
+            )
             self._dictionaries[name] = cached
         return cached
+
+    def set_backend(self, backend: Optional[str]) -> None:
+        """Re-pin the engine backend and drop the derived engine state.
+
+        Cached dictionaries and partitions are rebuilt lazily on the new
+        backend; the rows themselves are untouched (no version bump — the
+        data did not change, only its derived representation)."""
+        self.backend = resolve_backend(backend) if backend else None
+        self._dictionaries = {}
+        if self._partitions is not None:
+            self._partitions.invalidate()
+            self._partitions = None
 
     def partitions(self) -> PartitionManager:
         """The relation's stripped-partition (PLI) cache.
@@ -244,12 +277,16 @@ class Relation:
     def copy(self, name: Optional[str] = None) -> "Relation":
         """A deep copy (new column lists, same schema object)."""
         schema = self.schema if name is None else Schema(self.schema.attributes, name=name)
-        return Relation(schema, {n: list(c) for n, c in self._columns.items()})
+        return Relation(
+            schema, {n: list(c) for n, c in self._columns.items()}, backend=self.backend
+        )
 
     def project(self, names: Sequence[str], name: Optional[str] = None) -> "Relation":
         """A new relation with only the columns in ``names``."""
         schema = self.schema.project(names, name=name)
-        return Relation(schema, {n: list(self._columns[n]) for n in names})
+        return Relation(
+            schema, {n: list(self._columns[n]) for n in names}, backend=self.backend
+        )
 
     def select_rows(self, row_ids: Sequence[int], name: Optional[str] = None) -> "Relation":
         """A new relation with only the given rows, in the given order."""
@@ -258,7 +295,7 @@ class Relation:
             attr: [self._columns[attr][row_id] for row_id in row_ids]
             for attr in self.schema.attribute_names
         }
-        return Relation(schema, columns)
+        return Relation(schema, columns, backend=self.backend)
 
     def filter_rows(
         self, predicate: Callable[[dict[str, str]], bool], name: Optional[str] = None

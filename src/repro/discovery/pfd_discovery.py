@@ -37,6 +37,7 @@ from ..core.tableau import PatternTableau, PatternTuple
 from ..dataset.index import PatternIndex
 from ..dataset.profiler import TableProfile, profile_relation
 from ..dataset.relation import Relation
+from ..engine.backend import NUMPY as BACKEND_NUMPY, np
 from ..engine.evaluator import PatternEvaluator
 from ..engine.partitions import PartitionStats
 from ..patterns.ast import (
@@ -452,15 +453,19 @@ class PFDDiscoverer:
         # Dominance counting over dictionary codes: integer bincount instead
         # of hashing one string per row of the group.
         column = relation.dictionary(rhs)
-        codes = column.codes
-        code_counts: dict[int, int] = {}
-        for row_id in ids:
-            code = codes[row_id]
-            code_counts[code] = code_counts.get(code, 0) + 1
+        if column.backend == BACKEND_NUMPY:
+            group_codes = column.codes_array()[np.asarray(ids, dtype=np.int64)]
+            code_counts = dict(enumerate(np.bincount(group_codes).tolist()))
+        else:
+            codes = column.codes
+            code_counts = {}
+            for row_id in ids:
+                code = codes[row_id]
+                code_counts[code] = code_counts.get(code, 0) + 1
         counts = {
             column.values[code]: count
             for code, count in code_counts.items()
-            if column.values[code]
+            if count and column.values[code]
         }
         if counts:
             top_value, top_count = max(counts.items(), key=lambda item: (item[1], item[0]))

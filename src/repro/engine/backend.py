@@ -1,0 +1,106 @@
+"""Engine backend selection: the NumPy columnar core vs the pure-Python path.
+
+The engine's hot state — dictionary code vectors, match masks, stripped
+partition classes — has two interchangeable representations:
+
+``numpy``
+    Contiguous ndarrays: ``int32`` code vectors, boolean row masks, and
+    ``(sorted_rowids, class_offsets)`` partition pairs, with broadcasts,
+    intersections, and reductions vectorized.  The default whenever NumPy is
+    importable.
+``python``
+    The original lists/dicts/sets implementation.  Kept as a first-class
+    fallback so environments without NumPy keep working and so property
+    tests can pin the two backends bit-identical against each other.
+
+Selection is layered (most specific wins):
+
+1. per relation — ``Relation(backend=...)`` / ``Relation.set_backend``,
+   which :class:`repro.session.CleaningSession` and the CLI
+   ``--engine {numpy,python}`` flag route through;
+2. process default — :func:`set_default_backend`, or the ``REPRO_ENGINE``
+   environment variable read at first resolution;
+3. built-in default — ``numpy`` when importable, else ``python``.
+
+Both representations produce bit-identical results (same classes, same
+orders, same violation lists); the hypothesis backend pins in
+``tests/test_engine_backend.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+NUMPY = "numpy"
+PYTHON = "python"
+BACKENDS = (NUMPY, PYTHON)
+
+try:  # pragma: no cover - exercised implicitly by every engine test
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - CI images always carry numpy
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+#: Process-wide default backend; ``None`` = resolve from the environment.
+_default: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown engine backend {name!r}: expected one of {BACKENDS}"
+        )
+    if name == NUMPY and not HAS_NUMPY:
+        raise RuntimeError(
+            "the numpy engine backend was requested but numpy is not importable"
+        )
+    return name
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends usable in this process."""
+    return BACKENDS if HAS_NUMPY else (PYTHON,)
+
+
+def default_backend() -> str:
+    """The process default: an explicit :func:`set_default_backend` value,
+    else ``REPRO_ENGINE`` from the environment, else numpy-if-available."""
+    if _default is not None:
+        return _default
+    env = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if env:
+        return _validate(env)
+    return NUMPY if HAS_NUMPY else PYTHON
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Override the process default (``None`` restores env resolution).
+
+    Only affects engine objects built afterwards; relations that already
+    cached dictionaries or partitions keep their representation.
+    """
+    global _default
+    _default = None if name is None else _validate(name)
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """The effective backend for ``name`` (``None``/"" = process default)."""
+    if not name:
+        return default_backend()
+    return _validate(name)
+
+
+def stable_order(sort_keys):
+    """Stable argsort tuned for the engine's ordinal keys (numpy only).
+
+    numpy's ``stable`` kind is a radix sort for <= 16-bit integers but a
+    comparison sort for wider ones — an order of magnitude apart on the
+    class/component/code ordinals the engine sorts, which are usually tiny
+    relative to their dtype.  Downcast when the key domain fits.
+    """
+    if len(sort_keys) and int(sort_keys.max()) < 32768:
+        sort_keys = sort_keys.astype(np.int16)
+    return np.argsort(sort_keys, kind="stable")

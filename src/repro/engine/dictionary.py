@@ -7,6 +7,14 @@ constant — can then be computed per distinct value and broadcast to rows
 through the codes, which is the whole point of the engine: per-row work
 becomes per-*distinct*-value work.
 
+The per-row code vector has two representations, selected through
+:mod:`repro.engine.backend`: the ``numpy`` backend stores an ``int32``
+ndarray (grown geometrically so appends stay amortized O(delta)) and
+broadcasts per-code masks to rows with one fancy-indexing operation; the
+``python`` backend keeps the original plain list.  Both expose the same
+``codes`` sequence — indexable, iterable, ``len()``-able — and produce
+identical codes, row lists, and counts.
+
 The class is deliberately standalone (it knows nothing about relations,
 schemas, or patterns) so that the dataset and core layers can depend on it
 without cycles.  Relations build and cache one instance per column via
@@ -24,7 +32,9 @@ per distinct value stays valid; downstream caches only have to *grow*.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
+
+from .backend import NUMPY, np, resolve_backend, stable_order
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,29 +80,54 @@ class DictionaryColumn:
         The distinct cell values in first-seen order; ``values[codes[i]]`` is
         the cell value of row ``i``.
     codes:
-        One code per row, indexing into ``values``.
+        One code per row, indexing into ``values`` — an ``int32`` ndarray
+        view on the numpy backend, a plain list on the python backend.
+    backend:
+        ``"numpy"`` or ``"python"`` (resolved at construction).
     """
 
     __slots__ = (
         "attribute",
         "values",
-        "codes",
+        "backend",
+        "_codes",
+        "_length",
         "_code_of",
         "_rows_by_code",
         "_counts",
+        "_counts_array",
         "__weakref__",
     )
 
-    def __init__(self, values: Sequence[str], codes: Sequence[int], attribute: str = ""):
+    def __init__(
+        self,
+        values: Sequence[str],
+        codes: Sequence[int],
+        attribute: str = "",
+        backend: Optional[str] = None,
+    ):
         self.attribute = attribute
         self.values: tuple[str, ...] = tuple(values)
-        self.codes: list[int] = list(codes)
+        self.backend = resolve_backend(backend)
+        if self.backend == NUMPY:
+            array = np.array(codes, dtype=np.int32)
+            self._codes: Union[list[int], "np.ndarray"] = array
+            self._length = len(array)
+        else:
+            self._codes = list(codes)
+            self._length = len(self._codes)
         self._code_of: Optional[dict[str, int]] = None
         self._rows_by_code: Optional[list[list[int]]] = None
         self._counts: Optional[list[int]] = None
+        self._counts_array: Optional["np.ndarray"] = None
 
     @classmethod
-    def from_values(cls, cells: Iterable[str], attribute: str = "") -> "DictionaryColumn":
+    def from_values(
+        cls,
+        cells: Iterable[str],
+        attribute: str = "",
+        backend: Optional[str] = None,
+    ) -> "DictionaryColumn":
         """Encode a raw column (one string per row)."""
         code_of: dict[str, int] = {}
         codes: list[int] = []
@@ -102,9 +137,38 @@ class DictionaryColumn:
                 code = len(code_of)
                 code_of[cell] = code
             codes.append(code)
-        column = cls(tuple(code_of), codes, attribute=attribute)
+        column = cls(tuple(code_of), codes, attribute=attribute, backend=backend)
         column._code_of = code_of
         return column
+
+    # -- code storage ---------------------------------------------------------
+
+    @property
+    def codes(self) -> Union[list[int], "np.ndarray"]:
+        """The per-row code vector (a view; do not mutate)."""
+        if self.backend == NUMPY:
+            return self._codes[: self._length]
+        return self._codes
+
+    def codes_array(self) -> "np.ndarray":
+        """The code vector as an ``int32`` ndarray (numpy backend only)."""
+        if self.backend != NUMPY:
+            raise RuntimeError("codes_array() requires the numpy backend")
+        return self._codes[: self._length]
+
+    def _append_codes(self, appended: Sequence[int]) -> None:
+        if self.backend == NUMPY:
+            needed = self._length + len(appended)
+            capacity = len(self._codes)
+            if needed > capacity:
+                grown = np.empty(max(needed, capacity * 2, 16), dtype=np.int32)
+                grown[: self._length] = self._codes[: self._length]
+                self._codes = grown
+            self._codes[self._length : needed] = appended
+            self._length = needed
+        else:
+            self._codes.extend(appended)
+            self._length = len(self._codes)
 
     # -- mutation -------------------------------------------------------------
 
@@ -114,13 +178,15 @@ class DictionaryColumn:
         Unseen values receive fresh codes *after* every existing one, so all
         previously handed-out codes (and anything memoized per code) remain
         valid; the lazily built ``rows_by_code`` / ``counts`` structures are
-        patched rather than invalidated.  This is the primitive behind
+        patched rather than invalidated.  On the numpy backend the code
+        buffer grows geometrically, so the amortized append cost stays
+        O(delta).  This is the primitive behind
         :meth:`repro.dataset.relation.Relation.append_rows`.
         """
         if self._code_of is None:
             self._code_of = {v: code for code, v in enumerate(self.values)}
         code_of = self._code_of
-        start_row = len(self.codes)
+        start_row = self._length
         old_distinct = len(self.values)
         appended: list[int] = []
         new_values: list[str] = []
@@ -133,7 +199,7 @@ class DictionaryColumn:
             appended.append(code)
         if new_values:
             self.values = self.values + tuple(new_values)
-        self.codes.extend(appended)
+        self._append_codes(appended)
         if self._rows_by_code is not None:
             self._rows_by_code.extend([] for _ in range(len(self.values) - old_distinct))
             for offset, code in enumerate(appended):
@@ -142,6 +208,7 @@ class DictionaryColumn:
             self._counts.extend(0 for _ in range(len(self.values) - old_distinct))
             for code in appended:
                 self._counts[code] += 1
+        self._counts_array = None
         return DictionaryDelta(
             attribute=self.attribute,
             start_row=start_row,
@@ -153,7 +220,7 @@ class DictionaryColumn:
 
     @property
     def row_count(self) -> int:
-        return len(self.codes)
+        return self._length
 
     @property
     def distinct_count(self) -> int:
@@ -178,34 +245,67 @@ class DictionaryColumn:
         """Row ids per code, each list in ascending order (built lazily)."""
         if self._rows_by_code is None:
             rows: list[list[int]] = [[] for _ in self.values]
-            for row_id, code in enumerate(self.codes):
-                rows[code].append(row_id)
+            if self.backend == NUMPY:
+                # Stable argsort groups rows by code with ascending row ids.
+                codes = self.codes_array()
+                order = stable_order(codes)
+                sorted_codes = codes[order]
+                boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+                row_lists = order.tolist()
+                start = 0
+                for end in (*boundaries.tolist(), len(row_lists)):
+                    if end > start:
+                        rows[sorted_codes[start]] = row_lists[start:end]
+                        start = end
+            else:
+                for row_id, code in enumerate(self._codes):
+                    rows[code].append(row_id)
             self._rows_by_code = rows
         return self._rows_by_code
 
     def counts(self) -> list[int]:
         """Number of rows per code (built lazily)."""
         if self._counts is None:
-            counts = [0] * len(self.values)
-            for code in self.codes:
-                counts[code] += 1
-            self._counts = counts
+            if self.backend == NUMPY:
+                self._counts = self.counts_array().tolist()
+            else:
+                counts = [0] * len(self.values)
+                for code in self._codes:
+                    counts[code] += 1
+                self._counts = counts
         return self._counts
+
+    def counts_array(self) -> "np.ndarray":
+        """Rows per code as an int64 ndarray (numpy backend only)."""
+        if self.backend != NUMPY:
+            raise RuntimeError("counts_array() requires the numpy backend")
+        if self._counts_array is None:
+            if self._counts is not None:
+                self._counts_array = np.asarray(self._counts, dtype=np.int64)
+            else:
+                self._counts_array = np.bincount(
+                    self.codes_array(), minlength=self.distinct_count
+                ).astype(np.int64)
+        return self._counts_array
 
     def broadcast_codes(self, accepted: Sequence[bool]) -> list[int]:
         """Row ids whose code is accepted, in ascending order.
 
         ``accepted`` is a per-code mask (``accepted[code]`` truthy keeps the
-        rows carrying that code).
+        rows carrying that code).  On the numpy backend this is one
+        fancy-indexing broadcast instead of a per-row Python loop.
         """
-        return [row_id for row_id, code in enumerate(self.codes) if accepted[code]]
+        if self.backend == NUMPY:
+            mask = np.asarray(accepted, dtype=bool)
+            return np.flatnonzero(mask[self.codes_array()]).tolist()
+        return [row_id for row_id, code in enumerate(self._codes) if accepted[code]]
 
     @property
     def duplication_factor(self) -> float:
         """Average number of rows per distinct value (1.0 = all unique)."""
         if not self.values:
             return 1.0
-        return len(self.codes) / len(self.values)
+        return self.row_count / len(self.values)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

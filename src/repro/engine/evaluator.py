@@ -42,11 +42,12 @@ length can never be observed by consumers that go through the evaluator.
 from __future__ import annotations
 
 import weakref
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from ..patterns.ast import Pattern
 from ..patterns.matcher import CompiledPattern, MatchResult, compile_pattern
 from ..patterns.multi import DEFAULT_STATE_BUDGET, compile_pattern_set, is_dfa_friendly
+from .backend import NUMPY, np
 from .dictionary import DictionaryColumn
 
 PatternLike = Union[Pattern, str, CompiledPattern]
@@ -63,7 +64,7 @@ class ColumnMatch:
     evaluator's weak-keyed memo can evict entries of dead relations.
     """
 
-    __slots__ = ("_column_ref", "compiled", "results")
+    __slots__ = ("_column_ref", "compiled", "results", "_mask_array")
 
     def __init__(
         self,
@@ -74,6 +75,9 @@ class ColumnMatch:
         self._column_ref = weakref.ref(column)
         self.compiled = compiled
         self.results = results
+        #: Cached boolean ndarray of ``matched_mask`` (numpy-backend columns);
+        #: dropped whenever ``results`` grows.
+        self._mask_array: Optional["np.ndarray"] = None
 
     @property
     def column(self) -> DictionaryColumn:
@@ -91,6 +95,7 @@ class ColumnMatch:
     def _extend(self, new_results: tuple[MatchResult, ...]) -> None:
         """Grow the per-code results in place (codes only ever append)."""
         self.results = self.results + new_results
+        self._mask_array = None
 
     def result_for_row(self, row_id: int) -> MatchResult:
         return self.results[self.column.codes[row_id]]
@@ -99,16 +104,37 @@ class ColumnMatch:
         """Per-code mask: does the distinct value match the pattern?"""
         return [result.matched for result in self.results]
 
+    def matched_array(self) -> "np.ndarray":
+        """The per-code mask as a cached boolean ndarray (needs numpy)."""
+        if self._mask_array is None:
+            self._mask_array = np.fromiter(
+                (result.matched for result in self.results),
+                dtype=bool,
+                count=len(self.results),
+            )
+        return self._mask_array
+
     def matched_codes(self) -> list[int]:
         return [code for code, result in enumerate(self.results) if result.matched]
 
     def matching_rows(self) -> list[int]:
-        """Row ids whose value matches, in ascending order (broadcast)."""
-        return self.column.broadcast_codes(self.matched_mask())
+        """Row ids whose value matches, in ascending order (broadcast).
+
+        On numpy-backend columns the per-code mask is broadcast to rows with
+        one fancy-indexing operation (``mask[codes]``)."""
+        column = self.column
+        if column.backend == NUMPY:
+            return np.flatnonzero(
+                self.matched_array()[column.codes_array()]
+            ).tolist()
+        return column.broadcast_codes(self.matched_mask())
 
     def match_count(self) -> int:
         """Number of *rows* (not distinct values) that match."""
-        counts = self.column.counts()
+        column = self.column
+        if column.backend == NUMPY:
+            return int(column.counts_array()[self.matched_array()].sum())
+        counts = column.counts()
         return sum(counts[code] for code, result in enumerate(self.results) if result.matched)
 
 
@@ -129,13 +155,17 @@ class ColumnMatchSet:
     which seeds itself from these masks).
     """
 
-    __slots__ = ("_column_ref", "_members", "_bit_of", "bits")
+    __slots__ = ("_column_ref", "_members", "_bit_of", "bits", "_mask_arrays")
 
     def __init__(self, column: DictionaryColumn):
         self._column_ref = weakref.ref(column)
         self._members: list[CompiledPattern] = []
         self._bit_of: dict[CompiledPattern, int] = {}
         self.bits: list[int] = [0] * column.distinct_count
+        #: Per-member cached boolean ndarrays of ``matched_mask``, keyed by
+        #: bit and tagged with the bits length they were derived from (so a
+        #: grown ``bits`` vector invalidates them lazily).
+        self._mask_arrays: dict[int, tuple[int, "np.ndarray"]] = {}
 
     @property
     def column(self) -> DictionaryColumn:
@@ -184,6 +214,21 @@ class ColumnMatchSet:
         bit = self._bit_of[_compiled(pattern)]
         return [bool((mask >> bit) & 1) for mask in self.bits]
 
+    def matched_array(self, pattern: PatternLike) -> "np.ndarray":
+        """The per-code mask of one member as a cached boolean ndarray
+        (needs numpy; re-derived lazily after the bits vector grows)."""
+        bit = self._bit_of[_compiled(pattern)]
+        cached = self._mask_arrays.get(bit)
+        if cached is not None and cached[0] == len(self.bits):
+            return cached[1]
+        mask = np.fromiter(
+            ((bits >> bit) & 1 for bits in self.bits),
+            dtype=bool,
+            count=len(self.bits),
+        )
+        self._mask_arrays[bit] = (len(self.bits), mask)
+        return mask
+
     def matched_codes(self, pattern: PatternLike) -> list[int]:
         bit = self._bit_of[_compiled(pattern)]
         return [code for code, mask in enumerate(self.bits) if (mask >> bit) & 1]
@@ -197,15 +242,26 @@ class ColumnMatchSet:
 
     def match_count(self, pattern: PatternLike) -> int:
         """Number of *rows* (not distinct values) matching one member."""
+        column = self.column
+        if column.backend == NUMPY:
+            return int(column.counts_array()[self.matched_array(pattern)].sum())
         bit = self._bit_of[_compiled(pattern)]
-        counts = self.column.counts()
+        counts = column.counts()
         return sum(
             counts[code] for code, mask in enumerate(self.bits) if (mask >> bit) & 1
         )
 
     def matching_rows(self, pattern: PatternLike) -> list[int]:
-        """Row ids whose value matches one member, ascending (broadcast)."""
-        return self.column.broadcast_codes(self.matched_mask(pattern))
+        """Row ids whose value matches one member, ascending (broadcast).
+
+        On numpy-backend columns the per-code mask is broadcast to rows with
+        one fancy-indexing operation (``mask[codes]``)."""
+        column = self.column
+        if column.backend == NUMPY:
+            return np.flatnonzero(
+                self.matched_array(pattern)[column.codes_array()]
+            ).tolist()
+        return column.broadcast_codes(self.matched_mask(pattern))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

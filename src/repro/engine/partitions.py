@@ -7,9 +7,8 @@ rows belong to the same class when they agree on the grouping key.  TANE
 * classes of size one can never witness a violation of a functional
   dependency, so they are **stripped** — dropped from the representation;
 * the partition of a multi-attribute set ``{A, B}`` is the *product* of the
-  single-attribute partitions, computable from the stripped classes alone
-  with the classic probe-table algorithm — it never has to be re-grouped
-  from the raw rows.
+  single-attribute partitions, computable from the stripped classes alone —
+  it never has to be re-grouped from the raw rows.
 
 The pattern twist of this library adds a third kind of grouping key: the
 *extracted constrained part* of a tableau pattern.  A pattern-projected
@@ -20,6 +19,26 @@ the shared-DFA :class:`~repro.engine.evaluator.ColumnMatchSet` masks), so
 building one costs no pattern matching beyond what the evaluator already
 cached.
 
+Two class representations, one partition object
+-----------------------------------------------
+
+A :class:`StrippedPartition` stores its classes either as
+
+* a tuple of row-id tuples (the ``python`` backend's native form), or
+* a ``(sorted_rowids, class_offsets)`` pair of ``int64`` ndarrays (the
+  ``numpy`` backend's native form): ``rowids[offsets[i]:offsets[i+1]]`` is
+  class ``i``, rows ascending within a class, classes ordered by their
+  smallest member.
+
+Each representation is derived lazily from the other, so every existing
+consumer of ``partition.classes`` keeps working regardless of backend while
+the partition algebra — :meth:`~StrippedPartition.intersect` (sort/group
+over packed class-pair keys instead of a Python probe-table dict),
+:meth:`~StrippedPartition.refines`, :meth:`~StrippedPartition.refines_codes`,
+:meth:`~StrippedPartition.minority_rows`, ``error`` — runs vectorized on the
+numpy backend.  Which backend a partition uses follows the backend of the
+dictionary column it was built from (see :mod:`repro.engine.backend`).
+
 Three partition sources, one cache
 ----------------------------------
 
@@ -27,9 +46,7 @@ Three partition sources, one cache
 :meth:`repro.dataset.relation.Relation.partitions` and invalidated on
 mutation exactly like the dictionary cache — memoizes:
 
-(a) **attribute partitions**, read straight off
-    :meth:`~repro.engine.dictionary.DictionaryColumn.rows_by_code` (the
-    dictionary's row lists *are* the equivalence classes);
+(a) **attribute partitions**, grouped straight off the dictionary codes;
 (b) **pattern-projected partitions**, keyed by ``(attribute, pattern)``;
 (c) **multi-attribute/pattern intersections**, keyed by the frozen set of
     leaf keys and built by peeling one leaf off a memoized level-``(n-1)``
@@ -55,24 +72,30 @@ not invalidate this cache — it *extends* it.  :meth:`PartitionManager.extend`
 receives the per-column :class:`~repro.engine.dictionary.DictionaryDelta`
 records and
 
-* patches every cached **attribute partition** by appending the new row ids
-  to their equivalence classes (promoting singletons that gained a partner,
-  inserting classes of newly seen values in first-occurrence order) —
-  reading the row lists the dictionary already maintains in place;
+* patches every cached **attribute partition**: on the python backend the
+  appended row ids join the class of their code (promoting singletons,
+  inserting classes of newly seen values in first-occurrence order) and the
+  old partition's probe table — when one was built — is patched alongside
+  (copied, index-remapped if insertions shifted classes, and the changed
+  classes' rows reassigned) instead of being discarded and re-derived on
+  the next ``intersect``; on the numpy backend the class arrays are
+  regrouped from the extended code vector in one vectorized pass (memcpy
+  speed, bit-identical to the patch);
 * patches every cached **pattern partition** from per-key grouping state
   kept since the build: only the distinct values first seen in the batch
-  are matched against the pattern, and the new covered rows are appended to
-  their component groups;
+  are matched against the pattern, then the python backend appends the new
+  covered rows to their component groups (patching the probe table the same
+  way) while the numpy backend regroups vectorized;
 * marks every memoized **intersection** whose leaves were patched as
-  *stale*: the next request refreshes it by re-running the probe-table
-  product over the patched leaf classes (cost ``O(||π||)``, never a regroup
-  of raw rows), so appends themselves stay O(patched leaves) and entries a
-  workload stopped reading cost nothing; entries it cannot patch (no delta
-  available for the column) are dropped and rebuilt cold on demand.
+  *stale*: the next request refreshes it by re-running the product over the
+  patched leaf classes (cost ``O(||π||)``, never a regroup of raw rows), so
+  appends themselves stay O(patched leaves) and entries a workload stopped
+  reading cost nothing; entries it cannot patch (no delta available for the
+  column) are dropped and rebuilt cold on demand.
 
 The patched partitions are bit-identical — classes, class order, covered
 rows, and row counts — to what a from-scratch rebuild would produce, which
-the incremental-append property tests pin.
+the incremental-append and backend property tests pin.
 """
 
 from __future__ import annotations
@@ -84,7 +107,8 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 from ..patterns.alphabet import CharClass
 from ..patterns.ast import ClassAtom, ConstrainedGroup, Pattern, Repeat
 from ..patterns.matcher import CompiledPattern, compile_pattern
-from .dictionary import DictionaryDelta
+from .backend import NUMPY, np, resolve_backend, stable_order
+from .dictionary import DictionaryColumn, DictionaryDelta
 from .evaluator import PatternEvaluator, default_evaluator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset -> engine)
@@ -101,6 +125,61 @@ _WILDCARD_PATTERN = Pattern(
 )
 
 
+def _empty_arrays() -> tuple["np.ndarray", "np.ndarray"]:
+    return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+
+
+def _group_stripped(
+    keys: "np.ndarray",
+    rows: "np.ndarray",
+    sort_keys: Optional["np.ndarray"] = None,
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Group ``rows`` by ``keys`` into stripped class arrays.
+
+    Returns a ``(rowids, offsets)`` pair holding only the groups of size
+    >= 2, rows ascending within a group, groups ordered by their smallest
+    member — the canonical class order every construction path agrees on.
+
+    Precondition: within each run of equal keys, ``rows`` must already be
+    ascending in input order (true for every caller: grouping over row-order
+    vectors is globally ascending, and an intersection gathers each product
+    class from a single class of one parent, whose rows are ascending).
+    A stable key-only argsort — radix sort for small integer keys,
+    measurably faster than ``lexsort`` — then preserves that order within
+    groups.
+
+    ``sort_keys``, when given, is a coarser ordinal per element whose stable
+    order already makes equal ``keys`` contiguous (an intersection sorts by
+    its left class only: the input arrives grouped by right class, so each
+    left run keeps that grouping).  Sorting the coarser key keeps the domain
+    small enough for the radix path.
+    """
+    if len(rows) == 0:
+        return _empty_arrays()
+    order = stable_order(keys if sort_keys is None else sort_keys)
+    sorted_keys = keys[order]
+    sorted_rows = rows[order]
+    boundary = np.empty(len(sorted_keys), dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    sizes = np.diff(np.append(starts, len(sorted_keys)))
+    keep = sizes >= 2
+    starts = starts[keep]
+    sizes = sizes[keep]
+    if len(starts) == 0:
+        return _empty_arrays()
+    # Reorder groups by their first (= smallest) member.
+    group_order = np.argsort(sorted_rows[starts], kind="stable")
+    starts = starts[group_order]
+    sizes = sizes[group_order]
+    offsets = np.empty(len(sizes) + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(sizes, out=offsets[1:])
+    take = np.arange(offsets[-1], dtype=np.int64) + np.repeat(starts - offsets[:-1], sizes)
+    return sorted_rows[take], offsets
+
+
 class StrippedPartition:
     """Equivalence classes of size >= 2 over row ids.
 
@@ -110,9 +189,14 @@ class StrippedPartition:
         The stripped classes: tuples of row ids, each ascending, ordered by
         their smallest member (which equals first-seen order of the grouping
         keys — consumers that used to iterate insertion-ordered dicts see
-        the same sequence).
+        the same sequence).  On the numpy backend this tuple view is
+        materialized lazily from the class arrays; vectorized consumers
+        should use :meth:`class_arrays` instead.
     row_count:
         Total rows of the underlying relation (for error/coverage ratios).
+    backend:
+        ``"numpy"`` or ``"python"`` — which representation is native and
+        whether the partition algebra runs vectorized.
 
     The *covered* rows — every row the grouping key is defined on, including
     the stripped singletons — are kept alongside because PFD semantics need
@@ -122,7 +206,19 @@ class StrippedPartition:
     them.
     """
 
-    __slots__ = ("classes", "row_count", "_covered", "_parents", "_probe", "_stripped")
+    __slots__ = (
+        "row_count",
+        "backend",
+        "_classes",
+        "_rowids",
+        "_offsets",
+        "_covered",
+        "_covered_array",
+        "_parents",
+        "_probe",
+        "_probe_array",
+        "_stripped",
+    )
 
     def __init__(
         self,
@@ -130,47 +226,149 @@ class StrippedPartition:
         row_count: int,
         covered: Optional[Sequence[int]] = None,
         parents: Optional[tuple["StrippedPartition", "StrippedPartition"]] = None,
+        backend: Optional[str] = None,
     ):
-        self.classes: tuple[tuple[int, ...], ...] = tuple(
+        self.backend = resolve_backend(backend)
+        self.row_count = row_count
+        self._classes: Optional[tuple[tuple[int, ...], ...]] = tuple(
             tuple(class_rows) for class_rows in classes
         )
-        self.row_count = row_count
+        self._rowids: Optional["np.ndarray"] = None
+        self._offsets: Optional["np.ndarray"] = None
         self._covered: Optional[tuple[int, ...]] = (
             tuple(covered) if covered is not None else None
         )
+        self._covered_array: Optional["np.ndarray"] = None
         self._parents = parents
         self._probe: Optional[dict[int, int]] = None
+        self._probe_array: Optional["np.ndarray"] = None
         self._stripped: Optional[int] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        rowids: "np.ndarray",
+        offsets: "np.ndarray",
+        row_count: int,
+        covered: Optional["np.ndarray"] = None,
+        parents: Optional[tuple["StrippedPartition", "StrippedPartition"]] = None,
+    ) -> "StrippedPartition":
+        """Build a numpy-backed partition directly from class arrays."""
+        partition = cls.__new__(cls)
+        partition.backend = NUMPY
+        partition.row_count = row_count
+        partition._classes = None
+        partition._rowids = np.ascontiguousarray(rowids, dtype=np.int64)
+        partition._offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        partition._covered = None
+        partition._covered_array = (
+            np.ascontiguousarray(covered, dtype=np.int64) if covered is not None else None
+        )
+        partition._parents = parents
+        partition._probe = None
+        partition._probe_array = None
+        partition._stripped = None
+        return partition
+
+    # -- representations -----------------------------------------------------
+
+    @property
+    def classes(self) -> tuple[tuple[int, ...], ...]:
+        """The stripped classes as a tuple of row-id tuples (lazy view)."""
+        if self._classes is None:
+            rowids = self._rowids.tolist()
+            offsets = self._offsets.tolist()
+            self._classes = tuple(
+                tuple(rowids[offsets[i]:offsets[i + 1]])
+                for i in range(len(offsets) - 1)
+            )
+        return self._classes
+
+    def class_arrays(self) -> tuple["np.ndarray", "np.ndarray"]:
+        """The ``(sorted_rowids, class_offsets)`` pair (lazy view).
+
+        ``rowids[offsets[i]:offsets[i+1]]`` is class ``i``; requires numpy
+        to be importable (always true on the numpy backend).
+        """
+        if self._rowids is None:
+            classes = self._classes
+            if not classes:
+                self._rowids, self._offsets = _empty_arrays()
+            else:
+                sizes = np.fromiter(
+                    (len(class_rows) for class_rows in classes),
+                    dtype=np.int64,
+                    count=len(classes),
+                )
+                offsets = np.empty(len(classes) + 1, dtype=np.int64)
+                offsets[0] = 0
+                np.cumsum(sizes, out=offsets[1:])
+                total = int(offsets[-1])
+                self._rowids = np.fromiter(
+                    (row for class_rows in classes for row in class_rows),
+                    dtype=np.int64,
+                    count=total,
+                )
+                self._offsets = offsets
+        return self._rowids, self._offsets
 
     # -- size ----------------------------------------------------------------
 
     @property
     def class_count(self) -> int:
         """Number of stripped (size >= 2) classes."""
-        return len(self.classes)
+        if self._classes is not None:
+            return len(self._classes)
+        return len(self._offsets) - 1
 
     @property
     def stripped_row_count(self) -> int:
         """Total rows inside the stripped classes (TANE's ``||π||``)."""
         if self._stripped is None:
-            self._stripped = sum(len(class_rows) for class_rows in self.classes)
+            if self._rowids is not None:
+                self._stripped = len(self._rowids)
+            else:
+                self._stripped = sum(len(class_rows) for class_rows in self._classes)
         return self._stripped
 
     @property
     def covered(self) -> tuple[int, ...]:
         """All rows the grouping key is defined on (singletons included)."""
         if self._covered is None:
-            if self._parents is None:
+            if self._covered_array is not None:
+                self._covered = tuple(self._covered_array.tolist())
+            elif self._parents is None:
                 raise ValueError("partition was built without covered rows")
-            left, right = self._parents
-            right_covered = set(right.covered)
-            self._covered = tuple(
-                row for row in left.covered if row in right_covered
-            )
+            elif self.backend == NUMPY:
+                self._covered = tuple(self.covered_array().tolist())
+            else:
+                left, right = self._parents
+                right_covered = set(right.covered)
+                self._covered = tuple(
+                    row for row in left.covered if row in right_covered
+                )
         return self._covered
+
+    def covered_array(self) -> "np.ndarray":
+        """The covered rows as an ascending int64 ndarray (lazy view)."""
+        if self._covered_array is None:
+            if self._covered is not None:
+                self._covered_array = np.fromiter(
+                    self._covered, dtype=np.int64, count=len(self._covered)
+                )
+            elif self._parents is None:
+                raise ValueError("partition was built without covered rows")
+            else:
+                left, right = self._parents
+                self._covered_array = np.intersect1d(
+                    left.covered_array(), right.covered_array(), assume_unique=True
+                )
+        return self._covered_array
 
     @property
     def covered_count(self) -> int:
+        if self._covered is None and self._covered_array is not None:
+            return len(self._covered_array)
         return len(self.covered)
 
     @property
@@ -186,22 +384,52 @@ class StrippedPartition:
     def probe_table(self) -> dict[int, int]:
         """Row id -> index of its stripped class (singletons absent)."""
         if self._probe is None:
-            probe: dict[int, int] = {}
-            for index, class_rows in enumerate(self.classes):
-                for row in class_rows:
-                    probe[row] = index
-            self._probe = probe
+            if self._rowids is not None:
+                sizes = np.diff(self._offsets)
+                indices = np.repeat(
+                    np.arange(len(sizes), dtype=np.int64), sizes
+                )
+                self._probe = dict(zip(self._rowids.tolist(), indices.tolist()))
+            else:
+                probe: dict[int, int] = {}
+                for index, class_rows in enumerate(self._classes):
+                    for row in class_rows:
+                        probe[row] = index
+                self._probe = probe
         return self._probe
+
+    def probe_array(self) -> "np.ndarray":
+        """Row id -> stripped class index as an ndarray (``-1`` = singleton).
+
+        The vectorized counterpart of :meth:`probe_table`, used by the
+        array-based partition product and refinement checks.
+        """
+        if self._probe_array is None:
+            rowids, offsets = self.class_arrays()
+            probe = np.full(self.row_count, -1, dtype=np.int64)
+            if len(rowids):
+                probe[rowids] = np.repeat(
+                    np.arange(len(offsets) - 1, dtype=np.int64), np.diff(offsets)
+                )
+            self._probe_array = probe
+        return self._probe_array
 
     def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
         """The product partition (rows equivalent under *both* keys).
 
-        The classic probe-table algorithm: only the stripped classes are
-        visited, so the cost is ``O(||self|| + ||other||)`` — independent of
-        the relation's row count.
+        On the numpy backend the product is a sort/group over packed
+        ``(self class, other class)`` code pairs — one stable radix argsort
+        plus a handful of vectorized reductions.  The python backend keeps the
+        classic probe-table algorithm.  Either way only the stripped classes
+        are visited, so the cost is near ``O(||self|| + ||other||)`` —
+        independent of the relation's row count.
         """
+        if self.backend == NUMPY and other.backend == NUMPY:
+            return self._intersect_numpy(other)
         if not self.classes or not other.classes:
-            return StrippedPartition((), self.row_count, parents=(self, other))
+            return StrippedPartition(
+                (), self.row_count, parents=(self, other), backend=self.backend
+            )
         probe = self.probe_table()
         produced: list[tuple[int, ...]] = []
         for class_rows in other.classes:
@@ -214,11 +442,48 @@ class StrippedPartition:
                 if len(rows) >= 2:
                     produced.append(tuple(rows))
         produced.sort(key=lambda rows: rows[0])
-        return StrippedPartition(produced, self.row_count, parents=(self, other))
+        return StrippedPartition(
+            produced, self.row_count, parents=(self, other), backend=self.backend
+        )
+
+    def _intersect_numpy(self, other: "StrippedPartition") -> "StrippedPartition":
+        if self.class_count == 0 or other.class_count == 0:
+            rowids, offsets = _empty_arrays()
+            return StrippedPartition.from_arrays(
+                rowids, offsets, self.row_count, parents=(self, other)
+            )
+        probe = self.probe_array()
+        rows, offsets = other.class_arrays()
+        other_class = np.repeat(
+            np.arange(other.class_count, dtype=np.int64), np.diff(offsets)
+        )
+        left_class = probe[rows]
+        keep = left_class >= 0
+        rows = rows[keep]
+        left_kept = left_class[keep]
+        # Pack the (left class, right class) pair into one int64 key; both
+        # factors are class counts, so the product cannot overflow 63 bits
+        # for any relation that fits in memory.  Sorting by the left class
+        # alone suffices (the gather above is grouped by right class), which
+        # keeps the sort domain at class_count rather than the pair product.
+        key = left_kept * np.int64(other.class_count) + other_class[keep]
+        rowids, offsets = _group_stripped(key, rows, sort_keys=left_kept)
+        return StrippedPartition.from_arrays(
+            rowids, offsets, self.row_count, parents=(self, other)
+        )
 
     def refines(self, other: "StrippedPartition") -> bool:
         """True when every class of ``self`` sits inside one class of
         ``other`` (the TANE validity check for exact dependencies)."""
+        if self.backend == NUMPY and other.backend == NUMPY:
+            rowids, offsets = self.class_arrays()
+            if not len(rowids):
+                return True
+            probe = other.probe_array()[rowids]
+            if (probe < 0).any():
+                return False
+            first = np.repeat(probe[offsets[:-1]], np.diff(offsets))
+            return bool(np.array_equal(probe, first))
         probe = other.probe_table()
         for class_rows in self.classes:
             target = probe.get(class_rows[0])
@@ -233,6 +498,13 @@ class StrippedPartition:
         """True when every class agrees on ``codes`` (a per-row code array,
         e.g. a RHS column's dictionary codes — empty values included, which
         is exactly the textbook FD comparison semantics)."""
+        if self.backend == NUMPY:
+            rowids, offsets = self.class_arrays()
+            if not len(rowids):
+                return True
+            class_codes = np.asarray(codes)[rowids]
+            first = np.repeat(class_codes[offsets[:-1]], np.diff(offsets))
+            return bool(np.array_equal(class_codes, first))
         for class_rows in self.classes:
             expected = codes[class_rows[0]]
             for row in class_rows[1:]:
@@ -241,13 +513,16 @@ class StrippedPartition:
         return True
 
     def minority_rows(self, codes: Sequence[int]) -> list[int]:
-        """Rows outside the majority ``codes`` bucket of their class.
+        """Rows outside the majority ``codes`` bucket of their class, in
+        ascending row-id order.
 
         The per-class majority is the bucket with the most rows (ties broken
         toward the smaller code, matching first-seen value order); the
         returned suspects drive approximate-dependency ratios without
         materializing violation objects.
         """
+        if self.backend == NUMPY:
+            return self._minority_rows_numpy(codes)
         suspects: list[int] = []
         for class_rows in self.classes:
             buckets: dict[int, list[int]] = {}
@@ -259,7 +534,41 @@ class StrippedPartition:
             for code, rows in buckets.items():
                 if code != majority:
                     suspects.extend(rows)
+        suspects.sort()
         return suspects
+
+    def _minority_rows_numpy(self, codes: Sequence[int]) -> list[int]:
+        rowids, offsets = self.class_arrays()
+        if not len(rowids):
+            return []
+        class_codes = np.asarray(codes, dtype=np.int64)[rowids]
+        sizes = np.diff(offsets)
+        class_ids = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+        # Bucket = (class, code); count members per bucket.
+        order = np.lexsort((class_codes, class_ids))
+        sorted_codes = class_codes[order]
+        sorted_ids = class_ids[order]
+        boundary = np.empty(len(order), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (sorted_codes[1:] != sorted_codes[:-1]) | (
+            sorted_ids[1:] != sorted_ids[:-1]
+        )
+        starts = np.flatnonzero(boundary)
+        bucket_sizes = np.diff(np.append(starts, len(order)))
+        bucket_class = sorted_ids[starts]
+        bucket_code = sorted_codes[starts]
+        # Majority per class: max by (size, -code) == last bucket per class
+        # after sorting by (class, size, -code).
+        selection = np.lexsort((-bucket_code, bucket_sizes, bucket_class))
+        selected_class = bucket_class[selection]
+        last = np.empty(len(selection), dtype=bool)
+        last[:-1] = selected_class[1:] != selected_class[:-1]
+        last[-1] = True
+        majority = np.empty(len(sizes), dtype=np.int64)
+        majority[selected_class[last]] = bucket_code[selection][last]
+        suspects = rowids[class_codes != majority[class_ids]]
+        suspects.sort()
+        return suspects.tolist()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -297,6 +606,9 @@ class PartitionStats:
     attribute_extends: int = 0
     pattern_extends: int = 0
     intersection_refreshes: int = 0
+    #: Probe tables carried forward (patched) across an extend instead of
+    #: being discarded and re-derived on the next ``intersect``.
+    probe_patches: int = 0
 
     @property
     def hits(self) -> int:
@@ -325,10 +637,11 @@ class _PatternGroups:
 
     Kept so :meth:`PartitionManager.extend_pattern` can patch the partition
     in O(delta): ``components[code]`` is the extracted constrained part of
-    the distinct value at ``code`` (``None`` = uncovered), ``groups`` maps a
-    component to *all* its row ids (singletons included — the stripped
-    classes are derived by filtering), ``covered`` is the ascending covered
-    row list.
+    the distinct value at ``code`` (``None`` = uncovered).  On the python
+    backend ``groups`` maps a component to *all* its row ids (singletons
+    included — the stripped classes are derived by filtering) and
+    ``covered`` is the ascending covered row list; the numpy backend skips
+    both and regroups vectorized from the code vector instead.
     """
 
     __slots__ = ("components", "groups", "covered")
@@ -352,7 +665,26 @@ class _PatternGroups:
 
     def partition(self, row_count: int) -> StrippedPartition:
         classes = [tuple(rows) for rows in self.groups.values() if len(rows) >= 2]
-        return StrippedPartition(classes, row_count, covered=tuple(self.covered))
+        return StrippedPartition(
+            classes, row_count, covered=tuple(self.covered), backend="python"
+        )
+
+    def partition_numpy(self, column: DictionaryColumn) -> StrippedPartition:
+        """Vectorized grouping: broadcast component ids through the code
+        vector, then one sort/group pass (no per-row Python work)."""
+        component_of: dict[str, int] = {}
+        component_ids = np.empty(len(self.components), dtype=np.int64)
+        for code, component in enumerate(self.components):
+            if component is None:
+                component_ids[code] = -1
+            else:
+                component_ids[code] = component_of.setdefault(component, len(component_of))
+        row_components = component_ids[column.codes_array()]
+        covered = np.flatnonzero(row_components >= 0).astype(np.int64)
+        rowids, offsets = _group_stripped(row_components[covered], covered)
+        return StrippedPartition.from_arrays(
+            rowids, offsets, column.row_count, covered=covered
+        )
 
 
 class PartitionManager:
@@ -366,6 +698,11 @@ class PartitionManager:
     served partition always reflects the current rows.  Counters in
     :attr:`stats` survive invalidation — they describe the manager's whole
     lifetime.
+
+    Partitions are built on the backend of the dictionary column they come
+    from (ndarray class pairs on numpy, tuple classes on python), so one
+    relation's partitions always share a representation and intersections
+    never mix backends.
     """
 
     def __init__(self, relation: "Relation"):
@@ -403,6 +740,13 @@ class PartitionManager:
             return cached
         self.stats.attribute_misses += 1
         column = self._relation.dictionary(attribute)
+        partition = self._build_attribute_partition(column)
+        self._attribute[attribute] = partition
+        return partition
+
+    def _build_attribute_partition(self, column: DictionaryColumn) -> StrippedPartition:
+        if column.backend == NUMPY:
+            return self._build_attribute_partition_numpy(column)
         rows_by_code = column.rows_by_code()
         # Dictionary values are in first-seen order, so walking the codes in
         # order yields classes already sorted by their smallest row id.
@@ -417,9 +761,35 @@ class PartitionManager:
             covered = tuple(
                 row for row, code in enumerate(column.codes) if code != empty_code
             )
-        partition = StrippedPartition(classes, column.row_count, covered=covered)
-        self._attribute[attribute] = partition
-        return partition
+        return StrippedPartition(
+            classes, column.row_count, covered=covered, backend=column.backend
+        )
+
+    def _build_attribute_partition_numpy(self, column: DictionaryColumn) -> StrippedPartition:
+        """Vectorized attribute grouping: codes are already group keys in
+        first-seen (= smallest-member) order, so one stable argsort over the
+        code vector yields the classes directly."""
+        codes = column.codes_array()
+        counts = column.counts_array()
+        empty_code = column.code_of("")
+        keep_code = counts >= 2
+        if empty_code is not None:
+            keep_code = keep_code.copy()
+            keep_code[empty_code] = False
+            covered = np.flatnonzero(codes != empty_code).astype(np.int64)
+        else:
+            covered = np.arange(column.row_count, dtype=np.int64)
+        order = stable_order(codes)
+        sorted_codes = codes[order]
+        keep_rows = keep_code[sorted_codes]
+        rowids = order[keep_rows].astype(np.int64)
+        sizes = counts[keep_code]
+        offsets = np.empty(len(sizes) + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(sizes, out=offsets[1:])
+        return StrippedPartition.from_arrays(
+            rowids, offsets, column.row_count, covered=covered
+        )
 
     def pattern_partition(
         self,
@@ -454,13 +824,16 @@ class PartitionManager:
         state = _PatternGroups()
         for value, result in zip(column.values, match.results):
             state.append_component(value, result)
-        for row, code in enumerate(column.codes):
-            component = state.components[code]
-            if component is None:
-                continue
-            state.covered.append(row)
-            state.groups.setdefault(component, []).append(row)
-        partition = state.partition(column.row_count)
+        if column.backend == NUMPY:
+            partition = state.partition_numpy(column)
+        else:
+            for row, code in enumerate(column.codes):
+                component = state.components[code]
+                if component is None:
+                    continue
+                state.covered.append(row)
+                state.groups.setdefault(component, []).append(row)
+            partition = state.partition(column.row_count)
         self._pattern[key] = partition
         self._pattern_groups[key] = state
         return partition
@@ -528,7 +901,7 @@ class PartitionManager:
         dictionary — their partitions, if any, are dropped and rebuilt on
         demand).  Leaf partitions are patched in place; memoized
         intersections are marked stale and refreshed on next request by the
-        probe-table product over the patched leaf classes, reusing the
+        partition product over the patched leaf classes, reusing the
         level-wise prefix descent.  Partition *objects* are never mutated —
         each cache slot receives a fresh snapshot, so partitions handed out
         before the append keep describing the old rows.
@@ -549,7 +922,7 @@ class PartitionManager:
                 self.extend_pattern(key, delta)
         # Intersections go stale, not cold: entries whose leaves were all
         # patched are refreshed lazily — the next request re-runs the
-        # probe-table product over the patched leaf classes (the memoized
+        # partition product over the patched leaf classes (the memoized
         # prefix descent refreshes stale prefixes on the way).  Appending is
         # therefore O(patched leaves), never O(cached intersections), and
         # entries a workload stopped reading cost nothing.
@@ -572,19 +945,34 @@ class PartitionManager:
         gained a partner are promoted to classes (inserted in
         first-occurrence order, which keeps the class sequence identical to
         a from-scratch build); values first seen in the batch open new
-        classes once they reach two rows.  Reads the row lists the
-        dictionary maintains in place — no regrouping.
+        classes once they reach two rows.  On the python backend this reads
+        the row lists the dictionary maintains in place — no regrouping —
+        and carries the old partition's probe table forward (copy + index
+        remap + changed-class reassignment) when one was built.  On the
+        numpy backend the class arrays are regrouped from the extended code
+        vector in one vectorized pass, which is bit-identical and runs at
+        memcpy speed.
         """
         column = self._relation.dictionary(attribute)
         old = self._attribute.get(attribute)
         if old is None:
             return self.attribute_partition(attribute)
+        if column.backend == NUMPY:
+            partition = self._build_attribute_partition_numpy(column)
+            self._attribute[attribute] = partition
+            self.stats.attribute_extends += 1
+            return partition
         rows_by_code = column.rows_by_code()
         added_by_code: dict[int, int] = {}
         for code in delta.appended_codes:
             added_by_code[code] = added_by_code.get(code, 0) + 1
-        classes = list(old.classes)
+        old_classes = old.classes
+        classes = list(old_classes)
         firsts = [class_rows[0] for class_rows in classes]
+        #: (first member, rows to point at the class) per changed class —
+        #: feeds the incremental probe-table patch below.
+        changed: list[tuple[int, tuple[int, ...]]] = []
+        inserted = False
         for code, added in added_by_code.items():
             if not column.values[code]:
                 continue
@@ -596,31 +984,80 @@ class PartitionManager:
                 # Existing class: same first member, rows appended at the end.
                 index = bisect.bisect_left(firsts, full[0])
                 classes[index] = full
+                changed.append((full[0], full[-added:]))
             else:
                 # Promoted singleton or a value first seen in this batch.
                 index = bisect.bisect_left(firsts, full[0])
                 classes.insert(index, full)
                 firsts.insert(index, full[0])
+                changed.append((full[0], full))
+                inserted = True
         covered = old.covered + tuple(
             delta.start_row + offset
             for offset, code in enumerate(delta.appended_codes)
             if column.values[code]
         )
-        partition = StrippedPartition(classes, column.row_count, covered=covered)
+        partition = StrippedPartition(
+            classes, column.row_count, covered=covered, backend=column.backend
+        )
+        if old._probe is not None:
+            partition._probe = self._patch_probe(
+                old, old_classes, firsts, changed, inserted
+            )
+            self.stats.probe_patches += 1
         self._attribute[attribute] = partition
         self.stats.attribute_extends += 1
         return partition
+
+    @staticmethod
+    def _patch_probe(
+        old: StrippedPartition,
+        old_classes: Sequence[Sequence[int]],
+        new_firsts: Sequence[int],
+        changed: Sequence[tuple[int, Sequence[int]]],
+        inserted: bool,
+    ) -> dict[int, int]:
+        """Carry one probe table across an extend instead of rebuilding it.
+
+        Classes are identified by their first member (classes are disjoint,
+        so first members are unique and an extend never changes them).  When
+        insertions shifted class indices the surviving entries are remapped
+        in one dict comprehension; then only the changed classes' rows are
+        reassigned — O(old probe) at worst, O(changed rows) typically,
+        instead of the full class walk a rebuild costs.
+        """
+        old_probe = old._probe
+        assert old_probe is not None
+        if inserted:
+            remap = [
+                bisect.bisect_left(new_firsts, class_rows[0])
+                for class_rows in old_classes
+            ]
+            if remap == list(range(len(remap))):
+                probe = dict(old_probe)
+            else:
+                probe = {row: remap[index] for row, index in old_probe.items()}
+        else:
+            probe = dict(old_probe)
+        for first, rows in changed:
+            index = bisect.bisect_left(new_firsts, first)
+            for row in rows:
+                probe[row] = index
+        return probe
 
     def extend_pattern(self, key: PartitionKey, delta: DictionaryDelta) -> StrippedPartition:
         """Patch one cached pattern-projected partition with a batch.
 
         Only the distinct values *first seen in the batch* are matched
         against the pattern (``O(new distinct)`` match calls); the appended
-        rows are then routed to their component groups through the stored
-        grouping state.
+        rows are then routed to their component groups — through the stored
+        grouping state on the python backend (probe table carried forward
+        like :meth:`extend_attribute`), through one vectorized regroup of
+        the extended code vector on numpy.
         """
         state = self._pattern_groups.get(key)
-        if state is None or key not in self._pattern:
+        old = self._pattern.get(key)
+        if state is None or old is None:
             return self._pattern_partition(key, None)
         column = self._relation.dictionary(key.attribute)
         compiled = key.pattern
@@ -632,14 +1069,54 @@ class PartitionManager:
         for code in range(len(state.components), column.distinct_count):
             value = column.values[code]
             state.append_component(value, compiled.match(value) if value else None)
+        if column.backend == NUMPY:
+            partition = state.partition_numpy(column)
+            self._pattern[key] = partition
+            self.stats.pattern_extends += 1
+            return partition
+        #: Components whose group was below the stripped threshold before
+        #: this batch (their pre-existing rows are absent from the probe).
+        promoted: dict[str, None] = {}
+        appended: list[tuple[int, str]] = []
         for offset, code in enumerate(delta.appended_codes):
             component = state.components[code]
             if component is None:
                 continue
             row = delta.start_row + offset
             state.covered.append(row)
-            state.groups.setdefault(component, []).append(row)
+            group = state.groups.setdefault(component, [])
+            if len(group) < 2:
+                promoted[component] = None
+            group.append(row)
+        appended = [
+            (delta.start_row + offset, state.components[code])
+            for offset, code in enumerate(delta.appended_codes)
+            if state.components[code] is not None
+        ]
+        old_classes = old.classes
         partition = state.partition(column.row_count)
+        if old._probe is not None:
+            new_firsts = {
+                class_rows[0]: index
+                for index, class_rows in enumerate(partition.classes)
+            }
+            remap = [new_firsts[class_rows[0]] for class_rows in old_classes]
+            if remap == list(range(len(remap))):
+                probe = dict(old._probe)
+            else:
+                probe = {row: remap[index] for row, index in old._probe.items()}
+            for component in promoted:
+                group = state.groups[component]
+                if len(group) >= 2:
+                    index = new_firsts[group[0]]
+                    for row in group:
+                        probe[row] = index
+            for row, component in appended:
+                group = state.groups[component]
+                if len(group) >= 2:
+                    probe[row] = new_firsts[group[0]]
+            partition._probe = probe
+            self.stats.probe_patches += 1
         self._pattern[key] = partition
         self.stats.pattern_extends += 1
         return partition

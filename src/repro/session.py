@@ -59,6 +59,7 @@ from .dataset.relation import Relation
 from .dataset.schema import Schema
 from .discovery.config import DiscoveryConfig
 from .discovery.pfd_discovery import DiscoveryResult, PFDDiscoverer
+from .engine.backend import resolve_backend
 from .engine.evaluator import PatternEvaluator
 from .engine.partitions import PartitionStats
 from .exceptions import ReproError
@@ -78,6 +79,9 @@ class SessionStats:
     relation_name: str
     row_count: int
     column_count: int
+    #: Engine backend the session's relation resolves to (see
+    #: :mod:`repro.engine.backend`).
+    backend: str
     #: Stage names that have completed on this session, in first-run order.
     stages: tuple[str, ...]
     #: Per-distinct-value ``CompiledPattern.match`` calls issued.
@@ -110,7 +114,8 @@ class SessionStats:
     def summary(self) -> str:
         lines = [
             f"session stats for {self.relation_name!r} "
-            f"({self.row_count} rows, {self.column_count} columns)",
+            f"({self.row_count} rows, {self.column_count} columns, "
+            f"{self.backend} backend)",
             f"  stages run: {', '.join(self.stages) if self.stages else '(none)'}",
             f"  pattern matching: {self.match_calls} match calls, "
             f"{self.match_cache_hits} cache hits, "
@@ -129,6 +134,7 @@ class SessionStats:
             "relation": self.relation_name,
             "rows": self.row_count,
             "columns": self.column_count,
+            "backend": self.backend,
             "stages": list(self.stages),
             "match_calls": self.match_calls,
             "match_cache_hits": self.match_cache_hits,
@@ -211,6 +217,12 @@ class CleaningSession:
         Optional shared :class:`PatternEvaluator`.  Defaults to a fresh,
         session-scoped one — the usual choice, keeping the many throwaway
         candidate patterns of discovery out of the process-wide cache.
+    backend:
+        Optional engine backend pin (``"numpy"``/``"python"``), applied to
+        the relation via :meth:`Relation.set_backend`.  Both backends
+        produce bit-identical results; ``None`` keeps the relation's pin
+        (or the process default — ``REPRO_ENGINE``, else numpy when
+        importable).
     """
 
     def __init__(
@@ -218,8 +230,11 @@ class CleaningSession:
         relation: Relation,
         config: Optional[DiscoveryConfig] = None,
         evaluator: Optional[PatternEvaluator] = None,
+        backend: Optional[str] = None,
     ):
         self.relation = relation
+        if backend is not None:
+            relation.set_backend(backend)
         self.config = config
         self.evaluator = evaluator or PatternEvaluator()
         self._observed_version = relation.version
@@ -241,11 +256,15 @@ class CleaningSession:
         source: Union[str, Path],
         config: Optional[DiscoveryConfig] = None,
         evaluator: Optional[PatternEvaluator] = None,
+        backend: Optional[str] = None,
         **read_csv_kwargs,
     ) -> "CleaningSession":
         """Open a session on a CSV file (one load for the whole pipeline)."""
         return cls(
-            read_csv(source, **read_csv_kwargs), config=config, evaluator=evaluator
+            read_csv(source, **read_csv_kwargs),
+            config=config,
+            evaluator=evaluator,
+            backend=backend,
         )
 
     @classmethod
@@ -255,10 +274,14 @@ class CleaningSession:
         rows,
         name: str = "R",
         config: Optional[DiscoveryConfig] = None,
+        backend: Optional[str] = None,
     ) -> "CleaningSession":
         """Open a session on rows built in memory (mirrors
         :meth:`Relation.from_rows`)."""
-        return cls(Relation.from_rows(schema, rows, name=name), config=config)
+        return cls(
+            Relation.from_rows(schema, rows, name=name, backend=backend),
+            config=config,
+        )
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -496,6 +519,7 @@ class CleaningSession:
             relation_name=self.relation.name,
             row_count=self.relation.row_count,
             column_count=len(self.relation.attribute_names),
+            backend=resolve_backend(self.relation.backend),
             stages=tuple(self._stages_run),
             match_calls=self.evaluator.match_calls,
             match_cache_hits=self.evaluator.cache_hits,

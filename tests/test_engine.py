@@ -22,7 +22,7 @@ from repro.patterns.matcher import CompiledPattern, compile_pattern
 def test_dictionary_column_encodes_and_decodes():
     column = DictionaryColumn.from_values(["a", "b", "a", "", "b", "a"], attribute="x")
     assert column.values == ("a", "b", "")
-    assert column.codes == [0, 1, 0, 2, 1, 0]
+    assert list(column.codes) == [0, 1, 0, 2, 1, 0]
     assert column.row_count == 6
     assert column.distinct_count == 3
     assert [column.value_of_row(i) for i in range(6)] == ["a", "b", "a", "", "b", "a"]
@@ -60,7 +60,7 @@ def test_relation_dictionary_is_cached_and_invalidated():
     assert relation.dictionary("b") is b_dict
     assert relation.dictionary("b").row_count == 4
     assert relation.dictionary("b").values == ("x", "y", "z")
-    assert relation.dictionary("b").codes == [0, 1, 0, 2]
+    assert list(relation.dictionary("b").codes) == [0, 1, 0, 2]
 
 
 # --------------------------------------------------------------------------

@@ -89,7 +89,7 @@ def test_extended_caches_equal_full_rebuild(base, batch):
         column = relation.dictionary(attribute)
         fresh_column = fresh.dictionary(attribute)
         assert column.values == fresh_column.values
-        assert column.codes == fresh_column.codes
+        assert list(column.codes) == list(fresh_column.codes)
         assert column.rows_by_code() == fresh_column.rows_by_code()
         assert column.counts() == fresh_column.counts()
 
@@ -198,7 +198,7 @@ class TestAppendRows:
         relation.append_rows([("2",), ("3",)])
         assert relation.dictionary("a") is dictionary
         assert dictionary.values == ("1", "2", "3")
-        assert dictionary.codes == [0, 1, 1, 2]
+        assert list(dictionary.codes) == [0, 1, 1, 2]
 
     def test_uncached_state_stays_lazy(self):
         relation = Relation.from_rows(["a"], [("1",)])
