@@ -90,19 +90,21 @@ def test_bench_detect_new_beats_full_redetect(benchmark, repro_scale):
                   "Dupage County", "US", "x2"))
 
     # Warm path: one cleaned session, append the batch, detect the delta.
-    session = CleaningSession(Relation.from_rows(_COLUMNS, rows, name="wide"))
+    # Pinned serial: this benchmark measures the incremental-cache win, and
+    # REPRO_WORKERS would make every timed call pay pool + broadcast setup.
+    session = CleaningSession(Relation.from_rows(_COLUMNS, rows, name="wide"), workers=1)
     assert len(session.detect(_PFDS)) == 0, "the base table must start clean"
     appended = session.append(batch)
     delta_report = session.detect_new(_PFDS)
 
     def scoped_detect():
-        return ErrorDetector(_PFDS, evaluator=session.evaluator).detect(
+        return ErrorDetector(_PFDS, evaluator=session.evaluator, workers=1).detect(
             session.relation, since_row=appended.start
         )
 
     def full_redetect():
         cold = session.relation.copy()
-        return ErrorDetector(_PFDS, evaluator=PatternEvaluator()).detect(cold)
+        return ErrorDetector(_PFDS, evaluator=PatternEvaluator(), workers=1).detect(cold)
 
     # Scoped detection is stateless (unlike detect_new, which consumes the
     # pending delta), so it can be timed over many rounds.

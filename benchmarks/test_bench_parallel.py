@@ -1,0 +1,127 @@
+"""Parallel discovery benchmark: multi-LHS lattice sharding at 1/2/4 workers.
+
+Multi-LHS discovery is the library's most expensive stage (Table 7's
+``max_lhs_size=2`` runs dominate every end-to-end timing), and its work —
+validating each lattice level's candidate groups — is embarrassingly
+parallel *within* a level.  This benchmark times the same discovery on the
+same wide duplicated table at ``workers=1``, ``2``, and ``4`` (fresh
+sessions each, so every run pays its own broadcast), pins the parallel
+results bit-identical to serial, and records the speedup curve.
+
+Asserted (the PR's acceptance criterion):
+
+* ``workers=4`` discovery is at least **1.7×** faster than serial — on
+  machines that actually have 4 cores to run it on; single-core CI
+  containers still record the curve but skip the floor, and
+* every worker count returns bit-identical dependencies, candidate counts,
+  and per-level tallies.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.discovery.config import DiscoveryConfig
+from repro.session import CleaningSession
+
+_COLUMNS = ["zip", "city", "state", "areacode", "county", "group"]
+
+_REGIONS = [
+    ("900", "Los Angeles", "CA", "213", "Los Angeles County"),
+    ("941", "San Francisco", "CA", "415", "San Francisco County"),
+    ("100", "New York", "NY", "212", "New York County"),
+    ("606", "Chicago", "IL", "312", "Cook County"),
+    ("770", "Dallas", "TX", "214", "Dallas County"),
+    ("331", "Miami", "FL", "305", "Miami-Dade County"),
+    ("981", "Seattle", "WA", "206", "King County"),
+    ("802", "Denver", "CO", "303", "Denver County"),
+]
+
+#: Multi-LHS discovery — the workload the lattice sharding exists for.
+_CONFIG = DiscoveryConfig(min_support=4, min_coverage=0.1, max_lhs_size=2)
+
+
+def _build_rows(row_count: int) -> list[tuple[str, ...]]:
+    """A duplicated wide table: a few hundred distinct region combinations,
+    each repeated many times (partition stripping collapses the rows, so
+    candidate validation cost is driven by the lattice width)."""
+    rows = []
+    for uid in range(row_count):
+        prefix, city, state, area, county = _REGIONS[uid % len(_REGIONS)]
+        rows.append(
+            (
+                f"{prefix}{uid // len(_REGIONS) % 40:02d}",
+                city,
+                state,
+                area,
+                county,
+                f"G{uid % 5}",
+            )
+        )
+    return rows
+
+
+def _fingerprint(result):
+    return [
+        (d.lhs, d.rhs, d.coverage, d.support, d.is_variable, d.pfd.tableau)
+        for d in result.dependencies
+    ]
+
+
+def _timed_discover(rows, workers):
+    """Discovery from a cold session at the given worker count — each run
+    pays its own dictionary build, broadcast, and (for workers>1) pool."""
+    with CleaningSession.from_rows(
+        _COLUMNS, rows, config=_CONFIG, workers=workers
+    ) as session:
+        start = time.perf_counter()
+        result = session.discover()
+        return time.perf_counter() - start, result
+
+
+def test_bench_parallel_multilhs_discovery(benchmark, repro_scale):
+    row_count = max(1000, int(8000 * repro_scale))
+    rows = _build_rows(row_count)
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+
+    seconds = {}
+    results = {}
+    for workers in (1, 2, 4):
+        runs = [_timed_discover(rows, workers) for _ in range(2)]
+        seconds[workers] = min(elapsed for elapsed, _ in runs)
+        results[workers] = runs[0][1]
+
+    # Bit-identical across every worker count — the whole point of the
+    # level-barrier merge protocol.
+    serial = results[1]
+    assert serial.dependencies, "the region table must yield dependencies"
+    for workers in (2, 4):
+        assert _fingerprint(results[workers]) == _fingerprint(serial)
+        assert results[workers].candidate_count == serial.candidate_count
+        assert results[workers].candidates_per_level == serial.candidates_per_level
+        assert results[workers].index_entries == serial.index_entries
+
+    speedup_2 = seconds[1] / seconds[2]
+    speedup_4 = seconds[1] / seconds[4]
+    if cores >= 4:
+        assert speedup_4 >= 1.7, (
+            f"multi-LHS discovery at workers=4 must be >=1.7x faster than "
+            f"serial on a {cores}-core machine, got {speedup_4:.2f}x "
+            f"({seconds[4] * 1e3:.0f} ms vs {seconds[1] * 1e3:.0f} ms on "
+            f"{row_count} rows)"
+        )
+
+    benchmark.extra_info["rows"] = row_count
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["dependencies"] = len(serial.dependencies)
+    benchmark.extra_info["candidates"] = serial.candidate_count
+    benchmark.extra_info["serial_seconds"] = round(seconds[1], 6)
+    benchmark.extra_info["workers2_seconds"] = round(seconds[2], 6)
+    benchmark.extra_info["workers4_seconds"] = round(seconds[4], 6)
+    benchmark.extra_info["speedup_workers2"] = round(speedup_2, 2)
+    benchmark.extra_info["speedup_workers4"] = round(speedup_4, 2)
+    benchmark.extra_info["speedup_floor_asserted"] = cores >= 4
+    benchmark.pedantic(lambda: _timed_discover(rows, 2)[1], rounds=1, iterations=1)

@@ -50,7 +50,9 @@ def _fresh_relation(alumni_rows) -> Relation:
 
 def _run_session(alumni_rows):
     """discover → detect → repair through one shared session."""
-    session = CleaningSession(_fresh_relation(alumni_rows), config=CONFIG)
+    # Pinned serial: the compilation/partition counters describe parent-process
+    # caches, which sharded stages under REPRO_WORKERS would bypass.
+    session = CleaningSession(_fresh_relation(alumni_rows), config=CONFIG, workers=1)
     start = time.perf_counter()
     discovery = session.discover()
     report = session.detect()
@@ -73,15 +75,15 @@ def _run_free_functions(alumni_rows):
     start = time.perf_counter()
     relation_a = _fresh_relation(alumni_rows)
     evaluator_a = PatternEvaluator()
-    discovery = PFDDiscoverer(CONFIG, evaluator=evaluator_a).discover(relation_a)
+    discovery = PFDDiscoverer(CONFIG, evaluator=evaluator_a, workers=1).discover(relation_a)
 
     relation_b = _fresh_relation(alumni_rows)
     evaluator_b = PatternEvaluator()
-    report = ErrorDetector(discovery.pfds, evaluator=evaluator_b).detect(relation_b)
+    report = ErrorDetector(discovery.pfds, evaluator=evaluator_b, workers=1).detect(relation_b)
 
     relation_c = _fresh_relation(alumni_rows)
     evaluator_c = PatternEvaluator()
-    repair = Repairer(discovery.pfds, evaluator=evaluator_c).repair(relation_c)
+    repair = Repairer(discovery.pfds, evaluator=evaluator_c, workers=1).repair(relation_c)
     elapsed = time.perf_counter() - start
 
     compilations = (

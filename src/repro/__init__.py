@@ -58,10 +58,13 @@ from .engine import (
     ColumnMatchSet,
     DictionaryColumn,
     DictionaryDelta,
+    ParallelExecutor,
+    ParallelStats,
     PartitionManager,
     PatternEvaluator,
     StrippedPartition,
     default_evaluator,
+    resolve_workers,
 )
 from .discovery import (
     DiscoveryConfig,
@@ -110,10 +113,13 @@ __all__ = [
     "DictionaryColumn",
     "DictionaryDelta",
     "ColumnMatchSet",
+    "ParallelExecutor",
+    "ParallelStats",
     "PartitionManager",
     "StrippedPartition",
     "PatternEvaluator",
     "default_evaluator",
+    "resolve_workers",
     "read_csv",
     "write_csv",
     "DiscoveryConfig",

@@ -19,6 +19,12 @@ from ..core.pfd import PFD, prime_for_pfds, prime_partitions_for_pfds
 from ..dataset.relation import Relation
 from ..engine.backend import resolve_backend
 from ..engine.evaluator import PatternEvaluator
+from ..engine.parallel import (
+    ParallelExecutor,
+    _DetectionTask,
+    chunk_round_robin,
+    resolve_workers,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +88,14 @@ class ErrorDetector:
     evaluator:
         Optional shared :class:`PatternEvaluator`; pass the one used during
         discovery so detection reuses its per-distinct-value match cache.
+    workers:
+        Process-parallel workers for the violation search (see
+        :mod:`repro.engine.parallel`).  ``None`` defers to the
+        ``REPRO_WORKERS`` environment variable (else 1); 1 runs the serial
+        path and never creates a pool.
+    executor:
+        Optional shared :class:`ParallelExecutor` (a session passes its own
+        so detection reuses the pool discovery broadcast to).
     """
 
     def __init__(
@@ -89,11 +103,15 @@ class ErrorDetector:
         pfds: Sequence[PFD],
         min_evidence: int = 1,
         evaluator: Optional[PatternEvaluator] = None,
+        workers: Optional[int] = None,
+        executor: Optional[ParallelExecutor] = None,
     ):
         self.pfds = list(pfds)
         self.min_evidence = min_evidence
         # Scoped per detector unless the caller shares one (e.g. discovery's).
         self.evaluator = evaluator or PatternEvaluator()
+        self.workers = workers
+        self.executor = executor
 
     def detect(self, relation: Relation, since_row: int = 0) -> DetectionReport:
         """Evaluate every PFD and aggregate suspect cells into a report.
@@ -117,17 +135,17 @@ class ErrorDetector:
         old cell into the minority of its class, and a class an appended
         row joined is re-examined as a whole.
         """
-        prime_for_pfds(relation, self.pfds, self.evaluator)
-        prime_partitions_for_pfds(relation, self.pfds, self.evaluator)
-        all_violations: list[Violation] = []
+        workers = resolve_workers(self.workers)
+        if workers > 1 and len(self.pfds) > 1:
+            all_violations = self._collect_violations_parallel(
+                relation, since_row, workers
+            )
+        else:
+            all_violations = self._collect_violations(relation, since_row)
         evidence: dict[CellRef, list[Violation]] = defaultdict(list)
-        for pfd in self.pfds:
-            for violation in pfd.violations(
-                relation, evaluator=self.evaluator, since_row=since_row
-            ):
-                all_violations.append(violation)
-                for cell in violation.suspect_cells:
-                    evidence[cell].append(violation)
+        for violation in all_violations:
+            for cell in violation.suspect_cells:
+                evidence[cell].append(violation)
 
         errors: list[DetectedError] = []
         for cell, cell_violations in sorted(evidence.items()):
@@ -152,6 +170,66 @@ class ErrorDetector:
             backend=resolve_backend(relation.backend),
         )
 
+    def _collect_violations(self, relation: Relation, since_row: int) -> list[Violation]:
+        """The serial violation search: prime once, then one pass per PFD."""
+        prime_for_pfds(relation, self.pfds, self.evaluator)
+        prime_partitions_for_pfds(relation, self.pfds, self.evaluator)
+        all_violations: list[Violation] = []
+        for pfd in self.pfds:
+            all_violations.extend(
+                pfd.violations(relation, evaluator=self.evaluator, since_row=since_row)
+            )
+        return all_violations
+
+    def _collect_violations_parallel(
+        self, relation: Relation, since_row: int, workers: int
+    ) -> list[Violation]:
+        """Shard the PFDs across the worker pool and merge in serial order.
+
+        PFDs are grouped by their LHS attributes before chunking, so PFDs
+        sharing tableau-row partitions land on the same worker and reuse one
+        cached equivalence-class build, mirroring the sharing the serial
+        ``prime_partitions_for_pfds`` pass exploits.  Each PFD's violation
+        list is independent of its neighbors, so reassembling the per-PFD
+        lists by original position reproduces the serial violation order
+        bit for bit.
+        """
+        executor = self.executor
+        owned = executor is None
+        if owned:
+            executor = ParallelExecutor(workers)
+        try:
+            group_index: dict[tuple[str, ...], int] = {}
+            groups: list[list[int]] = []
+            for position, pfd in enumerate(self.pfds):
+                key = tuple(pfd.lhs)
+                index = group_index.get(key)
+                if index is None:
+                    group_index[key] = index = len(groups)
+                    groups.append([])
+                groups[index].append(position)
+            tasks = [
+                _DetectionTask(
+                    positions=tuple(positions),
+                    pfds=tuple(self.pfds[position] for position in positions),
+                    since_row=since_row,
+                )
+                for chunk in chunk_round_robin(groups, workers * 2)
+                for positions in [[p for group in chunk for p in group]]
+            ]
+            violations_by_position: dict[int, list[Violation]] = {}
+            for task_result in executor.run_tasks(relation, "detect", tasks, stage="detect"):
+                for position, violations in task_result:
+                    violations_by_position[position] = violations
+            return [
+                violation
+                for position in range(len(self.pfds))
+                for violation in violations_by_position[position]
+            ]
+        finally:
+            if owned:
+                executor.close()
+
     @staticmethod
     def _best_suggestion(violations: Iterable[Violation]) -> Optional[str]:
         """Majority vote over the expected values proposed by the violations."""
@@ -170,16 +248,20 @@ def detect_errors(
     pfds: Sequence[PFD],
     min_evidence: int = 1,
     evaluator: Optional[PatternEvaluator] = None,
+    workers: Optional[int] = None,
 ) -> DetectionReport:
     """Convenience wrapper: detection through a throwaway
     :class:`~repro.session.CleaningSession`.
 
     Callers running more than one pipeline stage on the same relation
     should hold a session instead, so discovery, detection, and repair
-    share one evaluator and one partition cache.
+    share one evaluator and one partition cache (and, with ``workers > 1``,
+    one broadcast worker pool).
     """
     from ..session import CleaningSession  # local import: session sits above
 
-    return CleaningSession(relation, evaluator=evaluator).detect(
-        pfds, min_evidence=min_evidence
-    )
+    session = CleaningSession(relation, evaluator=evaluator, workers=workers)
+    try:
+        return session.detect(pfds, min_evidence=min_evidence)
+    finally:
+        session.close()

@@ -77,6 +77,9 @@ class Repairer:
         invalidates only the touched attribute's cached partitions, so the
         re-detection regroups exactly the mutated columns and reuses the
         rest of the shared equivalence classes.
+    workers:
+        Forwarded to the internal :class:`ErrorDetector` passes (detection
+        and verification).  ``None`` defers to ``REPRO_WORKERS``.
     """
 
     def __init__(
@@ -86,12 +89,14 @@ class Repairer:
         dry_run: bool = False,
         evaluator: Optional[PatternEvaluator] = None,
         verify: bool = False,
+        workers: Optional[int] = None,
     ):
         self.pfds = list(pfds)
         self.min_evidence = min_evidence
         self.dry_run = dry_run
         self.evaluator = evaluator
         self.verify = verify
+        self.workers = workers
 
     def repair(
         self, relation: Relation, report: Optional[DetectionReport] = None
@@ -99,7 +104,8 @@ class Repairer:
         """Detect (unless a report is supplied) and apply repairs."""
         if report is None:
             report = ErrorDetector(
-                self.pfds, min_evidence=self.min_evidence, evaluator=self.evaluator
+                self.pfds, min_evidence=self.min_evidence, evaluator=self.evaluator,
+                workers=self.workers,
             ).detect(relation)
         target = relation if self.dry_run else relation.copy()
         repairs: list[Repair] = []
@@ -121,7 +127,8 @@ class Repairer:
         remaining: Optional[frozenset[CellRef]] = None
         if self.verify and not self.dry_run:
             verification = ErrorDetector(
-                self.pfds, min_evidence=self.min_evidence, evaluator=self.evaluator
+                self.pfds, min_evidence=self.min_evidence, evaluator=self.evaluator,
+                workers=self.workers,
             ).detect(target)
             remaining = frozenset(verification.error_cells)
         return RepairResult(

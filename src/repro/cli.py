@@ -70,6 +70,11 @@ def _add_stats_argument(parser: argparse.ArgumentParser) -> None:
                              "core, default when numpy is importable) or "
                              "'python' (dependency-free fallback); both "
                              "produce identical results")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="process-parallel workers for discovery and "
+                             "detection (default: REPRO_WORKERS env var, "
+                             "else 1 = serial); results are identical at "
+                             "any worker count")
 
 
 def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
@@ -85,7 +90,10 @@ def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
 def _session_from_args(args: argparse.Namespace) -> CleaningSession:
     config = _config_from_args(args) if hasattr(args, "min_support") else None
     backend = getattr(args, "engine", None)
-    return CleaningSession.from_csv(args.csv, config=config, backend=backend)
+    workers = getattr(args, "workers", None)
+    return CleaningSession.from_csv(
+        args.csv, config=config, backend=backend, workers=workers
+    )
 
 
 def _session_pfds(session: CleaningSession, args: argparse.Namespace):
@@ -272,7 +280,10 @@ def _command_ingest(args: argparse.Namespace) -> int:
 
 
 def _command_validate(args: argparse.Namespace) -> int:
-    session = CleaningSession.from_csv(args.csv)
+    session = CleaningSession.from_csv(
+        args.csv, backend=getattr(args, "engine", None),
+        workers=getattr(args, "workers", None),
+    )
     pfds = load_pfds(args.load)
     print(f"loaded {len(pfds)} PFD(s) from {args.load}")
     print(session.validate(pfds).summary())

@@ -41,6 +41,11 @@ class DiscoveryConfig:
     include_attributes: Optional[Sequence[str]] = None
     exclude_attributes: Sequence[str] = ()
     skip_trivial: bool = True
+    #: Process-parallel workers for candidate validation (see
+    #: :mod:`repro.engine.parallel`).  ``None`` defers to the session's
+    #: ``workers=`` (or the ``REPRO_WORKERS`` environment variable, else 1);
+    #: 1 bypasses the pool entirely and runs the exact serial path.
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -55,6 +60,8 @@ class DiscoveryConfig:
             raise DiscoveryError("max_patterns_per_attribute must be positive")
         if self.max_tableau_rows < 1:
             raise DiscoveryError("max_tableau_rows must be positive")
+        if self.workers is not None and self.workers < 1:
+            raise DiscoveryError("workers must be at least 1")
 
     @property
     def effective_generalization_noise(self) -> float:

@@ -39,6 +39,13 @@ from ..dataset.profiler import TableProfile, profile_relation
 from ..dataset.relation import Relation
 from ..engine.backend import NUMPY as BACKEND_NUMPY, np
 from ..engine.evaluator import PatternEvaluator
+from ..engine.parallel import (
+    ParallelExecutor,
+    _DiscoveryTask,
+    chunk_round_robin,
+    merge_partition_stats,
+    resolve_workers,
+)
 from ..engine.partitions import PartitionStats
 from ..patterns.ast import (
     ClassAtom,
@@ -135,6 +142,8 @@ class PFDDiscoverer:
         self,
         config: Optional[DiscoveryConfig] = None,
         evaluator: Optional[PatternEvaluator] = None,
+        workers: Optional[int] = None,
+        executor: Optional[ParallelExecutor] = None,
     ):
         self.config = config or DiscoveryConfig()
         # One shared evaluator: candidate validation (generalization) and any
@@ -142,6 +151,13 @@ class PFDDiscoverer:
         # Scoped to this discoverer (not the process-wide default) so the many
         # throwaway candidate patterns of discovery don't accumulate globally.
         self.evaluator = evaluator or PatternEvaluator()
+        #: Overrides ``config.workers`` when given (the session threads its
+        #: own ``workers=`` through here); ``None`` defers to the config.
+        self.workers = workers
+        #: Optional shared :class:`ParallelExecutor` (the session owns one so
+        #: discovery and detection reuse a single broadcast pool).  When
+        #: absent, a parallel discover() scopes a throwaway executor.
+        self.executor = executor
 
     # -- public API ----------------------------------------------------------
 
@@ -150,10 +166,23 @@ class PFDDiscoverer:
         relation: Relation,
         profile: Optional[TableProfile] = None,
     ) -> DiscoveryResult:
-        """Run the full discovery pipeline on ``relation``."""
+        """Run the full discovery pipeline on ``relation``.
+
+        With an effective worker count above 1 (``workers=`` on this
+        discoverer, else ``config.workers``, else ``REPRO_WORKERS``), each
+        lattice level's candidate validations are sharded across a process
+        pool and merged at the level barrier — bit-identical to the serial
+        loop (see :mod:`repro.engine.parallel`).  ``workers=1`` runs the
+        serial path below and never touches a pool.
+        """
         start = time.perf_counter()
         config = self.config
         profile = profile or profile_relation(relation)
+        workers = resolve_workers(
+            self.workers if self.workers is not None else config.workers
+        )
+        if workers > 1:
+            return self._discover_parallel(relation, profile, workers, start)
         # The index fronts the shared evaluator, so any candidate-pattern
         # batches it evaluates are memoized alongside generalization's
         # validation matches and any downstream detection on this relation.
@@ -202,6 +231,117 @@ class PFDDiscoverer:
             index_entries=index.total_entries(),
             candidates_per_level=candidates_per_level,
             partition_stats=dataclasses.replace(manager.stats),
+        )
+
+    # -- parallel discovery ------------------------------------------------------
+
+    def _discover_parallel(
+        self,
+        relation: Relation,
+        profile: TableProfile,
+        workers: int,
+        start: float,
+    ) -> DiscoveryResult:
+        """Shard each lattice level's LHS groups across the process pool.
+
+        Within one level, satisfied-superset pruning only affects *larger*
+        LHS sets and coverage deficiency only the identical LHS, so the
+        level's candidate set is fixed at the level boundary: whole LHS
+        groups are validated atomically by workers and the results merged
+        here in enumeration order — dependencies, candidate counts, and
+        pruning decisions come out bit-identical to the serial loop.
+        """
+        config = self.config
+        attributes = self._eligible_attributes(profile)
+        lattice = CandidateLattice(attributes, max_level=config.max_lhs_size)
+        executor = self.executor
+        owned = executor is None
+        if owned:
+            executor = ParallelExecutor(workers)
+
+        dependencies: list[DiscoveredDependency] = []
+        candidate_count = 0
+        candidates_per_level: dict[int, int] = {}
+        coverage_floor = max(
+            config.min_support, math.ceil(config.min_coverage * relation.row_count)
+        )
+        index_entries: Optional[int] = None
+        merged_stats = PartitionStats()
+        try:
+            for level in range(1, config.max_lhs_size + 1):
+                # Snapshot the level's surviving candidates as LHS groups
+                # (the generator yields LHS-major, in deterministic order).
+                groups: list[tuple[int, tuple[str, ...], tuple[str, ...]]] = []
+                current_lhs: Optional[tuple[str, ...]] = None
+                rhs_acc: list[str] = []
+                for lhs, rhs in lattice.level(level):
+                    if lhs != current_lhs:
+                        if current_lhs is not None:
+                            groups.append((len(groups), current_lhs, tuple(rhs_acc)))
+                        current_lhs = lhs
+                        rhs_acc = []
+                    rhs_acc.append(rhs)
+                if current_lhs is not None:
+                    groups.append((len(groups), current_lhs, tuple(rhs_acc)))
+                if not groups:
+                    continue
+                tasks = [
+                    _DiscoveryTask(
+                        config=config,
+                        profile=profile,
+                        coverage_floor=coverage_floor,
+                        groups=tuple(chunk),
+                    )
+                    for chunk in chunk_round_robin(groups, workers * 4)
+                ]
+                outcomes = []
+                for entries, task_outcomes, stats_delta in executor.run_tasks(
+                    relation, "discover", tasks, stage="discover"
+                ):
+                    if index_entries is None:
+                        index_entries = entries
+                    merged_stats = merge_partition_stats(merged_stats, stats_delta)
+                    outcomes.extend(task_outcomes)
+                # The level barrier: apply lattice marks and collect accepted
+                # dependencies in exactly the serial enumeration order.
+                outcomes.sort(key=lambda outcome: outcome.position)
+                for outcome in outcomes:
+                    candidate_count += outcome.candidates
+                    candidates_per_level[level] = (
+                        candidates_per_level.get(level, 0) + outcome.candidates
+                    )
+                    if outcome.deficient:
+                        lattice.mark_coverage_deficient(outcome.lhs)
+                        continue
+                    for dependency in outcome.accepted:
+                        dependencies.append(dependency)
+                        lattice.mark_satisfied(dependency.lhs, dependency.rhs)
+        finally:
+            if owned:
+                executor.close()
+        if index_entries is None:
+            # Degenerate table (no candidates at any level): report the same
+            # index statistics the serial path would have.
+            index = PatternIndex(
+                relation,
+                profile=profile,
+                prune_substrings=config.prune_substrings,
+                prefixes_only=config.prefixes_only,
+                evaluator=self.evaluator,
+            )
+            index_entries = index.total_entries()
+        runtime = time.perf_counter() - start
+        return DiscoveryResult(
+            relation_name=relation.name,
+            config=config,
+            dependencies=dependencies,
+            runtime_seconds=runtime,
+            candidate_count=candidate_count,
+            index_entries=index_entries,
+            candidates_per_level=candidates_per_level,
+            # Workers hold their own partition caches; the merged counters
+            # describe the union of per-worker cache activity for the run.
+            partition_stats=merged_stats,
         )
 
     # -- candidate evaluation ---------------------------------------------------
@@ -506,14 +646,22 @@ def discover_pfds(
     relation: Relation,
     config: Optional[DiscoveryConfig] = None,
     evaluator: Optional[PatternEvaluator] = None,
+    workers: Optional[int] = None,
 ) -> DiscoveryResult:
     """Convenience wrapper: discovery through a throwaway
     :class:`~repro.session.CleaningSession`.
 
     Callers running more than one pipeline stage on the same relation
     should hold a session instead, so detection and repair reuse the
-    evaluator and partition state primed here.
+    evaluator and partition state primed here (and, with ``workers > 1``,
+    one broadcast worker pool instead of a throwaway pool per call).
     """
     from ..session import CleaningSession  # local import: session sits above
 
-    return CleaningSession(relation, config=config, evaluator=evaluator).discover()
+    session = CleaningSession(
+        relation, config=config, evaluator=evaluator, workers=workers
+    )
+    try:
+        return session.discover()
+    finally:
+        session.close()

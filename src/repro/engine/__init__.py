@@ -44,6 +44,7 @@ surfaced as a structured :class:`~repro.session.SessionStats` snapshot.
 
 from .dictionary import DictionaryColumn, DictionaryDelta
 from .evaluator import ColumnMatch, ColumnMatchSet, PatternEvaluator, default_evaluator
+from .parallel import ParallelExecutor, ParallelStats, resolve_workers
 from .partitions import PartitionKey, PartitionManager, PartitionStats, StrippedPartition
 
 __all__ = [
@@ -53,6 +54,9 @@ __all__ = [
     "ColumnMatchSet",
     "PatternEvaluator",
     "default_evaluator",
+    "ParallelExecutor",
+    "ParallelStats",
+    "resolve_workers",
     "PartitionKey",
     "PartitionManager",
     "PartitionStats",

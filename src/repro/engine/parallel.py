@@ -1,0 +1,446 @@
+"""Process-parallel execution of discovery and detection.
+
+The paper's two hot loops are embarrassingly parallel once the engine state
+is shared: Figure-4 discovery validates every candidate of a lattice level
+independently (the only cross-candidate coupling — superset pruning — acts
+*between* levels), and error detection evaluates each PFD's violations
+independently.  This module owns that parallelism:
+
+* :func:`resolve_workers` — the ``workers=`` knob resolution: an explicit
+  value wins, else the ``REPRO_WORKERS`` environment variable, else 1.
+  ``workers=1`` means *no pool is ever created*; callers bypass this module
+  entirely and run the exact serial code path.
+* :class:`ParallelExecutor` — a lazily created
+  :class:`~concurrent.futures.ProcessPoolExecutor` bound to one relation
+  snapshot.  The dictionary-encoded relation (distinct values + the
+  ``int32`` code vectors from :meth:`DictionaryColumn.codes_array`) is
+  pickled **once per pool** through the pool initializer, not once per
+  task; tasks then carry only candidate descriptions / PFD lists.  The pool
+  rebinds (new broadcast) when the relation object or its
+  :attr:`~repro.dataset.relation.Relation.version` changes, so appends are
+  visible to workers.
+* task protocols — :func:`_run_task` dispatches inside the worker:
+  ``"discover"`` validates one chunk of a lattice level's LHS groups
+  (tableau walk + dominant-RHS counting + generalization screen),
+  ``"detect"`` evaluates one chunk of PFDs.  Both tag results with the
+  candidate's enumeration position so the parent can merge in exactly the
+  serial order — parallel output is pinned bit-identical to serial.
+
+Determinism of the discovery protocol
+-------------------------------------
+
+Within one lattice level, ``mark_satisfied(lhs, rhs)`` prunes only *strict*
+supersets of ``lhs`` (never another same-size LHS) and
+``mark_coverage_deficient(lhs)`` prunes ``lhs`` itself and its supersets
+(between equal-size sets, only the identical LHS).  Therefore the set of
+candidates a level enumerates is fully determined at the level boundary,
+and each LHS group — all surviving RHS of one LHS — can be validated
+atomically by any worker.  A worker replicates the serial semantics inside
+the group (a coverage-deficient LHS counts exactly one candidate and stops,
+matching the serial generator's re-check after ``mark_coverage_deficient``);
+the parent applies lattice marks and appends accepted dependencies in
+enumeration order at the level barrier.  Candidate counts, per-level
+counts, dependencies, and tableaux are bit-identical to the serial loop.
+
+Fork/spawn safety
+-----------------
+
+Worker processes never rely on inherited interpreter state:
+
+* task functions and task/result dataclasses are module top-level, so they
+  pickle by reference under the ``spawn`` start method;
+* the pattern-compilation memos (``compile_pattern_set``, the NFA/DFA
+  caches in :mod:`repro.patterns`) are ``functools.lru_cache`` maps from
+  immutable inputs to immutable values — they repopulate independently and
+  identically in every worker, so both an inherited (fork) and an empty
+  (spawn) cache are correct;
+* the one mutable process-global that *changes results* — the engine
+  backend default in :mod:`repro.engine.backend` — is explicitly seeded in
+  every worker from the parent's **resolved** choice (the snapshot carries
+  it), never re-read from the ``REPRO_ENGINE`` environment variable, so a
+  parent that called :func:`~repro.engine.backend.set_default_backend`
+  after startup still gets matching workers;
+* evaluators (:class:`~repro.engine.evaluator.PatternEvaluator` holds
+  ``WeakKeyDictionary`` memos and is deliberately unpicklable) are created
+  fresh inside each worker and shared across that worker's tasks.
+
+``fork`` is preferred when the platform offers it (workers start in
+milliseconds and inherit the imported modules); ``spawn`` is the fallback
+and is fully supported — override with ``REPRO_START_METHOD`` to force one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .backend import NUMPY, resolve_backend, set_default_backend
+from .partitions import PartitionStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset -> engine)
+    from ..dataset.relation import Relation
+
+
+# -- the workers= knob --------------------------------------------------------
+
+def resolve_workers(value: Optional[int] = None) -> int:
+    """The effective worker count: explicit value > ``REPRO_WORKERS`` > 1."""
+    if value is not None:
+        if value < 1:
+            raise ValueError(f"workers must be at least 1, got {value}")
+        return value
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}") from None
+        if parsed < 1:
+            raise ValueError(f"REPRO_WORKERS must be at least 1, got {parsed}")
+        return parsed
+    return 1
+
+
+def default_start_method() -> str:
+    """``REPRO_START_METHOD`` if set, else ``fork`` when available, else
+    ``spawn``.  Everything in this module is spawn-safe; fork is simply the
+    faster default where the platform offers it."""
+    env = os.environ.get("REPRO_START_METHOD", "").strip().lower()
+    methods = multiprocessing.get_all_start_methods()
+    if env:
+        if env not in methods:
+            raise ValueError(
+                f"REPRO_START_METHOD {env!r} is not available (have {methods})"
+            )
+        return env
+    return "fork" if "fork" in methods else "spawn"
+
+
+def chunk_round_robin(items: Sequence, chunks: int) -> list[list]:
+    """Deal ``items`` into at most ``chunks`` buckets, round robin.
+
+    Neighboring items (which tend to cost alike) land on different workers;
+    merge order is recovered from per-item position tags, never from bucket
+    order.
+    """
+    count = max(1, min(chunks, len(items)))
+    buckets: list[list] = [[] for _ in range(count)]
+    for index, item in enumerate(items):
+        buckets[index % count].append(item)
+    return [bucket for bucket in buckets if bucket]
+
+
+# -- observability ------------------------------------------------------------
+
+@dataclasses.dataclass
+class ParallelStats:
+    """Counters of one :class:`ParallelExecutor` (surfaced by
+    :meth:`repro.session.CleaningSession.stats`)."""
+
+    #: Workers in the current/most recent pool (0 = no pool ever created).
+    pool_size: int = 0
+    #: Pools created (== relation snapshots broadcast).
+    broadcasts: int = 0
+    #: Total pickled bytes of the broadcast snapshots.
+    bytes_broadcast: int = 0
+    #: Task submissions across all stages.
+    tasks_dispatched: int = 0
+    #: Wall-clock seconds spent inside parallel sections, per stage name.
+    stage_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+
+# -- the broadcast snapshot ---------------------------------------------------
+
+@dataclasses.dataclass
+class RelationSnapshot:
+    """The pickle-once payload a pool initializer ships to every worker.
+
+    ``columns`` maps each attribute to its dictionary: the distinct values
+    plus the per-row code vector (an ``int32`` ndarray on the numpy backend
+    — pickled as its compact buffer — or a plain list on the python
+    backend).  ``backend`` is the parent's *resolved* engine backend.
+    """
+
+    schema: object
+    backend: str
+    columns: dict[str, tuple[tuple[str, ...], object]]
+
+
+def snapshot_relation(relation: "Relation") -> RelationSnapshot:
+    """Capture the dictionary-encoded relation for broadcast."""
+    backend = resolve_backend(relation.backend)
+    columns: dict[str, tuple[tuple[str, ...], object]] = {}
+    for name in relation.attribute_names:
+        dictionary = relation.dictionary(name)
+        if dictionary.backend == NUMPY:
+            codes: object = dictionary.codes_array()
+        else:
+            codes = list(dictionary.codes)
+        columns[name] = (dictionary.values, codes)
+    return RelationSnapshot(schema=relation.schema, backend=backend, columns=columns)
+
+
+def _restore_relation(snapshot: RelationSnapshot) -> "Relation":
+    """Rebuild the relation (and its dictionary caches) inside a worker."""
+    from ..dataset.relation import Relation
+    from .dictionary import DictionaryColumn
+
+    columns: dict[str, list[str]] = {}
+    dictionaries: dict[str, DictionaryColumn] = {}
+    for name, (values, codes) in snapshot.columns.items():
+        column = DictionaryColumn(values, codes, attribute=name, backend=snapshot.backend)
+        dictionaries[name] = column
+        code_list = codes.tolist() if hasattr(codes, "tolist") else codes
+        columns[name] = [values[code] for code in code_list]
+    relation = Relation(snapshot.schema, columns, backend=snapshot.backend)
+    # Pre-install the shipped dictionaries: identical values/codes mean every
+    # downstream structure (masks, partitions) is bit-identical to the parent.
+    relation._dictionaries = dictionaries
+    return relation
+
+
+# -- worker-side state --------------------------------------------------------
+
+class _WorkerState:
+    """Everything one worker process holds between tasks."""
+
+    def __init__(self, snapshot: RelationSnapshot):
+        from .evaluator import PatternEvaluator
+
+        # Seed the process default from the parent's resolved backend (the
+        # snapshot value), NOT from a re-read of REPRO_ENGINE: a parent that
+        # picked its backend programmatically must get matching workers.
+        set_default_backend(snapshot.backend)
+        self.relation = _restore_relation(snapshot)
+        self.evaluator = PatternEvaluator()
+        self._discovery_contexts: list[tuple[object, object, tuple]] = []
+
+    def discovery_context(self, config, profile) -> tuple:
+        """A (discoverer, index) pair per (config, profile), built lazily and
+        reused by every discovery task of this worker."""
+        for cached_config, cached_profile, context in self._discovery_contexts:
+            if cached_config == config and cached_profile == profile:
+                return context
+        from ..dataset.index import PatternIndex
+        from ..discovery.pfd_discovery import PFDDiscoverer
+
+        discoverer = PFDDiscoverer(config, evaluator=self.evaluator)
+        index = PatternIndex(
+            self.relation,
+            profile=profile,
+            prune_substrings=config.prune_substrings,
+            prefixes_only=config.prefixes_only,
+            evaluator=self.evaluator,
+        )
+        context = (discoverer, index)
+        self._discovery_contexts.append((config, profile, context))
+        return context
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: unpickle the broadcast exactly once per worker."""
+    global _STATE
+    _STATE = _WorkerState(pickle.loads(payload))
+
+
+# -- task protocols -----------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class _DiscoveryTask:
+    """One chunk of a lattice level: whole LHS groups, validated atomically."""
+
+    config: object
+    profile: object
+    coverage_floor: int
+    #: ``(position, lhs, rhs_tuple)`` triples; position is the group's index
+    #: in the level's serial enumeration order.
+    groups: tuple[tuple[int, tuple[str, ...], tuple[str, ...]], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class _GroupOutcome:
+    """What validating one LHS group produced."""
+
+    position: int
+    lhs: tuple[str, ...]
+    #: Candidates the serial loop would have counted for this group.
+    candidates: int
+    #: The LHS partition missed the coverage floor (prunes the superset cone).
+    deficient: bool
+    #: Accepted dependencies, in RHS enumeration order.
+    accepted: tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class _DetectionTask:
+    """One chunk of PFDs to evaluate; positions restore the serial order."""
+
+    positions: tuple[int, ...]
+    pfds: tuple
+    since_row: int
+
+
+def _stats_delta(before: PartitionStats, after: PartitionStats) -> PartitionStats:
+    fields = dataclasses.fields(PartitionStats)
+    return PartitionStats(
+        **{f.name: getattr(after, f.name) - getattr(before, f.name) for f in fields}
+    )
+
+
+def merge_partition_stats(target: PartitionStats, delta: PartitionStats) -> PartitionStats:
+    """Field-wise sum (the level-barrier merge of worker counters)."""
+    fields = dataclasses.fields(PartitionStats)
+    return PartitionStats(
+        **{f.name: getattr(target, f.name) + getattr(delta, f.name) for f in fields}
+    )
+
+
+def _discovery_task(task: _DiscoveryTask) -> tuple[int, list, PartitionStats]:
+    """Validate one chunk of LHS groups; returns (index entries, outcomes,
+    partition-counter delta)."""
+    state = _STATE
+    assert state is not None
+    discoverer, index = state.discovery_context(task.config, task.profile)
+    relation = state.relation
+    manager = relation.partitions()
+    before = dataclasses.replace(manager.stats)
+    outcomes: list[_GroupOutcome] = []
+    for position, lhs, rhs_list in task.groups:
+        partition = manager.attribute_set_partition(lhs)
+        if partition.covered_count < task.coverage_floor:
+            # Serial counts exactly one candidate for a deficient LHS (the
+            # level generator re-checks pruning before yielding the rest).
+            outcomes.append(
+                _GroupOutcome(position, lhs, candidates=1, deficient=True, accepted=())
+            )
+            continue
+        accepted = []
+        for rhs in rhs_list:
+            dependency = discoverer._evaluate_candidate(relation, index, lhs, rhs)
+            if dependency is not None:
+                accepted.append(dependency)
+        outcomes.append(
+            _GroupOutcome(
+                position,
+                lhs,
+                candidates=len(rhs_list),
+                deficient=False,
+                accepted=tuple(accepted),
+            )
+        )
+    delta = _stats_delta(before, dataclasses.replace(manager.stats))
+    return index.total_entries(), outcomes, delta
+
+
+def _detection_task(task: _DetectionTask) -> list[tuple[int, list]]:
+    """Evaluate one chunk of PFDs; returns ``(position, violations)`` pairs."""
+    state = _STATE
+    assert state is not None
+    from ..core.pfd import prime_for_pfds, prime_partitions_for_pfds
+
+    relation = state.relation
+    prime_for_pfds(relation, task.pfds, state.evaluator)
+    prime_partitions_for_pfds(relation, task.pfds, state.evaluator)
+    results: list[tuple[int, list]] = []
+    for position, pfd in zip(task.positions, task.pfds):
+        violations = list(
+            pfd.violations(relation, evaluator=state.evaluator, since_row=task.since_row)
+        )
+        results.append((position, violations))
+    return results
+
+
+def _run_task(kind: str, task):
+    """The single worker entry point (top-level, so it pickles by reference)."""
+    if _STATE is None:
+        raise RuntimeError("parallel worker used before its initializer ran")
+    if kind == "discover":
+        return _discovery_task(task)
+    if kind == "detect":
+        return _detection_task(task)
+    raise ValueError(f"unknown parallel task kind {kind!r}")
+
+
+# -- the executor -------------------------------------------------------------
+
+class ParallelExecutor:
+    """A lazily created process pool bound to one relation broadcast.
+
+    The pool is created on the first :meth:`run_tasks` call and rebound
+    (state re-broadcast) when the target relation object or its mutation
+    version changes.  ``workers=1`` callers must not construct one — the
+    serial code paths bypass this class entirely.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.workers = workers
+        self.start_method = start_method or default_start_method()
+        self.stats = ParallelStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._bound: Optional[tuple[weakref.ref, int]] = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _pool_for(self, relation: "Relation") -> ProcessPoolExecutor:
+        if self._pool is not None and self._bound is not None:
+            bound_relation, bound_version = self._bound
+            if bound_relation() is relation and bound_version == relation.version:
+                return self._pool
+        self.close()
+        payload = pickle.dumps(
+            snapshot_relation(relation), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        context = multiprocessing.get_context(self.start_method)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+        self._bound = (weakref.ref(relation), relation.version)
+        self.stats.pool_size = self.workers
+        self.stats.broadcasts += 1
+        self.stats.bytes_broadcast += len(payload)
+        return self._pool
+
+    def run_tasks(self, relation: "Relation", kind: str, tasks: Sequence, stage: str) -> list:
+        """Submit ``tasks`` against ``relation``'s broadcast; returns results
+        in task order (callers merge by per-item position tags)."""
+        pool = self._pool_for(relation)
+        started = time.perf_counter()
+        futures = [pool.submit(_run_task, kind, task) for task in tasks]
+        results = [future.result() for future in futures]
+        self.stats.tasks_dispatched += len(futures)
+        self.stats.record_stage(stage, time.perf_counter() - started)
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the next run re-broadcasts."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._bound = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "idle" if self._pool is None else "pooled"
+        return f"ParallelExecutor(workers={self.workers}, {self.start_method}, {state})"

@@ -67,8 +67,11 @@ def run_efficiency(
 
         # Both PFD rows run through one session: the multi-LHS pass reuses
         # the evaluator and the level-1 partitions primed by the single-LHS
-        # pass (the same caches a real caller would share).
-        session = CleaningSession(relation)
+        # pass (the same caches a real caller would share).  Pinned serial —
+        # the reported ordering is a property of the algorithms, and pool
+        # overhead on the small instances would distort it under
+        # REPRO_WORKERS.
+        session = CleaningSession(relation, workers=1)
         start = time.perf_counter()
         session.discover(config)
         pfd_seconds = time.perf_counter() - start

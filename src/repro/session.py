@@ -61,6 +61,7 @@ from .discovery.config import DiscoveryConfig
 from .discovery.pfd_discovery import DiscoveryResult, PFDDiscoverer
 from .engine.backend import resolve_backend
 from .engine.evaluator import PatternEvaluator
+from .engine.parallel import ParallelExecutor, resolve_workers
 from .engine.partitions import PartitionStats
 from .exceptions import ReproError
 
@@ -101,6 +102,16 @@ class SessionStats:
     cached_partitions: int
     #: Columns with memoized per-pattern match results.
     cached_match_columns: int
+    #: Effective ``workers=`` of the session (1 = serial, no pool).
+    workers: int = 1
+    #: Workers in the session's current/most recent pool (0 = none created).
+    pool_size: int = 0
+    #: Parallel task submissions across all stages.
+    tasks_dispatched: int = 0
+    #: Pickled bytes of relation snapshots broadcast to worker pools.
+    bytes_broadcast: int = 0
+    #: Wall-clock seconds spent inside parallel sections, per stage name.
+    parallel_stage_seconds: tuple[tuple[str, float], ...] = ()
 
     @property
     def partition_hits(self) -> int:
@@ -126,6 +137,16 @@ class SessionStats:
             f"  cached partitions: {self.cached_partitions}",
             f"  cached match columns: {self.cached_match_columns}",
         ]
+        if self.workers > 1 or self.pool_size:
+            stage_times = ", ".join(
+                f"{stage} {seconds:.2f}s" for stage, seconds in self.parallel_stage_seconds
+            )
+            lines.append(
+                f"  parallel: {self.workers} worker(s), pool size {self.pool_size}, "
+                f"{self.tasks_dispatched} task(s) dispatched, "
+                f"{self.bytes_broadcast} byte(s) broadcast"
+                + (f", {stage_times}" if stage_times else "")
+            )
         return "\n".join(lines)
 
     def to_json_dict(self) -> dict:
@@ -145,6 +166,13 @@ class SessionStats:
             "partition_misses": self.partition_misses,
             "cached_partitions": self.cached_partitions,
             "cached_match_columns": self.cached_match_columns,
+            "workers": self.workers,
+            "pool_size": self.pool_size,
+            "tasks_dispatched": self.tasks_dispatched,
+            "bytes_broadcast": self.bytes_broadcast,
+            "parallel_stage_seconds": {
+                stage: seconds for stage, seconds in self.parallel_stage_seconds
+            },
         }
 
 
@@ -223,6 +251,16 @@ class CleaningSession:
         produce bit-identical results; ``None`` keeps the relation's pin
         (or the process default — ``REPRO_ENGINE``, else numpy when
         importable).
+    workers:
+        Process-parallel workers for discovery and detection (see
+        :mod:`repro.engine.parallel`).  ``None`` defers to a per-call
+        config's ``workers``, then the ``REPRO_WORKERS`` environment
+        variable, else 1.  With an effective count above 1 the session owns
+        one shared :class:`ParallelExecutor`, so every stage reuses a
+        single broadcast pool; results are bit-identical to ``workers=1``,
+        which runs fully serial and never creates a pool.  Call
+        :meth:`close` (or use the session as a context manager) to shut
+        the pool down promptly.
     """
 
     def __init__(
@@ -231,12 +269,17 @@ class CleaningSession:
         config: Optional[DiscoveryConfig] = None,
         evaluator: Optional[PatternEvaluator] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ):
         self.relation = relation
         if backend is not None:
             relation.set_backend(backend)
         self.config = config
         self.evaluator = evaluator or PatternEvaluator()
+        if workers is not None and workers < 1:
+            raise ReproError("workers must be at least 1")
+        self.workers = workers
+        self._executor: Optional[ParallelExecutor] = None
         self._observed_version = relation.version
         self._stages_run: dict[str, None] = {}
         self._profile: Optional[TableProfile] = None
@@ -257,6 +300,7 @@ class CleaningSession:
         config: Optional[DiscoveryConfig] = None,
         evaluator: Optional[PatternEvaluator] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
         **read_csv_kwargs,
     ) -> "CleaningSession":
         """Open a session on a CSV file (one load for the whole pipeline)."""
@@ -265,6 +309,7 @@ class CleaningSession:
             config=config,
             evaluator=evaluator,
             backend=backend,
+            workers=workers,
         )
 
     @classmethod
@@ -275,13 +320,55 @@ class CleaningSession:
         name: str = "R",
         config: Optional[DiscoveryConfig] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> "CleaningSession":
         """Open a session on rows built in memory (mirrors
         :meth:`Relation.from_rows`)."""
         return cls(
             Relation.from_rows(schema, rows, name=name, backend=backend),
             config=config,
+            workers=workers,
         )
+
+    # -- parallel plumbing ---------------------------------------------------
+
+    def _workers_for(self, config: Optional[DiscoveryConfig] = None) -> int:
+        """Effective worker count for one stage call: the stage config's
+        ``workers``, else the session's, else the session default config's,
+        else ``REPRO_WORKERS``, else 1."""
+        if config is not None and config.workers is not None:
+            return resolve_workers(config.workers)
+        if self.workers is not None:
+            return resolve_workers(self.workers)
+        if self.config is not None and self.config.workers is not None:
+            return resolve_workers(self.config.workers)
+        return resolve_workers(None)
+
+    def _executor_for(self, workers: int) -> Optional[ParallelExecutor]:
+        """The session's shared executor (created lazily; None when serial)."""
+        if workers <= 1:
+            return None
+        if self._executor is None or self._executor.workers != workers:
+            if self._executor is not None:
+                self._executor.close()
+            self._executor = ParallelExecutor(workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the session's worker pool, if one was created.
+
+        The session stays usable afterwards — the next parallel stage call
+        recreates the pool (and re-broadcasts the relation).  Serial
+        sessions have nothing to close.
+        """
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "CleaningSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -358,8 +445,13 @@ class CleaningSession:
                 "detect_new() has no pending appended rows: call append() first"
             )
         _, resolved = self._resolve_pfds(pfds)
+        workers = self._workers_for()
         report = ErrorDetector(
-            resolved, min_evidence=min_evidence, evaluator=self.evaluator
+            resolved,
+            min_evidence=min_evidence,
+            evaluator=self.evaluator,
+            workers=workers,
+            executor=self._executor_for(workers),
         ).detect(self.relation, since_row=self._delta_start)
         self._delta_start = None
         self._mark("detect_new")
@@ -392,7 +484,13 @@ class CleaningSession:
         effective = config or self.config or DiscoveryConfig()
         if self._discovery is not None and self._discovery[0] == effective:
             return self._discovery[1]
-        discoverer = PFDDiscoverer(effective, evaluator=self.evaluator)
+        workers = self._workers_for(effective)
+        discoverer = PFDDiscoverer(
+            effective,
+            evaluator=self.evaluator,
+            workers=workers,
+            executor=self._executor_for(workers),
+        )
         # Reuse the profile only when the profile stage already ran: a fresh
         # discovery profiles inside its own timed region, so its reported
         # runtime_seconds stays comparable with the seed (and with the
@@ -441,8 +539,13 @@ class CleaningSession:
         key = (marker, min_evidence)
         if self._detection is not None and self._detection[0] == key:
             return self._detection[1]
+        workers = self._workers_for()
         report = ErrorDetector(
-            resolved, min_evidence=min_evidence, evaluator=self.evaluator
+            resolved,
+            min_evidence=min_evidence,
+            evaluator=self.evaluator,
+            workers=workers,
+            executor=self._executor_for(workers),
         ).detect(self.relation)
         self._detection = (key, report)
         self._mark("detect")
@@ -476,6 +579,7 @@ class CleaningSession:
             dry_run=dry_run,
             evaluator=self.evaluator,
             verify=verify,
+            workers=self._workers_for(),
         ).repair(self.relation, report=report)
         self._repair = (key, result)
         self._mark("repair")
@@ -515,6 +619,7 @@ class CleaningSession:
     def stats(self) -> SessionStats:
         """An immutable snapshot of the session's shared-cache counters."""
         manager = self.relation.partitions()
+        parallel = self._executor.stats if self._executor is not None else None
         return SessionStats(
             relation_name=self.relation.name,
             row_count=self.relation.row_count,
@@ -529,6 +634,13 @@ class CleaningSession:
             partitions=dataclasses.replace(manager.stats),
             cached_partitions=manager.cached_partition_count(),
             cached_match_columns=self.evaluator.cached_column_count(),
+            workers=self._workers_for(),
+            pool_size=parallel.pool_size if parallel is not None else 0,
+            tasks_dispatched=parallel.tasks_dispatched if parallel is not None else 0,
+            bytes_broadcast=parallel.bytes_broadcast if parallel is not None else 0,
+            parallel_stage_seconds=(
+                tuple(sorted(parallel.stage_seconds.items())) if parallel is not None else ()
+            ),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -274,7 +274,12 @@ class TestSessionIngestion:
 
     def test_detect_new_runs_on_extended_caches(self, session):
         """After discover primed the engine, the delta pass compiles no new
-        pattern sets and builds partitions only for genuinely new leaves."""
+        pattern sets and builds partitions only for genuinely new leaves.
+
+        Pinned serial: the counters describe the parent-process caches, which
+        sharded stages under REPRO_WORKERS would leave cold (workers prime
+        their own copies)."""
+        session.workers = 1
         session.discover()
         session.detect()
         before = session.stats()

@@ -43,10 +43,13 @@ EXPECTED_ALL = {
     "DictionaryColumn",
     "DictionaryDelta",
     "ColumnMatchSet",
+    "ParallelExecutor",
+    "ParallelStats",
     "PartitionManager",
     "StrippedPartition",
     "PatternEvaluator",
     "default_evaluator",
+    "resolve_workers",
     # discovery
     "DiscoveryConfig",
     "DiscoveryResult",
