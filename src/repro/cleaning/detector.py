@@ -136,7 +136,13 @@ class ErrorDetector:
         row joined is re-examined as a whole.
         """
         workers = resolve_workers(self.workers)
-        if workers > 1 and len(self.pfds) > 1:
+        # Out-of-core relations stay serial: their state is a live SQLite
+        # connection that cannot be shipped to pool workers.
+        if (
+            workers > 1
+            and len(self.pfds) > 1
+            and not getattr(relation, "is_sql_backed", False)
+        ):
             all_violations = self._collect_violations_parallel(
                 relation, since_row, workers
             )

@@ -42,7 +42,7 @@ from .core.serialization import load_pfds, save_pfds
 from .datagen.suite import materialize_suite
 from .dataset.csvio import read_csv, write_csv
 from .discovery.config import DiscoveryConfig
-from .engine.backend import BACKENDS
+from .engine.backend import available_backends
 from .exceptions import ReproError
 from .session import CleaningSession
 
@@ -65,11 +65,12 @@ def _add_stats_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print the session's shared-cache counters "
                              "(pattern matching + partition cache)")
-    parser.add_argument("--engine", choices=list(BACKENDS), default=None,
+    parser.add_argument("--engine", default=None, metavar="BACKEND",
                         help="engine backend: 'numpy' (vectorized columnar "
-                             "core, default when numpy is importable) or "
-                             "'python' (dependency-free fallback); both "
-                             "produce identical results")
+                             "core, default when numpy is importable), "
+                             "'python' (dependency-free fallback), or 'sql' "
+                             "(out-of-core SQLite store for tables larger "
+                             "than RAM); all produce identical results")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="process-parallel workers for discovery and "
                              "detection (default: REPRO_WORKERS env var, "
@@ -87,9 +88,26 @@ def _config_from_args(args: argparse.Namespace) -> DiscoveryConfig:
     )
 
 
+def _resolve_engine(args: argparse.Namespace) -> Optional[str]:
+    """Validate ``--engine`` eagerly — before any CSV is read — so a typo or
+    an unavailable backend fails with the available choices instead of a
+    late resolution error deep in the pipeline."""
+    engine = getattr(args, "engine", None)
+    if engine is None:
+        return None
+    normalized = engine.strip().lower()
+    available = available_backends()
+    if normalized not in available:
+        raise ReproError(
+            f"unknown or unavailable engine backend {engine!r}: "
+            f"available backends are {', '.join(available)}"
+        )
+    return normalized
+
+
 def _session_from_args(args: argparse.Namespace) -> CleaningSession:
     config = _config_from_args(args) if hasattr(args, "min_support") else None
-    backend = getattr(args, "engine", None)
+    backend = _resolve_engine(args)
     workers = getattr(args, "workers", None)
     return CleaningSession.from_csv(
         args.csv, config=config, backend=backend, workers=workers
@@ -281,7 +299,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
 
 def _command_validate(args: argparse.Namespace) -> int:
     session = CleaningSession.from_csv(
-        args.csv, backend=getattr(args, "engine", None),
+        args.csv, backend=_resolve_engine(args),
         workers=getattr(args, "workers", None),
     )
     pfds = load_pfds(args.load)

@@ -56,6 +56,7 @@ from ..engine.evaluator import PatternEvaluator, default_evaluator
 from ..engine.partitions import PartitionManager, StrippedPartition
 from ..exceptions import ConstraintError
 from ..patterns.ast import Pattern
+from ..storage.partitions import SqlStrippedPartition
 from .tableau import CellSpec, PatternTableau, PatternTuple, Wildcard
 
 
@@ -362,6 +363,10 @@ class PFD:
             return self._constant_row_violations_numpy(
                 row, partition, rhs_expected, rhs_columns, since_row
             )
+        if isinstance(partition, SqlStrippedPartition):
+            return self._constant_row_violations_sql(
+                row, partition, rhs_expected, rhs_columns, since_row
+            )
         supported = partition.covered
         if since_row:
             # Covered rows are ascending: bisect to the first delta row.
@@ -439,6 +444,42 @@ class PFD:
                     )
         return found
 
+    def _constant_row_violations_sql(
+        self,
+        row: PatternTuple,
+        partition: SqlStrippedPartition,
+        rhs_expected: Mapping[str, Optional[str]],
+        rhs_columns: Mapping[str, "DictionaryColumn"],
+        since_row: int,
+    ) -> list[Violation]:
+        """Pushed-down constant-row check: the accepted code set of each RHS
+        attribute (the codes decoding to the expected constant) is shipped
+        into one query over the partition's spec, so only the violating rows
+        ever leave SQLite — same violations, same (row-major, then RHS
+        attribute) order as the in-memory paths."""
+        rhs_cols: list[int] = []
+        good_codes: list[list[int]] = []
+        good_sets: dict[str, set[int]] = {}
+        for attribute in self.rhs:
+            column = rhs_columns[attribute]
+            expected = rhs_expected[attribute]
+            rhs_cols.append(column._col_index)
+            good = [
+                code for code, value in enumerate(column.values) if value == expected
+            ]
+            good_codes.append(good)
+            good_sets[attribute] = set(good)
+        found: list[Violation] = []
+        for fetched in partition.constant_violation_rows(rhs_cols, good_codes, since_row):
+            row_id = fetched[0]
+            for offset, attribute in enumerate(self.rhs):
+                if fetched[1 + offset] in good_sets[attribute]:
+                    continue
+                found.append(
+                    self._constant_violation(row, row_id, attribute, rhs_expected)
+                )
+        return found
+
     def _variable_row_violations(
         self,
         relation: Relation,
@@ -453,6 +494,10 @@ class PFD:
         partition = self._row_partition(relation, row, evaluator)
         if partition.backend == NUMPY:
             return self._variable_row_violations_numpy(
+                relation, row, evaluator, partition, since_row
+            )
+        if isinstance(partition, SqlStrippedPartition):
+            return self._variable_row_violations_sql(
                 relation, row, evaluator, partition, since_row
             )
         classes = partition.classes
@@ -618,6 +663,73 @@ class PFD:
                 )
         return found
 
+    def _variable_row_violations_sql(
+        self,
+        relation: Relation,
+        row: PatternTuple,
+        evaluator: PatternEvaluator,
+        partition: SqlStrippedPartition,
+        since_row: int,
+    ) -> list[Violation]:
+        """Pushed-down variable-row check.
+
+        Per RHS attribute the bucket keys (matched/constrained vs literal
+        value) are interned to integer ids per *distinct* value and shipped
+        as a ``(code, bucket)`` scratch table; one grouped query then returns
+        only the classes spanning >= 2 buckets on some attribute and touching
+        the delta.  Python re-derives those classes' buckets — a point fetch
+        of the class's RHS codes, never a column scan — and emits violations
+        identical, order included, to the in-memory paths."""
+        store = relation.store
+        rhs_cols: list[int] = []
+        bucket_tables: list[str] = []
+        buckets_by_attribute: dict[str, list[tuple[bool, str]]] = {}
+        try:
+            for attribute in self.rhs:
+                column = relation.dictionary(attribute)
+                match = evaluator.match_column(row.pattern(attribute), column)
+                bucket_by_code = self._rhs_bucket_by_code(column, match)
+                buckets_by_attribute[attribute] = bucket_by_code
+                bucket_ids: dict[tuple[bool, str], int] = {}
+                rhs_cols.append(column._col_index)
+                bucket_tables.append(
+                    store.int_map_table(
+                        (code, bucket_ids.setdefault(bucket, len(bucket_ids)))
+                        for code, bucket in enumerate(bucket_by_code)
+                    )
+                )
+            violating = partition.variable_violation_classes(
+                rhs_cols, bucket_tables, since_row
+            )
+        finally:
+            for table in bucket_tables:
+                store.drop_table(table)
+        found: list[Violation] = []
+        columns = ", ".join(f"c{col}" for col in rhs_cols)
+        for row_ids in violating:
+            in_sql, scratch = store.code_set_sql("rid", row_ids)
+            try:
+                codes_of = {
+                    fetched[0]: fetched[1:]
+                    for fetched in store.execute(
+                        f"SELECT rid, {columns} FROM rows WHERE {in_sql}"
+                    )
+                }
+            finally:
+                for table in scratch:
+                    store.drop_table(table)
+            for index, attribute in enumerate(self.rhs):
+                bucket_by_code = buckets_by_attribute[attribute]
+                buckets: dict[tuple[bool, str], list[int]] = defaultdict(list)
+                for row_id in row_ids:
+                    buckets[bucket_by_code[codes_of[row_id][index]]].append(row_id)
+                if len(buckets) < 2:
+                    continue
+                found.append(
+                    self._bucket_violation(relation, row, attribute, row_ids, buckets)
+                )
+        return found
+
     # -- statistics -------------------------------------------------------------
 
     def row_statistics(
@@ -659,6 +771,17 @@ class PFD:
             for partition in partitions[1:]:
                 union = np.union1d(union, partition.covered_array())
             return int(len(union))
+        if (
+            partitions
+            and all(isinstance(p, SqlStrippedPartition) for p in partitions)
+            and len({id(p._store) for p in partitions}) == 1
+        ):
+            # All rows' LHSes ground out in one store: the distinct covered
+            # row count is a single UNION-of-selects aggregate in SQLite.
+            union_sql = " UNION ".join(p.covered_select() for p in partitions)
+            return partitions[0]._store.fetch_value(
+                f"SELECT COUNT(*) FROM ({union_sql})"
+            )
         covered: set[int] = set()
         for partition in partitions:
             covered.update(partition.covered)

@@ -13,6 +13,7 @@ import io
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from ..engine.backend import SQL, resolve_backend
 from ..exceptions import SchemaError
 from .relation import Relation
 from .schema import Schema
@@ -24,6 +25,7 @@ def read_csv(
     delimiter: Optional[str] = None,
     has_header: bool = True,
     column_names: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> Relation:
     """Read a CSV file (or open text stream) into a relation.
 
@@ -40,7 +42,18 @@ def read_csv(
     column_names:
         Explicit column names (required when ``has_header`` is False and
         useful to override a header).
+    backend:
+        Engine backend pin for the loaded relation.  When it resolves to
+        ``"sql"`` — explicitly, or because the process default
+        (``REPRO_ENGINE=sql``) says so — the file is *streamed* in bounded
+        chunks into an out-of-core SQLite-backed relation: peak memory is
+        one chunk plus the per-column distinct values, never the decoded
+        table.  Any other value pins the in-memory relation's engine
+        backend; ``None`` keeps the previous behavior (in-memory, process
+        default).
     """
+    if resolve_backend(backend) == SQL:
+        return _read_csv_sql(source, name, delimiter, has_header, column_names)
     if isinstance(source, (str, Path)):
         path = Path(source)
         text = path.read_text(encoding="utf-8")
@@ -71,11 +84,114 @@ def read_csv(
         header = [f"column_{i + 1}" for i in range(width)]
 
     schema = Schema(header, name=inferred_name)
-    relation = Relation(schema)
+    relation = Relation(schema, backend=backend)
     for row in data_rows:
         padded = list(row) + [""] * (len(header) - len(row))
         relation.append_row(padded[: len(header)])
     return relation
+
+
+def _read_csv_sql(
+    source: Union[str, Path, io.TextIOBase],
+    name: Optional[str],
+    delimiter: Optional[str],
+    has_header: bool,
+    column_names: Optional[Sequence[str]],
+) -> Relation:
+    """Chunked out-of-core ingestion (semantics identical to the in-memory
+    reader: same sniffing, header, padding/truncation, and empty handling —
+    pinned by the round-trip parity tests).
+
+    Path sources are re-opened per pass and never fully buffered.  Stream
+    sources are drained once into memory (they cannot be rewound); callers
+    with out-of-core data pass paths.
+    """
+    from ..storage.store import BATCH_ROWS
+
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        inferred_name = name or path.stem
+
+        def open_source() -> io.TextIOBase:
+            return path.open("r", encoding="utf-8", newline="")
+
+    else:
+        text = source.read()
+        inferred_name = name or "R"
+
+        def open_source() -> io.TextIOBase:
+            return io.StringIO(text)
+
+    if delimiter is None:
+        with open_source() as handle:
+            delimiter = _sniff_delimiter(handle.read(4096))
+
+    header: list[str] = []
+    if column_names is not None:
+        header = list(column_names)
+    elif not has_header:
+        # The in-memory reader sizes the schema to the widest data row;
+        # streaming needs one extra (cheap, unbuffered) pass to learn it.
+        width = 0
+        with open_source() as handle:
+            for row in csv.reader(handle, delimiter=delimiter):
+                if row and len(row) > width:
+                    width = len(row)
+        header = [f"column_{i + 1}" for i in range(width)]
+
+    relation: Optional[Relation] = None
+    saw_any = False
+
+    def flush(batch: list[list[str]]) -> None:
+        nonlocal relation
+        if relation is None:
+            relation = Relation(Schema(header, name=inferred_name), backend=SQL)
+        if batch:
+            relation.append_rows(batch)
+
+    with open_source() as handle:
+        pending_header = has_header
+        batch: list[list[str]] = []
+        for row in csv.reader(handle, delimiter=delimiter):
+            if not row:
+                continue
+            saw_any = True
+            if pending_header:
+                pending_header = False
+                if column_names is None:
+                    header = [cell.strip() for cell in row]
+                continue
+            width = len(header)
+            batch.append((list(row) + [""] * (width - len(row)))[:width])
+            if len(batch) >= BATCH_ROWS:
+                flush(batch)
+                batch = []
+        if not saw_any:
+            raise SchemaError(f"CSV source {inferred_name!r} contains no rows")
+        flush(batch)
+    assert relation is not None
+    return relation
+
+
+def estimate_csv_rows(source: Union[str, Path]) -> int:
+    """A cheap data-row estimate for a CSV path: newline count minus header.
+
+    Reads the file in binary chunks without parsing (quoted newlines count,
+    so this can overestimate) — intended for backend auto-selection budgets,
+    not exact accounting.
+    """
+    count = 0
+    last = b"\n"
+    with Path(source).open("rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            count += chunk.count(b"\n")
+            last = chunk[-1:]
+    if last != b"\n":
+        count += 1  # unterminated final line
+    return max(0, count - 1)
 
 
 def write_csv(

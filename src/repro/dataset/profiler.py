@@ -19,10 +19,9 @@ strategies to the discoverer.
 from __future__ import annotations
 
 import dataclasses
-import statistics
 from typing import Optional
 
-from ..patterns.induction import column_shape_histogram
+from ..patterns.induction import signature
 from .relation import Relation
 from .schema import AttributeRole
 from .tokenizer import has_separators
@@ -112,33 +111,53 @@ def _looks_like_code(values: list[str]) -> bool:
 
 
 def profile_column(relation: Relation, name: str) -> ColumnProfile:
-    """Profile a single column of ``relation``."""
-    values = relation.column(name)
-    non_empty = [value for value in values if value]
+    """Profile a single column of ``relation``.
+
+    Every statistic is computed over the *distinct* values weighted by their
+    occurrence counts, never over the decoded rows: the numbers are identical
+    to a full row scan (integer numerators divided by the same denominators),
+    but the work and memory are O(distinct) — which keeps profiling cheap on
+    out-of-core relations whose rows never fit in memory at once.
+    """
+    dictionary = relation.dictionary(name)
+    counts = dictionary.counts()
+    weighted = [
+        (value, counts[code])
+        for code, value in enumerate(dictionary.values)
+        if value and counts[code]
+    ]
+    distinct_values = [value for value, _count in weighted]
     declared_role = relation.schema.role(name)
-    distinct = len(set(non_empty))
-    non_empty_count = len(non_empty)
-    max_length = max((len(v) for v in non_empty), default=0)
-    mean_length = statistics.fmean([len(v) for v in non_empty]) if non_empty else 0.0
+    distinct = len(weighted)
+    non_empty_count = sum(count for _value, count in weighted)
+    max_length = max((len(v) for v in distinct_values), default=0)
+    mean_length = (
+        sum(len(value) * count for value, count in weighted) / non_empty_count
+        if non_empty_count
+        else 0.0
+    )
     distinct_ratio = distinct / non_empty_count if non_empty_count else 0.0
     separator_fraction = (
-        sum(1 for v in non_empty if has_separators(v)) / non_empty_count
+        sum(count for value, count in weighted if has_separators(value)) / non_empty_count
         if non_empty_count
         else 0.0
     )
     numeric_fraction = (
-        sum(1 for v in non_empty if _looks_numeric(v)) / non_empty_count
+        sum(count for value, count in weighted if _looks_numeric(value)) / non_empty_count
         if non_empty_count
         else 0.0
     )
-    shape_histogram = column_shape_histogram(non_empty)
+    shape_histogram: dict[tuple, int] = {}
+    for value, count in weighted:
+        shape = signature(value)
+        shape_histogram[shape] = shape_histogram.get(shape, 0) + count
     dominant_fraction = (
         max(shape_histogram.values()) / non_empty_count if shape_histogram else 0.0
     )
 
     role = declared_role
     if role is AttributeRole.UNKNOWN:
-        role = _infer_role(non_empty, numeric_fraction)
+        role = _infer_role(distinct_values, numeric_fraction)
 
     strategy = _choose_strategy(
         role=role,

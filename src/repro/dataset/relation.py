@@ -42,6 +42,23 @@ def _normalize_cell(value: object) -> str:
 class Relation:
     """A named, schema-typed, column-oriented table of strings."""
 
+    def __new__(
+        cls,
+        schema: Optional[Schema] = None,
+        columns: Optional[Mapping[str, Sequence[str]]] = None,
+        backend: Optional[str] = None,
+    ):
+        # ``Relation(..., backend="sql")`` transparently builds the
+        # out-of-core SQLite-backed subclass.  Only an *explicit* backend
+        # argument dispatches — a bare ``Relation(...)`` stays in memory even
+        # under ``REPRO_ENGINE=sql`` (the env default engages via read_csv),
+        # so existing construction sites keep their memory profile.
+        if cls is Relation and backend is not None and resolve_backend(backend) == "sql":
+            from ..storage.relation import SqlRelation
+
+            return super().__new__(SqlRelation)
+        return super().__new__(cls)
+
     def __init__(
         self,
         schema: Schema,

@@ -56,6 +56,7 @@ from ..patterns.ast import (
 )
 from ..patterns.alphabet import CharClass
 from ..patterns.induction import induce_pattern
+from ..storage.discovery import CodeAttributeIndex, CodePatternIndex
 from .config import DiscoveryConfig
 from .generalization import generalize_tableau
 from .lattice import CandidateLattice
@@ -181,12 +182,20 @@ class PFDDiscoverer:
         workers = resolve_workers(
             self.workers if self.workers is not None else config.workers
         )
-        if workers > 1:
+        if workers > 1 and not getattr(relation, "is_sql_backed", False):
+            # Out-of-core relations stay serial: their state is a live SQLite
+            # connection that cannot be shipped to pool workers.
             return self._discover_parallel(relation, profile, workers, start)
         # The index fronts the shared evaluator, so any candidate-pattern
         # batches it evaluates are memoized alongside generalization's
         # validation matches and any downstream detection on this relation.
-        index = PatternIndex(
+        # On a sql relation with single-attribute LHSes the index is kept at
+        # dictionary-code granularity (O(distinct), not O(rows)); the
+        # row-level index is the general fallback.
+        index_class = PatternIndex
+        if getattr(relation, "is_sql_backed", False) and config.max_lhs_size == 1:
+            index_class = CodePatternIndex
+        index = index_class(
             relation,
             profile=profile,
             prune_substrings=config.prune_substrings,
@@ -364,14 +373,17 @@ class PFDDiscoverer:
     ) -> Optional[DiscoveredDependency]:
         """Lines 13–28 of Figure 4 for one candidate dependency ``X -> B``."""
         config = self.config
-        rows, covered = self._collect_constant_rows(relation, index, lhs, rhs)
+        if isinstance(index, CodePatternIndex):
+            rows, support = self._collect_constant_rows_codes(relation, index, lhs, rhs)
+        else:
+            rows, covered = self._collect_constant_rows(relation, index, lhs, rhs)
+            support = len(covered)
         if not rows:
             return None
-        coverage = len(covered) / relation.row_count if relation.row_count else 0.0
+        coverage = support / relation.row_count if relation.row_count else 0.0
         if coverage < config.min_coverage:
             return None
         tableau = PatternTableau(rows)
-        support = len(covered)
 
         if config.generalize:
             outcome = generalize_tableau(
@@ -448,6 +460,123 @@ class PFDDiscoverer:
             covered.update(group_ids)
         return rows, covered
 
+    def _collect_constant_rows_codes(
+        self,
+        relation: Relation,
+        index: CodePatternIndex,
+        lhs: tuple[str, ...],
+        rhs: str,
+    ) -> tuple[list[PatternTuple], int]:
+        """:meth:`_collect_constant_rows` at dictionary-code granularity.
+
+        Single-attribute LHS only (the code index is only selected then).
+        Because every row-level step — claiming, support thresholds, pattern
+        induction, dominance counting, positional grouping — acts uniformly
+        on all rows of a code, the walk can claim whole codes and weigh them
+        by their occurrence counts; the only per-row quantity, the RHS code
+        histogram of a group, is one ``GROUP BY`` in SQLite.  Returns the
+        tableau rows plus the covered *row count* (the groups are disjoint
+        by construction, so it is the sum of the kept groups' weights).
+        """
+        config = self.config
+        driver = self._driver_attribute(index, lhs)
+        driver_index = index.attribute_index(driver)
+        driver_values = relation.dictionary(driver).values
+        counts = relation.dictionary(driver).counts()
+        collected: list[tuple[PatternTuple, int, int]] = []
+        frequent = driver_index.frequent_keys(config.min_support)
+        frequent = frequent[: config.max_patterns_per_attribute]
+        claimed: set[int] = set()
+        for key in frequent:
+            if len(collected) >= config.max_tableau_rows:
+                break
+            codes = driver_index.codes(key)
+            fresh = [code for code in codes if code not in claimed]
+            weight = sum(counts[code] for code in fresh)
+            if weight < config.min_support:
+                continue
+            driver_cell = self._lhs_cell(
+                index, driver, key, (driver_values[code] for code in fresh)
+            )
+            if driver_cell is None:
+                continue
+            rhs_cell = self._dominant_rhs_cell_codes(
+                relation, index, rhs, driver, fresh, weight
+            )
+            if rhs_cell is None:
+                continue
+            cells = {driver: driver_cell, rhs: rhs_cell}
+            collected.append((PatternTuple.from_mapping(cells), weight, key[1]))
+            claimed.update(fresh)
+        if config.positional_grouping and collected:
+            coverage_by_position: dict[int, int] = defaultdict(int)
+            for _row, weight, position in collected:
+                coverage_by_position[position] += weight
+            best_position = max(
+                coverage_by_position.items(), key=lambda item: (item[1], -item[0])
+            )[0]
+            collected = [entry for entry in collected if entry[2] == best_position]
+        rows = [row for row, _weight, _pos in collected]
+        return rows, sum(weight for _row, weight, _pos in collected)
+
+    def _dominant_rhs_cell_codes(
+        self,
+        relation: Relation,
+        index: CodePatternIndex,
+        rhs: str,
+        driver: str,
+        driver_codes: Sequence[int],
+        support: int,
+    ) -> Optional[Pattern]:
+        """:meth:`_dominant_rhs_cell` for a group given as driver codes.
+
+        The group's RHS code histogram — the only per-row information the
+        decision function consumes — is computed by SQLite as a grouped
+        co-occurrence count; dominance and the part fallback then run the
+        row-level logic on it unchanged.
+        """
+        config = self.config
+        required = config.required_rhs_agreement(support)
+        store = relation.store
+        code_counts = store.cooccurrence_counts(
+            store.column_index(driver), driver_codes, store.column_index(rhs)
+        )
+        column = relation.dictionary(rhs)
+        counts = {
+            column.values[code]: count
+            for code, count in code_counts.items()
+            if count and column.values[code]
+        }
+        if counts:
+            top_value, top_count = max(counts.items(), key=lambda item: (item[1], item[0]))
+            if top_count >= required:
+                return Pattern(tuple(Literal(char) for char in top_value))
+
+        if rhs not in index.attributes:
+            return None
+        rhs_index = index.attribute_index(rhs)
+        histogram = rhs_index.keys_for_code_counts(code_counts)
+        if not histogram:
+            return None
+        row_count = relation.row_count or 1
+        informative = {
+            key: count
+            for key, count in histogram.items()
+            if rhs_index.weight(key) / row_count < 0.8
+        }
+        if not informative:
+            return None
+        (text, position), count = max(
+            informative.items(), key=lambda item: (item[1], len(item[0][0]), item[0])
+        )
+        if count < required or not text:
+            return None
+        group = ConstrainedGroup(tuple(Literal(char) for char in text))
+        any_star = Repeat(ClassAtom(CharClass.ANY), 0, None)
+        if position > 0:
+            return Pattern((any_star, ClassAtom(CharClass.SYMBOL), group, any_star))
+        return Pattern((group, any_star))
+
     @staticmethod
     def _select_dominant_position(
         collected: list[tuple[PatternTuple, list[int], int]],
@@ -489,7 +618,9 @@ class PFDDiscoverer:
         """Combine the driver pattern with frequent patterns of the remaining
         LHS attributes (the sub-table walk of Example 8)."""
         config = self.config
-        driver_cell = self._lhs_cell(relation, index, driver, driver_key, ids)
+        driver_cell = self._lhs_cell(
+            index, driver, driver_key, (relation.cell(row_id, driver) for row_id in ids)
+        )
         if driver_cell is None:
             return
         if not other_lhs:
@@ -510,7 +641,12 @@ class PFDDiscoverer:
             subgroup = [row_id for row_id in attr_index.ids(key) if row_id in id_set]
             if len(subgroup) < config.min_support:
                 continue
-            cell = self._lhs_cell(relation, index, attribute, key, subgroup)
+            cell = self._lhs_cell(
+                index,
+                attribute,
+                key,
+                (relation.cell(row_id, attribute) for row_id in subgroup),
+            )
             if cell is None:
                 continue
             for assignment, group_ids in self._expand_lhs(
@@ -524,13 +660,18 @@ class PFDDiscoverer:
 
     def _lhs_cell(
         self,
-        relation: Relation,
         index: PatternIndex,
         attribute: str,
         key: tuple[str, int],
-        ids: Sequence[int],
+        values: Iterable[str],
     ) -> Optional[Pattern]:
-        """Build the constrained LHS pattern for a frequent part key."""
+        """Build the constrained LHS pattern for a frequent part key.
+
+        ``values`` are the covered cell values — per row on the row-level
+        index, per distinct code on the code-level one.  The outcome is the
+        same either way: the suffix induction below is order- and
+        multiplicity-insensitive.
+        """
         text, position = key
         strategy = index.strategy(attribute)
         if strategy == "value":
@@ -551,8 +692,7 @@ class PFDDiscoverer:
         # suffix by inducing its shape from the covered values so the pattern
         # stays as specific as the data allows (e.g. {{900}}\D{2}).
         suffixes = []
-        for row_id in ids:
-            value = relation.cell(row_id, attribute)
+        for value in values:
             if not value.startswith(text):
                 suffixes = None
                 break

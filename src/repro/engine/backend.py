@@ -12,12 +12,19 @@ partition classes — has two interchangeable representations:
     The original lists/dicts/sets implementation.  Kept as a first-class
     fallback so environments without NumPy keep working and so property
     tests can pin the two backends bit-identical against each other.
+``sql``
+    The out-of-core SQLite-pushdown store (:mod:`repro.storage`): rows live
+    dictionary-encoded in a temp database and the group-heavy primitives run
+    as SQL aggregates, so peak memory stays bounded by the chunk size rather
+    than the table.  Engaged per relation via ``Relation(backend="sql")`` or
+    ``read_csv(..., backend="sql")``; in-memory relations merely *pinned*
+    ``"sql"`` fall back to the pure-Python code paths.
 
 Selection is layered (most specific wins):
 
 1. per relation — ``Relation(backend=...)`` / ``Relation.set_backend``,
    which :class:`repro.session.CleaningSession` and the CLI
-   ``--engine {numpy,python}`` flag route through;
+   ``--engine {numpy,python,sql}`` flag route through;
 2. process default — :func:`set_default_backend`, or the ``REPRO_ENGINE``
    environment variable read at first resolution;
 3. built-in default — ``numpy`` when importable, else ``python``.
@@ -34,7 +41,8 @@ from typing import Optional
 
 NUMPY = "numpy"
 PYTHON = "python"
-BACKENDS = (NUMPY, PYTHON)
+SQL = "sql"
+BACKENDS = (NUMPY, PYTHON, SQL)
 
 try:  # pragma: no cover - exercised implicitly by every engine test
     import numpy as np
@@ -61,8 +69,12 @@ def _validate(name: str) -> str:
 
 
 def available_backends() -> tuple[str, ...]:
-    """The backends usable in this process."""
-    return BACKENDS if HAS_NUMPY else (PYTHON,)
+    """The backends usable in this process.
+
+    ``sql`` rides the standard library's :mod:`sqlite3`, so it is always
+    available; ``numpy`` only when importable.
+    """
+    return BACKENDS if HAS_NUMPY else (PYTHON, SQL)
 
 
 def default_backend() -> str:

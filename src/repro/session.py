@@ -53,7 +53,7 @@ from typing import Optional, Sequence, Union
 from .cleaning.detector import DetectionReport, ErrorDetector
 from .cleaning.repair import Repairer, RepairResult
 from .core.pfd import PFD, prime_for_pfds, prime_partitions_for_pfds
-from .dataset.csvio import read_csv
+from .dataset.csvio import estimate_csv_rows, read_csv
 from .dataset.profiler import TableProfile, profile_relation
 from .dataset.relation import Relation
 from .dataset.schema import Schema
@@ -246,11 +246,14 @@ class CleaningSession:
         session-scoped one — the usual choice, keeping the many throwaway
         candidate patterns of discovery out of the process-wide cache.
     backend:
-        Optional engine backend pin (``"numpy"``/``"python"``), applied to
-        the relation via :meth:`Relation.set_backend`.  Both backends
-        produce bit-identical results; ``None`` keeps the relation's pin
-        (or the process default — ``REPRO_ENGINE``, else numpy when
-        importable).
+        Optional engine backend pin (``"numpy"``/``"python"``/``"sql"``),
+        applied to the relation via :meth:`Relation.set_backend`.  All
+        backends produce bit-identical results; ``None`` keeps the
+        relation's pin (or the process default — ``REPRO_ENGINE``, else
+        numpy when importable).  Note that ``"sql"`` cannot convert an
+        already-loaded in-memory relation — build out-of-core relations at
+        ingestion time (:meth:`from_csv` with ``backend="sql"`` or
+        ``max_memory_rows``, or ``Relation(..., backend="sql")``).
     workers:
         Process-parallel workers for discovery and detection (see
         :mod:`repro.engine.parallel`).  ``None`` defers to a per-call
@@ -301,11 +304,29 @@ class CleaningSession:
         evaluator: Optional[PatternEvaluator] = None,
         backend: Optional[str] = None,
         workers: Optional[int] = None,
+        max_memory_rows: Optional[int] = None,
         **read_csv_kwargs,
     ) -> "CleaningSession":
-        """Open a session on a CSV file (one load for the whole pipeline)."""
+        """Open a session on a CSV file (one load for the whole pipeline).
+
+        ``backend`` is routed into :func:`~repro.dataset.csvio.read_csv`:
+        ``backend="sql"`` (or ``REPRO_ENGINE=sql``) streams the file into an
+        out-of-core SQLite-backed relation in bounded chunks instead of
+        materializing the decoded table first.
+
+        ``max_memory_rows`` auto-selects that out-of-core path for *path*
+        sources whose (cheaply estimated) data-row count exceeds the budget;
+        an explicit ``backend`` always wins.
+        """
+        if (
+            backend is None
+            and max_memory_rows is not None
+            and isinstance(source, (str, Path))
+            and estimate_csv_rows(source) > max_memory_rows
+        ):
+            backend = "sql"
         return cls(
-            read_csv(source, **read_csv_kwargs),
+            read_csv(source, backend=backend, **read_csv_kwargs),
             config=config,
             evaluator=evaluator,
             backend=backend,

@@ -1,0 +1,33 @@
+"""Out-of-core SQLite-pushdown backing store (the ``sql`` engine backend).
+
+Layout:
+
+``store``
+    :class:`SqlStore` — the dictionary-encoded rows in a private temporary
+    SQLite database, plus the in-process encode state.
+``relation``
+    :class:`SqlRelation` / :class:`SqlDictionaryColumn` — drop-in relation
+    and dictionary wrappers over a store.
+``partitions``
+    :class:`SqlPartitionManager` / :class:`SqlStrippedPartition` — partition
+    manager whose group-heavy primitives run as SQL ``GROUP BY`` aggregates.
+``discovery``
+    :class:`CodePatternIndex` — the inverted pattern index at dictionary-code
+    granularity used by single-LHS discovery on sql relations.
+"""
+
+from .discovery import CodeAttributeIndex, CodePatternIndex
+from .partitions import SqlPartitionManager, SqlPatternState, SqlStrippedPartition
+from .relation import SqlDictionaryColumn, SqlRelation
+from .store import SqlStore
+
+__all__ = [
+    "CodeAttributeIndex",
+    "CodePatternIndex",
+    "SqlDictionaryColumn",
+    "SqlPartitionManager",
+    "SqlPatternState",
+    "SqlRelation",
+    "SqlStore",
+    "SqlStrippedPartition",
+]

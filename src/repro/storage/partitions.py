@@ -1,0 +1,386 @@
+"""SQL-pushdown stripped partitions for the out-of-core backend.
+
+The in-memory engine materializes every stripped partition as row-id tuples.
+At out-of-core scale that is exactly the memory the ``sql`` backend exists to
+avoid, so :class:`SqlStrippedPartition` keeps a partition as a *query spec*
+instead — a ``FROM``/``WHERE``/group-expression triple over the store's
+``rows`` table — and pushes the group-heavy work into SQLite:
+
+* attribute partitions group by the code column with ``HAVING COUNT(*) > 1``
+  (stripped semantics) and exclude the empty-value code from coverage;
+* pattern-projected partitions join a ``(code, comp)`` scratch table mapping
+  each *distinct* matched value to its constrained-component id (the
+  :class:`~repro.engine.evaluator.PatternEvaluator` still matches once per
+  distinct value — the paper's always-fits working set);
+* ``class_count`` / ``stripped_row_count`` / ``covered_count`` are SQL
+  aggregates over the spec, so discovery's coverage pruning and the partition
+  ``error`` never materialize a single row id;
+* PFD violation search runs as violating-rows / violating-groups queries
+  (see :mod:`repro.core.pfd`), fetching only the rows that actually violate.
+
+Every spec pins ``rid < max_rid`` at build time, so partitions handed out
+before an append keep describing the old rows — the same snapshot contract
+the in-memory delta maintenance guarantees.  Materializing ``classes`` /
+``covered`` stays available as a lazy fallback (rid-ascending fetch, grouped
+by first occurrence = identical class order), which is what the generic
+python code paths (intersection, refinement, minority scans) run on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..engine.backend import SQL
+from ..engine.dictionary import DictionaryColumn, DictionaryDelta
+from ..engine.partitions import (
+    PartitionKey,
+    PartitionManager,
+    StrippedPartition,
+    _PatternGroups,
+    default_evaluator,
+)
+from .relation import SqlDictionaryColumn, SqlRelation
+from .store import SqlStore
+
+
+class SqlStrippedPartition(StrippedPartition):
+    """A stripped partition described by a SQL spec, materialized lazily."""
+
+    __slots__ = ("_store", "_sql_from", "_sql_where", "_sql_group", "_class_count_cache", "_covered_count_cache")
+
+    @classmethod
+    def build(
+        cls,
+        store: SqlStore,
+        from_clause: str,
+        where: str,
+        group: str,
+        row_count: int,
+    ) -> "SqlStrippedPartition":
+        partition = cls.__new__(cls)
+        partition.backend = SQL
+        partition.row_count = row_count
+        partition._classes = None
+        partition._rowids = None
+        partition._offsets = None
+        partition._covered = None
+        partition._covered_array = None
+        partition._parents = None
+        partition._probe = None
+        partition._probe_array = None
+        partition._stripped = None
+        partition._store = store
+        partition._sql_from = from_clause
+        partition._sql_where = where
+        partition._sql_group = group
+        partition._class_count_cache = None
+        partition._covered_count_cache = None
+        return partition
+
+    # -- query fragments ------------------------------------------------------
+
+    def _stripped_groups_sql(self) -> str:
+        """Group keys with >= 2 covered rows — the pushed-down stripping."""
+        return (
+            f"SELECT {self._sql_group} AS g, COUNT(*) AS n FROM {self._sql_from} "
+            f"WHERE {self._sql_where} GROUP BY g HAVING n >= 2"
+        )
+
+    def covered_select(self) -> str:
+        """``SELECT rid`` over the covered rows (for COUNT/UNION pushdown)."""
+        return f"SELECT r.rid AS rid FROM {self._sql_from} WHERE {self._sql_where}"
+
+    # -- lazy materialization -------------------------------------------------
+
+    @property
+    def classes(self) -> tuple[tuple[int, ...], ...]:
+        if self._classes is None:
+            sql = (
+                f"SELECT {self._sql_group} AS g, r.rid FROM {self._sql_from} "
+                f"WHERE {self._sql_where} AND {self._sql_group} IN "
+                f"(SELECT g FROM ({self._stripped_groups_sql()})) ORDER BY r.rid"
+            )
+            groups: dict[int, list[int]] = {}
+            for group_key, rid in self._store.execute(sql):
+                groups.setdefault(group_key, []).append(rid)
+            # rid-ascending fetch + dict insertion order = classes ordered by
+            # smallest member, rows ascending within each class — identical
+            # to the in-memory build.
+            self._classes = tuple(tuple(rows) for rows in groups.values())
+        return self._classes
+
+    @property
+    def covered(self) -> tuple[int, ...]:
+        if self._covered is None:
+            self._covered = tuple(
+                row[0]
+                for row in self._store.execute(f"{self.covered_select()} ORDER BY r.rid")
+            )
+        return self._covered
+
+    def class_arrays(self):
+        self.classes
+        return super().class_arrays()
+
+    def covered_array(self):
+        self.covered
+        return super().covered_array()
+
+    def probe_table(self) -> dict[int, int]:
+        self.classes
+        return super().probe_table()
+
+    # -- pushed-down aggregates -----------------------------------------------
+
+    def _fetch_counts(self) -> None:
+        row = self._store.fetch_one(
+            f"SELECT COUNT(*), COALESCE(SUM(n), 0) FROM ({self._stripped_groups_sql()})"
+        )
+        self._class_count_cache = row[0]
+        if self._stripped is None:
+            self._stripped = row[1]
+
+    @property
+    def class_count(self) -> int:
+        if self._classes is not None:
+            return len(self._classes)
+        if self._class_count_cache is None:
+            self._fetch_counts()
+        return self._class_count_cache
+
+    @property
+    def stripped_row_count(self) -> int:
+        if self._stripped is None:
+            if self._classes is not None:
+                self._stripped = sum(len(class_rows) for class_rows in self._classes)
+            else:
+                self._fetch_counts()
+        return self._stripped
+
+    @property
+    def covered_count(self) -> int:
+        if self._covered is not None:
+            return len(self._covered)
+        if self._covered_count_cache is None:
+            self._covered_count_cache = self._store.fetch_value(
+                f"SELECT COUNT(*) FROM {self._sql_from} WHERE {self._sql_where}"
+            )
+        return self._covered_count_cache
+
+    # -- violation pushdown ---------------------------------------------------
+
+    def constant_violation_rows(
+        self,
+        rhs_cols: Sequence[int],
+        rhs_good_codes: Sequence[Sequence[int]],
+        since_row: int,
+    ) -> list[tuple]:
+        """Covered rows violating a constant tableau row, ascending.
+
+        Returns ``(rid, rhs_code_0, rhs_code_1, ...)`` for the covered rows
+        at or after ``since_row`` whose code on *some* RHS attribute is
+        outside that attribute's accepted set — only violating rows leave
+        the database.
+        """
+        conditions = []
+        scratch: list[str] = []
+        for col, good in zip(rhs_cols, rhs_good_codes):
+            if good:
+                in_sql, tables = self._store.code_set_sql(f"r.c{col}", good)
+                scratch.extend(tables)
+                conditions.append(f"NOT ({in_sql})")
+            else:
+                conditions.append("1")  # no code carries the expected value
+        columns = ", ".join(f"r.c{col}" for col in rhs_cols)
+        sql = (
+            f"SELECT r.rid, {columns} FROM {self._sql_from} "
+            f"WHERE {self._sql_where} AND r.rid >= {int(since_row)} "
+            f"AND ({' OR '.join(conditions)}) ORDER BY r.rid"
+        )
+        try:
+            return self._store.execute(sql).fetchall()
+        finally:
+            for table in scratch:
+                self._store.drop_table(table)
+
+    def variable_violation_classes(
+        self,
+        rhs_cols: Sequence[int],
+        bucket_tables: Sequence[str],
+        since_row: int,
+    ) -> list[tuple[int, ...]]:
+        """The stripped classes that can violate a variable tableau row.
+
+        ``bucket_tables`` map each RHS attribute's codes to RHS-bucket ids
+        (matched/constrained vs literal value).  A class violates only if it
+        spans >= 2 distinct buckets on some RHS attribute and touches the
+        ``since_row`` delta — both conditions are pushed into one grouped
+        query, so agreeing classes (the vast majority) never leave SQLite.
+        Returned classes are in partition order (smallest member first).
+        """
+        joins = " ".join(
+            f"JOIN {table} b{i} ON b{i}.code = r.c{col}"
+            for i, (col, table) in enumerate(zip(rhs_cols, bucket_tables))
+        )
+        disagree = " OR ".join(
+            f"COUNT(DISTINCT b{i}.comp) >= 2" for i in range(len(rhs_cols))
+        )
+        phase1 = (
+            f"SELECT {self._sql_group} AS g FROM {self._sql_from} {joins} "
+            f"WHERE {self._sql_where} GROUP BY g "
+            f"HAVING COUNT(*) >= 2 AND MAX(r.rid) >= {int(since_row)} AND ({disagree})"
+        )
+        group_keys = [row[0] for row in self._store.execute(phase1).fetchall()]
+        if not group_keys:
+            return []
+        in_sql, scratch = self._store.code_set_sql(self._sql_group, group_keys)
+        phase2 = (
+            f"SELECT {self._sql_group} AS g, r.rid FROM {self._sql_from} "
+            f"WHERE {self._sql_where} AND {in_sql} ORDER BY r.rid"
+        )
+        try:
+            groups: dict[int, list[int]] = {}
+            for group_key, rid in self._store.execute(phase2):
+                groups.setdefault(group_key, []).append(rid)
+        finally:
+            for table in scratch:
+                self._store.drop_table(table)
+        return [tuple(rows) for rows in groups.values()]
+
+
+class SqlPatternState(_PatternGroups):
+    """Pattern-partition grouping state plus its SQL scratch-table handle."""
+
+    __slots__ = ("comp_of", "table", "col_index")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.comp_of: dict[str, int] = {}
+        self.table: Optional[str] = None
+        self.col_index = -1
+
+
+class SqlPartitionManager(PartitionManager):
+    """A :class:`PartitionManager` whose leaf partitions are SQL specs.
+
+    Cache keys, hit/miss/extend counters, intersection memoization, and the
+    snapshot contract are all inherited; only the leaf builds (and their
+    append-time refresh) change.  Intersections and any partition consumer
+    that needs explicit row ids fall back to the lazy materialization the
+    base python paths run on.
+    """
+
+    def __init__(self, relation: SqlRelation):
+        super().__init__(relation)
+        self._store: SqlStore = relation.store
+
+    # -- leaf builds ----------------------------------------------------------
+
+    def _sql_attribute_partition(self, attribute: str) -> SqlStrippedPartition:
+        store = self._store
+        col = store.column_index(attribute)
+        max_rid = store.row_count
+        where = f"r.rid < {max_rid}"
+        empty_code = store.code_of[attribute].get("")
+        if empty_code is not None:
+            where += f" AND r.c{col} != {empty_code}"
+        return SqlStrippedPartition.build(store, "rows r", where, f"r.c{col}", max_rid)
+
+    def _sql_pattern_partition(self, state: SqlPatternState) -> SqlStrippedPartition:
+        store = self._store
+        max_rid = store.row_count
+        return SqlStrippedPartition.build(
+            store,
+            f"rows r JOIN {state.table} m ON m.code = r.c{state.col_index}",
+            f"r.rid < {max_rid}",
+            "m.comp",
+            max_rid,
+        )
+
+    def _build_attribute_partition(self, column: DictionaryColumn) -> StrippedPartition:
+        if not isinstance(column, SqlDictionaryColumn):
+            return super()._build_attribute_partition(column)
+        return self._sql_attribute_partition(column.attribute)
+
+    def _pattern_partition(self, key: PartitionKey, evaluator) -> StrippedPartition:
+        cached = self._pattern.get(key)
+        if cached is not None:
+            self.stats.pattern_hits += 1
+            return cached
+        column = self._relation.dictionary(key.attribute)
+        if not isinstance(column, SqlDictionaryColumn):
+            return super()._pattern_partition(key, evaluator)
+        self.stats.pattern_misses += 1
+        evaluator = evaluator or default_evaluator()
+        match = evaluator.match_column(key.pattern, column)
+        state = SqlPatternState()
+        state.col_index = column._col_index
+        for value, result in zip(column.values, match.results):
+            state.append_component(value, result)
+        state.table = self._store.int_map_table(
+            (code, state.comp_of.setdefault(component, len(state.comp_of)))
+            for code, component in enumerate(state.components)
+            if component is not None
+        )
+        partition = self._sql_pattern_partition(state)
+        self._pattern[key] = partition
+        self._pattern_groups[key] = state
+        return partition
+
+    # -- delta maintenance ----------------------------------------------------
+
+    def extend_attribute(self, attribute: str, delta: DictionaryDelta) -> StrippedPartition:
+        column = self._relation.dictionary(attribute)
+        if not isinstance(column, SqlDictionaryColumn):
+            return super().extend_attribute(attribute, delta)
+        if self._attribute.get(attribute) is None:
+            return self.attribute_partition(attribute)
+        # The appended rows are already in the store; a fresh spec snapshot
+        # (new rid bound, re-checked empty code) *is* the patched partition.
+        partition = self._sql_attribute_partition(attribute)
+        self._attribute[attribute] = partition
+        self.stats.attribute_extends += 1
+        return partition
+
+    def extend_pattern(self, key: PartitionKey, delta: DictionaryDelta) -> StrippedPartition:
+        state = self._pattern_groups.get(key)
+        if not isinstance(state, SqlPatternState):
+            return super().extend_pattern(key, delta)
+        if self._pattern.get(key) is None:
+            return self._pattern_partition(key, None)
+        column = self._relation.dictionary(key.attribute)
+        compiled = key.pattern
+        assert compiled is not None
+        new_pairs: list[tuple[int, int]] = []
+        for code in range(len(state.components), column.distinct_count):
+            value = column.values[code]
+            state.append_component(value, compiled.match(value) if value else None)
+            component = state.components[code]
+            if component is not None:
+                new_pairs.append(
+                    (code, state.comp_of.setdefault(component, len(state.comp_of)))
+                )
+        if new_pairs:
+            self._store.extend_int_map(state.table, new_pairs)
+        partition = self._sql_pattern_partition(state)
+        self._pattern[key] = partition
+        self.stats.pattern_extends += 1
+        return partition
+
+    # -- invalidation (also releases the scratch tables) ----------------------
+
+    def invalidate_attribute(self, attribute: str) -> None:
+        for key, state in self._pattern_groups.items():
+            if (
+                key.attribute == attribute
+                and isinstance(state, SqlPatternState)
+                and state.table
+            ):
+                self._store.drop_table(state.table)
+        super().invalidate_attribute(attribute)
+
+    def invalidate(self) -> None:
+        for state in self._pattern_groups.values():
+            if isinstance(state, SqlPatternState) and state.table:
+                self._store.drop_table(state.table)
+        super().invalidate()

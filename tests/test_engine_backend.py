@@ -22,6 +22,7 @@ from repro.engine.backend import (
     HAS_NUMPY,
     NUMPY,
     PYTHON,
+    SQL,
     available_backends,
     default_backend,
     resolve_backend,
@@ -77,7 +78,7 @@ def _assert_partition_parity(numpy_partition, python_partition):
 
 
 def test_available_backends_include_both_with_numpy():
-    assert available_backends() == (NUMPY, PYTHON)
+    assert available_backends() == (NUMPY, PYTHON, SQL)
 
 
 def test_resolve_backend_rejects_unknown_names():
@@ -124,7 +125,7 @@ def test_numpy_only_accessors_guard_the_python_backend():
 
 def test_numpy_unavailable_fallback(monkeypatch):
     monkeypatch.setattr(backend_module, "HAS_NUMPY", False)
-    assert backend_module.available_backends() == (PYTHON,)
+    assert backend_module.available_backends() == (PYTHON, SQL)
     assert backend_module.default_backend() == PYTHON
     with pytest.raises(RuntimeError):
         backend_module.resolve_backend(NUMPY)
