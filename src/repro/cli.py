@@ -23,6 +23,13 @@ Sub-commands
 ``suite``     — materialize the 15-table synthetic benchmark suite to CSV.
 ``experiment``— run one of the paper's experiments (table3/table7/table8/
                 figure5/figure6/efficiency) and print the reproduced rows.
+``serve``     — run the long-lived cleaning service daemon: concurrent
+                tenant sessions over a persistent constraint registry
+                (see :mod:`repro.service`).
+``client``    — drive a running daemon over HTTP (load/discover/detect/
+                ingest/validate/repair/stats/…); prints the JSON response.
+                ``detect``/``ingest`` exit 1 when errors were found, so the
+                smoke jobs can assert on cleanliness.
 
 ``--stats`` (on discover/detect/validate/repair/clean) prints the session's
 :class:`~repro.session.SessionStats` — shared-cache counters covering both
@@ -310,6 +317,92 @@ def _command_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: plain pipeline commands never pay for the service tier.
+    from .service import CleaningService, serve
+
+    service = CleaningService(
+        args.registry,
+        max_sessions=args.max_sessions,
+        backend=_resolve_engine(args),
+        workers=getattr(args, "workers", None),
+    )
+    print(
+        f"serving cleaning service on http://{args.host}:{args.port} "
+        f"(registry {args.registry}, max {args.max_sessions} live session(s)) "
+        f"— stop with POST /shutdown or Ctrl-C"
+    )
+    serve(service, host=args.host, port=args.port, quiet=args.quiet)
+    print("cleaning service stopped")
+    return 0
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    action = args.action
+
+    def read_csv_text() -> str:
+        if not args.csv:
+            raise ReproError(f"client {action} needs --csv PATH")
+        return Path(args.csv).read_text(encoding="utf-8")
+
+    def need_tenant() -> str:
+        if not args.tenant:
+            raise ReproError(f"client {action} needs --tenant NAME")
+        return args.tenant
+
+    if action == "health":
+        document = client.health()
+    elif action == "wait":
+        document = client.wait_until_ready()
+    elif action == "stats":
+        document = client.stats()
+    elif action == "tenants":
+        document = client.tenants()
+    elif action == "info":
+        document = client.tenant(need_tenant())
+    elif action == "load":
+        document = client.load(need_tenant(), csv_text=read_csv_text())
+    elif action == "profile":
+        document = client.profile(need_tenant())
+    elif action == "discover":
+        config = {}
+        if args.min_support is not None:
+            config["min_support"] = args.min_support
+        if args.noise is not None:
+            config["noise_ratio"] = args.noise
+        if args.min_coverage is not None:
+            config["min_coverage"] = args.min_coverage
+        if args.max_lhs is not None:
+            config["max_lhs_size"] = args.max_lhs
+        document = client.discover(need_tenant(), **config)
+    elif action == "detect":
+        document = client.detect(need_tenant(), min_evidence=args.min_evidence)
+    elif action == "validate":
+        document = client.validate(need_tenant())
+    elif action == "repair":
+        document = client.repair(need_tenant(), min_evidence=args.min_evidence)
+    elif action == "ingest":
+        document = client.ingest(
+            need_tenant(),
+            csv_text=read_csv_text(),
+            min_evidence=args.min_evidence,
+        )
+    elif action == "drop":
+        document = client.drop(need_tenant())
+    elif action == "shutdown":
+        document = client.shutdown()
+    else:  # pragma: no cover - argparse choices prevent this
+        raise ReproError(f"unknown client action {action!r}")
+
+    print(json.dumps(document, ensure_ascii=False, indent=2))
+    if action in ("detect", "ingest") and not document.get("clean", True):
+        return 1
+    return 0
+
+
 def _command_suite(args: argparse.Namespace) -> int:
     paths = materialize_suite(args.directory, scale=args.scale)
     for path in paths:
@@ -437,6 +530,59 @@ def build_parser() -> argparse.ArgumentParser:
                           help="JSON file of PFDs to validate (from discover/detect --save)")
     _add_stats_argument(validate)
     validate.set_defaults(handler=_command_validate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the cleaning service daemon: concurrent tenant sessions "
+             "over a persistent constraint registry (JSON over HTTP)",
+    )
+    serve.add_argument("--registry", required=True, metavar="DIR",
+                       help="registry directory holding per-tenant pfds.json + data.csv "
+                            "(created if missing; survives restarts)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="port to listen on (default 8765)")
+    serve.add_argument("--max-sessions", type=int, default=8, metavar="K",
+                       help="LRU bound on live tenant sessions (default 8); "
+                            "evicted tenants rehydrate from the registry")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+    serve.add_argument("--engine", default=None, metavar="BACKEND",
+                       help="engine backend for tenant sessions "
+                            "('numpy'/'python'/'sql'; default: process default)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-parallel workers per tenant session "
+                            "(default: REPRO_WORKERS, else 1)")
+    serve.set_defaults(handler=_command_serve)
+
+    client = subparsers.add_parser(
+        "client",
+        help="drive a running cleaning service daemon over HTTP "
+             "(detect/ingest exit 1 when errors were found)",
+    )
+    client.add_argument("action",
+                        choices=["health", "wait", "stats", "tenants", "info", "load",
+                                 "profile", "discover", "detect", "validate",
+                                 "repair", "ingest", "drop", "shutdown"])
+    client.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="daemon base URL (default http://127.0.0.1:8765)")
+    client.add_argument("--tenant", metavar="NAME",
+                        help="tenant name (required by the per-tenant actions)")
+    client.add_argument("--csv", metavar="PATH",
+                        help="CSV file to upload (load: full table with header; "
+                             "ingest: batch with a matching header)")
+    client.add_argument("--min-evidence", type=int, default=1,
+                        help="violations needed before a cell is reported (default 1)")
+    client.add_argument("--min-support", type=int, default=None,
+                        help="discover: minimum pattern support K")
+    client.add_argument("--noise", type=float, default=None,
+                        help="discover: allowed violation ratio delta")
+    client.add_argument("--min-coverage", type=float, default=None,
+                        help="discover: minimum tableau coverage gamma")
+    client.add_argument("--max-lhs", type=int, default=None,
+                        help="discover: maximum number of LHS attributes")
+    client.set_defaults(handler=_command_client)
 
     suite = subparsers.add_parser("suite", help="materialize the synthetic benchmark suite as CSV")
     suite.add_argument("directory", help="output directory")

@@ -7,7 +7,14 @@ shared :class:`~repro.constraints.base.Violation` objects.
 
 from ..constraints.base import CellRef, Violation
 from .pfd import PFD, RowStatistics, gather_tableau_patterns, make_pfd, prime_for_pfds
-from .serialization import load_pfds, pfds_from_json, pfds_to_json, save_pfds
+from .serialization import (
+    load_pfds,
+    load_pfds_document,
+    pfds_from_json,
+    pfds_from_json_document,
+    pfds_to_json,
+    save_pfds,
+)
 from .tableau import (
     WILDCARD,
     CellSpec,
@@ -26,7 +33,9 @@ __all__ = [
     "make_pfd",
     "prime_for_pfds",
     "load_pfds",
+    "load_pfds_document",
     "pfds_from_json",
+    "pfds_from_json_document",
     "pfds_to_json",
     "save_pfds",
     "WILDCARD",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from ..exceptions import ConstraintError, PatternError
 from .pfd import PFD
@@ -25,12 +25,24 @@ from .pfd import PFD
 FORMAT = "pfd-set/1"
 
 
-def pfds_to_json(pfds: Sequence[PFD], indent: int = 2) -> str:
-    """Serialize a list of PFDs to a JSON document string."""
-    document = {
+def pfds_to_json(
+    pfds: Sequence[PFD],
+    indent: int = 2,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Serialize a list of PFDs to a JSON document string.
+
+    ``metadata`` is an optional JSON-serializable mapping stored alongside
+    the constraints (the cleaning service's tenant registry records the
+    discovery config, row count, and timestamps there).  Documents without
+    it are unchanged, and old readers ignore the key.
+    """
+    document: dict[str, object] = {
         "format": FORMAT,
         "pfds": [pfd.to_json_dict() for pfd in pfds],
     }
+    if metadata:
+        document["metadata"] = dict(metadata)
     return json.dumps(document, ensure_ascii=False, indent=indent)
 
 
@@ -43,10 +55,21 @@ def pfds_from_json(text: str) -> list[PFD]:
         When the document is not valid JSON of the expected shape, the
         format marker is unsupported, or an entry is malformed.
     """
+    pfds, _ = pfds_from_json_document(text)
+    return pfds
+
+
+def pfds_from_json_document(text: str) -> tuple[list[PFD], dict]:
+    """Like :func:`pfds_from_json`, but also returns the document metadata.
+
+    The metadata is ``{}`` for documents written without one (including the
+    lenient bare-list form).
+    """
     try:
         document = json.loads(text)
     except json.JSONDecodeError as error:
         raise ConstraintError(f"PFD document is not valid JSON: {error}") from error
+    metadata: dict = {}
     if isinstance(document, list):
         # Bare list of PFD dicts (lenient: what a user would write by hand).
         entries: Iterable = document
@@ -59,26 +82,39 @@ def pfds_from_json(text: str) -> list[PFD]:
         entries = document.get("pfds")
         if not isinstance(entries, list):
             raise ConstraintError("PFD document has no 'pfds' list")
+        raw_metadata = document.get("metadata", {})
+        if raw_metadata and not isinstance(raw_metadata, dict):
+            raise ConstraintError("PFD document 'metadata' must be an object")
+        metadata = dict(raw_metadata) if raw_metadata else {}
     else:
         raise ConstraintError(
             f"PFD document must be a JSON object or list, "
             f"got {type(document).__name__}"
         )
     try:
-        return [PFD.from_json_dict(entry) for entry in entries]
+        return [PFD.from_json_dict(entry) for entry in entries], metadata
     except ConstraintError:
         raise
     except (KeyError, TypeError, AttributeError, PatternError) as error:
         raise ConstraintError(f"malformed PFD entry: {error}") from error
 
 
-def save_pfds(path: Union[str, Path], pfds: Sequence[PFD]) -> Path:
-    """Write a PFD set to ``path`` as JSON; returns the path."""
+def save_pfds(
+    path: Union[str, Path],
+    pfds: Sequence[PFD],
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write a PFD set (plus optional metadata) to ``path``; returns it."""
     path = Path(path)
-    path.write_text(pfds_to_json(pfds), encoding="utf-8")
+    path.write_text(pfds_to_json(pfds, metadata=metadata), encoding="utf-8")
     return path
 
 
 def load_pfds(path: Union[str, Path]) -> list[PFD]:
     """Read a PFD set previously written by :func:`save_pfds`."""
     return pfds_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def load_pfds_document(path: Union[str, Path]) -> tuple[list[PFD], dict]:
+    """Read a PFD set *and* its metadata (``{}`` when none was saved)."""
+    return pfds_from_json_document(Path(path).read_text(encoding="utf-8"))

@@ -173,12 +173,15 @@ def _read_csv_sql(
     return relation
 
 
-def estimate_csv_rows(source: Union[str, Path]) -> int:
-    """A cheap data-row estimate for a CSV path: newline count minus header.
+def estimate_csv_rows(source: Union[str, Path], has_header: bool = True) -> int:
+    """A cheap data-row estimate for a CSV path: line count minus header.
 
     Reads the file in binary chunks without parsing (quoted newlines count,
     so this can overestimate) — intended for backend auto-selection budgets,
-    not exact accounting.
+    not exact accounting.  Two edges are pinned exactly: an empty (0-byte)
+    file estimates 0 rows, and a final line without a trailing newline still
+    counts as a line.  ``has_header=False`` skips the header subtraction for
+    headerless files.
     """
     count = 0
     last = b"\n"
@@ -191,7 +194,7 @@ def estimate_csv_rows(source: Union[str, Path]) -> int:
             last = chunk[-1:]
     if last != b"\n":
         count += 1  # unterminated final line
-    return max(0, count - 1)
+    return max(0, count - 1 if has_header else count)
 
 
 def write_csv(

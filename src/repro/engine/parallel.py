@@ -75,6 +75,7 @@ import dataclasses
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -392,6 +393,9 @@ class ParallelExecutor:
         self.stats = ParallelStats()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._bound: Optional[tuple[weakref.ref, int]] = None
+        #: Guards pool teardown so concurrent/double close() calls never
+        #: race into ProcessPoolExecutor.shutdown twice.
+        self._close_lock = threading.Lock()
 
     # -- pool lifecycle ------------------------------------------------------
 
@@ -429,11 +433,14 @@ class ParallelExecutor:
         return results
 
     def close(self) -> None:
-        """Shut the pool down (idempotent); the next run re-broadcasts."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Shut the pool down (idempotent, thread-safe); the next run
+        re-broadcasts.  The pool handle is detached under a lock first, so
+        two racing closers cannot both enter ``shutdown``."""
+        with self._close_lock:
+            pool, self._pool = self._pool, None
             self._bound = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "ParallelExecutor":
         return self

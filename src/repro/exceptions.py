@@ -75,3 +75,24 @@ class CleaningError(ReproError):
 
 class DataGenerationError(ReproError):
     """A synthetic dataset generator received invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """A cleaning-service request failed (bad tenant, missing state, …).
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code the daemon maps this error to (default 400).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class UnknownTenantError(ServiceError):
+    """The request named a tenant the registry has never seen (HTTP 404)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status=404)

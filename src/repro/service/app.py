@@ -1,0 +1,545 @@
+"""The cleaning service application: tenants, stages, counters.
+
+:class:`CleaningService` is the transport-independent core of the daemon —
+the HTTP layer (:mod:`repro.service.http`) is a thin JSON codec over it, and
+the unit tests drive it directly.  One instance owns
+
+* a :class:`~repro.service.registry.ConstraintRegistry` (durable state),
+* a :class:`~repro.service.manager.SessionManager` (LRU-bounded live
+  sessions), and
+* per-endpoint request counters with latency reservoirs (p50/p95).
+
+Concurrency contract (per tenant, via the runtime's RW lock):
+
+=============  ==========  =====================================================
+endpoint       lock side   why
+=============  ==========  =====================================================
+``profile``    read        memoized pure computation
+``detect``     read        evaluates against the session's caches
+``validate``   read        same
+``repair``     read        repairs a *copy*; the session is not mutated
+``load``       write\\*     replaces the tenant's table and runtime
+``discover``   write       replaces the tenant's active constraint set
+``ingest``     write       ``append_rows`` delta-maintains the engine caches
+=============  ==========  =====================================================
+
+(\\* ``load`` installs a fresh runtime; the write lock is taken on the old
+one so in-flight readers drain first.)
+
+Reads may still *compute* (a cold rehydrated tenant's first ``detect``
+builds caches); the session's internal state lock makes that safe when many
+readers land at once, and the memoized result makes every later read a
+cache hit.  Stage results returned to the wire are plain JSON documents
+assembled while the lock is held, so a report always describes one
+consistent relation version — never a torn view across an append.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import statistics
+import threading
+import time
+from typing import Optional, Sequence, Union
+
+from .. import __version__
+from ..cleaning.detector import DetectionReport
+from ..cleaning.repair import RepairResult
+from ..dataset.csvio import read_csv
+from ..dataset.profiler import TableProfile
+from ..discovery.config import DiscoveryConfig
+from ..exceptions import ReproError, ServiceError
+from ..session import CleaningSession, ValidationReport
+from .manager import SessionManager, TenantRuntime
+from .registry import ConstraintRegistry
+
+#: Discovery knobs a request body may set (subset of DiscoveryConfig).
+_CONFIG_KEYS = (
+    "min_support",
+    "noise_ratio",
+    "min_coverage",
+    "max_lhs_size",
+    "generalize",
+    "workers",
+)
+
+
+class _LatencyReservoir:
+    """Per-endpoint latency samples (bounded ring) with p50/p95 summaries."""
+
+    def __init__(self, capacity: int = 512):
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._next = 0
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self._capacity
+
+    def percentiles(self) -> dict:
+        if not self._samples:
+            return {"count": 0}
+        ordered = sorted(self._samples)
+        return {
+            "count": self.count,
+            "mean_ms": round(self.total_seconds / self.count * 1e3, 3),
+            "p50_ms": round(_quantile(ordered, 0.50) * 1e3, 3),
+            "p95_ms": round(_quantile(ordered, 0.95) * 1e3, 3),
+        }
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    if len(ordered) == 1:
+        return ordered[0]
+    return statistics.quantiles(ordered, n=100, method="inclusive")[
+        max(0, min(98, round(q * 100) - 1))
+    ]
+
+
+class CleaningService:
+    """Concurrent cleaning sessions over a persistent constraint registry."""
+
+    def __init__(
+        self,
+        registry: Union[str, ConstraintRegistry],
+        max_sessions: int = 8,
+        config: Optional[DiscoveryConfig] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ):
+        self.registry = (
+            registry
+            if isinstance(registry, ConstraintRegistry)
+            else ConstraintRegistry(registry)
+        )
+        self.manager = SessionManager(
+            self.registry,
+            max_sessions=max_sessions,
+            config=config,
+            backend=backend,
+            workers=workers,
+        )
+        self.started_at = time.time()
+        self._counter_lock = threading.Lock()
+        self._latencies: dict[str, _LatencyReservoir] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _record(self, endpoint: str, seconds: float) -> None:
+        with self._counter_lock:
+            reservoir = self._latencies.get(endpoint)
+            if reservoir is None:
+                reservoir = self._latencies[endpoint] = _LatencyReservoir()
+            reservoir.record(seconds)
+
+    def _timed(self, endpoint: str):
+        service = self
+
+        class _Timer:
+            def __enter__(self) -> "_Timer":
+                self._start = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc_info) -> None:
+                service._record(endpoint, time.perf_counter() - self._start)
+
+        return _Timer()
+
+    # -- tenant data ---------------------------------------------------------
+
+    def load_tenant(
+        self,
+        tenant: str,
+        csv_text: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
+        rows: Optional[Sequence[Sequence[str]]] = None,
+    ) -> dict:
+        """Create (or replace) a tenant's table from CSV text or rows."""
+        with self._timed("load"):
+            relation = self._parse_table(tenant, csv_text, columns, rows)
+            old = self.manager.peek(tenant)
+            if old is not None:
+                # Drain in-flight requests on the previous table before the
+                # durable state and the runtime flip underneath them.
+                with old.lock.write_locked():
+                    self.registry.save_data(tenant, relation)
+                    runtime = self.manager.create(tenant, relation)
+            else:
+                self.registry.save_data(tenant, relation)
+                runtime = self.manager.create(tenant, relation)
+            # A reloaded table keeps its persisted constraints (if any):
+            # tenants re-upload data far more often than they re-discover.
+            pfds, metadata = self.registry.load_constraints(tenant)
+            runtime.pfds = pfds
+            runtime.constraint_metadata = metadata
+            return {
+                "tenant": tenant,
+                "rows": relation.row_count,
+                "columns": list(relation.attribute_names),
+                "constraints": len(pfds) if pfds is not None else 0,
+            }
+
+    def _parse_table(self, tenant, csv_text, columns, rows):
+        from ..dataset.relation import Relation
+
+        if csv_text is not None:
+            if not isinstance(csv_text, str):
+                raise ServiceError("'csv' must be a string of CSV text")
+            try:
+                return read_csv(io.StringIO(csv_text), name=tenant)
+            except ReproError as error:
+                raise ServiceError(f"could not parse CSV for {tenant!r}: {error}")
+        if columns is not None and rows is not None:
+            try:
+                return Relation.from_rows(list(columns), rows, name=tenant)
+            except ReproError as error:
+                raise ServiceError(f"could not build table for {tenant!r}: {error}")
+        raise ServiceError("load needs either 'csv' text or 'columns' + 'rows'")
+
+    # -- pipeline stages -----------------------------------------------------
+
+    def profile(self, tenant: str) -> dict:
+        with self._timed("profile"):
+            runtime = self.manager.checkout(tenant)
+            with runtime.lock.read_locked():
+                return _profile_doc(runtime.session.profile(), runtime)
+
+    def discover(self, tenant: str, **config_kwargs) -> dict:
+        """Run discovery, activate + persist the resulting constraint set."""
+        with self._timed("discover"):
+            config = self._parse_config(config_kwargs)
+            runtime = self.manager.checkout(tenant)
+            with runtime.lock.write_locked():
+                result = runtime.session.discover(config)
+                metadata = {
+                    "tenant": tenant,
+                    "rows": runtime.session.relation.row_count,
+                    "config": {
+                        key: getattr(result.config, key) for key in _CONFIG_KEYS[:-1]
+                    },
+                    "runtime_seconds": result.runtime_seconds,
+                    "saved_at": time.time(),
+                }
+                self.registry.save_constraints(tenant, result.pfds, metadata=metadata)
+                runtime.pfds = result.pfds
+                runtime.constraint_metadata = metadata
+                return {
+                    "tenant": tenant,
+                    "constraints": len(result.pfds),
+                    "pfds": [str(pfd) for pfd in result.pfds],
+                    "candidates": result.candidate_count,
+                    "runtime_seconds": round(result.runtime_seconds, 6),
+                    "persisted": str(self.registry.constraints_path(tenant)),
+                }
+
+    def _parse_config(self, config_kwargs: dict) -> Optional[DiscoveryConfig]:
+        if not config_kwargs:
+            return None
+        unknown = set(config_kwargs) - set(_CONFIG_KEYS)
+        if unknown:
+            raise ServiceError(
+                f"unknown discovery option(s) {sorted(unknown)}; "
+                f"supported: {list(_CONFIG_KEYS)}"
+            )
+        try:
+            return DiscoveryConfig(**config_kwargs)
+        except ReproError as error:
+            raise ServiceError(f"invalid discovery config: {error}")
+
+    def _active_pfds(self, runtime: TenantRuntime) -> list:
+        if runtime.pfds is None:
+            raise ServiceError(
+                f"tenant {runtime.name!r} has no constraint set: run discover first",
+                status=409,
+            )
+        return runtime.pfds
+
+    def detect(self, tenant: str, min_evidence: int = 1) -> dict:
+        with self._timed("detect"):
+            runtime = self.manager.checkout(tenant)
+            with runtime.lock.read_locked():
+                pfds = self._active_pfds(runtime)
+                report = runtime.session.detect(pfds, min_evidence=min_evidence)
+                return _detection_doc(report, runtime, kind="detect")
+
+    def validate(self, tenant: str) -> dict:
+        with self._timed("validate"):
+            runtime = self.manager.checkout(tenant)
+            with runtime.lock.read_locked():
+                pfds = self._active_pfds(runtime)
+                report = runtime.session.validate(pfds)
+                return _validation_doc(report, runtime)
+
+    def repair(self, tenant: str, min_evidence: int = 1) -> dict:
+        """Detect + repair on a *copy*; the tenant's stored table is not
+        modified (repairs are suggestions until the tenant re-loads)."""
+        with self._timed("repair"):
+            runtime = self.manager.checkout(tenant)
+            with runtime.lock.read_locked():
+                pfds = self._active_pfds(runtime)
+                result = runtime.session.repair(pfds, min_evidence=min_evidence)
+                return _repair_doc(result, runtime)
+
+    def ingest(
+        self,
+        tenant: str,
+        rows: Optional[Sequence[Sequence[str]]] = None,
+        csv_text: Optional[str] = None,
+        min_evidence: int = 1,
+    ) -> dict:
+        """Append a batch (delta-maintaining the engine caches) and report
+        only the errors the batch introduced."""
+        with self._timed("ingest"):
+            batch, batch_columns = self._parse_batch(rows, csv_text)
+            runtime = self.manager.checkout(tenant)
+            with runtime.lock.write_locked():
+                session = runtime.session
+                columns = session.relation.attribute_names
+                if batch_columns is not None and tuple(batch_columns) != columns:
+                    raise ServiceError(
+                        f"ingest columns {list(batch_columns)} do not match "
+                        f"table columns {list(columns)} of tenant {tenant!r}"
+                    )
+                width = len(columns)
+                for row in batch:
+                    if len(row) != width:
+                        raise ServiceError(
+                            f"ingest row {row!r} has {len(row)} fields, "
+                            f"table {runtime.name!r} has {width} columns"
+                        )
+                pfds = self._active_pfds(runtime)
+                rows_before = session.relation.row_count
+                appended = session.append(batch)
+                if len(appended):
+                    # Durable mirror of the in-memory delta append.
+                    self.registry.append_data(tenant, batch)
+                    report = session.detect_new(pfds, min_evidence=min_evidence)
+                else:
+                    report = DetectionReport(
+                        relation_name=session.relation.name, errors=[], violations=[]
+                    )
+                doc = _detection_doc(report, runtime, kind="ingest")
+                doc["rows_before"] = rows_before
+                doc["rows_appended"] = len(appended)
+                doc["appended_start"] = appended.start if len(appended) else None
+                return doc
+
+    def _parse_batch(
+        self, rows, csv_text
+    ) -> tuple[list[Sequence[str]], Optional[Sequence[str]]]:
+        """The batch rows, plus the batch's own column names when it came as
+        CSV text (with header, same as ``pfd-discover ingest`` batch files)
+        — checked against the tenant's schema under the write lock."""
+        if rows is not None:
+            if not isinstance(rows, (list, tuple)):
+                raise ServiceError("'rows' must be a list of rows")
+            return [list(map(str, row)) for row in rows], None
+        if csv_text is not None:
+            try:
+                parsed = read_csv(io.StringIO(csv_text), name="batch")
+            except ReproError as error:
+                raise ServiceError(f"could not parse ingest CSV: {error}")
+            return [list(row) for row in parsed.iter_rows()], parsed.attribute_names
+        raise ServiceError("ingest needs either 'rows' or 'csv' text")
+
+    # -- tenants / observability ---------------------------------------------
+
+    def list_tenants(self) -> dict:
+        live = set(self.manager.live_tenants())
+        tenants = []
+        for name in self.registry.tenants():
+            tenants.append(
+                {
+                    "tenant": name,
+                    "live": name in live,
+                    "has_constraints": self.registry.has_constraints(name),
+                    "has_data": self.registry.has_data(name),
+                }
+            )
+        return {"tenants": tenants, "live": sorted(live)}
+
+    def tenant_info(self, tenant: str) -> dict:
+        self.registry.require_tenant(tenant)
+        runtime = self.manager.peek(tenant)
+        pfds, metadata = self.registry.load_constraints(tenant)
+        doc = {
+            "tenant": tenant,
+            "live": runtime is not None,
+            "constraints": len(pfds) if pfds is not None else 0,
+            "constraint_metadata": metadata,
+            "has_data": self.registry.has_data(tenant),
+        }
+        if runtime is not None:
+            doc["rows"] = runtime.session.relation.row_count
+            doc["requests"] = runtime.requests
+        return doc
+
+    def drop_tenant(self, tenant: str) -> dict:
+        self.manager.evict(tenant)
+        existed = self.registry.delete(tenant)
+        return {"tenant": tenant, "deleted": existed}
+
+    def stats(self) -> dict:
+        """Service counters + per-live-tenant ``SessionStats``."""
+        manager_stats = self.manager.stats()
+        with self._counter_lock:
+            endpoints = {
+                name: reservoir.percentiles()
+                for name, reservoir in sorted(self._latencies.items())
+            }
+        sessions = {}
+        for name in manager_stats.live_tenants:
+            runtime = self.manager.peek(name)
+            if runtime is None:  # evicted between the snapshot and now
+                continue
+            with runtime.lock.read_locked():
+                doc = runtime.session.stats().to_json_dict()
+            doc["requests"] = runtime.requests
+            doc["constraints"] = (
+                len(runtime.pfds) if runtime.pfds is not None else 0
+            )
+            doc["lock"] = {
+                "reads": runtime.lock.read_acquisitions,
+                "writes": runtime.lock.write_acquisitions,
+                "max_concurrent_readers": runtime.lock.max_concurrent_readers,
+            }
+            sessions[name] = doc
+        return {
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "registry": str(self.registry.root),
+            "registered_tenants": len(self.registry.tenants()),
+            "sessions": {
+                "max": manager_stats.max_sessions,
+                "live": manager_stats.live,
+                "live_tenants": list(manager_stats.live_tenants),
+                "created": manager_stats.created,
+                "evicted": manager_stats.evicted,
+                "rehydrated": manager_stats.rehydrated,
+                "eviction_skips": manager_stats.eviction_skips,
+            },
+            "endpoints": endpoints,
+            "tenant_sessions": sessions,
+        }
+
+    def health(self) -> dict:
+        return {"status": "ok", "version": __version__}
+
+    def close(self) -> None:
+        """Release every live session (durable state stays in the registry)."""
+        self.manager.close()
+
+    def __enter__(self) -> "CleaningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- JSON documents -----------------------------------------------------------
+
+
+def _runtime_header(runtime: TenantRuntime) -> dict:
+    return {
+        "tenant": runtime.name,
+        "rows": runtime.session.relation.row_count,
+    }
+
+
+def _profile_doc(profile: TableProfile, runtime: TenantRuntime) -> dict:
+    doc = _runtime_header(runtime)
+    doc["columns"] = [
+        {
+            "name": column.name,
+            "role": column.role.name,
+            "strategy": column.strategy,
+            "distinct": column.distinct_count,
+            "non_empty": column.non_empty_count,
+            "usable_for_pfd": column.usable_for_pfd,
+        }
+        for column in profile.columns
+    ]
+    return doc
+
+
+def _detection_doc(report: DetectionReport, runtime: TenantRuntime, kind: str) -> dict:
+    doc = _runtime_header(runtime)
+    doc.update(
+        {
+            "kind": kind,
+            "backend": report.backend,
+            "error_count": len(report.errors),
+            "violation_count": len(report.violations),
+            "clean": not report.errors,
+            "errors": [
+                {
+                    "row": error.cell.row_id,
+                    "attribute": error.cell.attribute,
+                    "value": error.current_value,
+                    "suggested": error.suggested_value,
+                    "evidence": error.evidence_count,
+                    "constraints": list(error.constraints),
+                }
+                for error in report.errors
+            ],
+        }
+    )
+    return doc
+
+
+def _validation_doc(report: ValidationReport, runtime: TenantRuntime) -> dict:
+    doc = _runtime_header(runtime)
+    doc.update(
+        {
+            "entries": [
+                {
+                    "pfd": str(entry.pfd),
+                    "coverage": entry.coverage,
+                    "violations": entry.violation_count,
+                    "holds": entry.holds,
+                }
+                for entry in report.entries
+            ],
+            "holding": report.holding_count,
+            "total_violations": report.total_violations,
+            "all_hold": report.all_hold,
+        }
+    )
+    return doc
+
+
+def _repair_doc(result: RepairResult, runtime: TenantRuntime) -> dict:
+    doc = _runtime_header(runtime)
+    remaining = result.remaining_error_cells
+    doc.update(
+        {
+            "repairs": [
+                {
+                    "row": repair.cell.row_id,
+                    "attribute": repair.cell.attribute,
+                    "old": repair.old_value,
+                    "new": repair.new_value,
+                    "justification": list(repair.justification),
+                }
+                for repair in result.repairs
+            ],
+            "repair_count": len(result.repairs),
+            "unresolved": len(result.unresolved),
+            "remaining_errors": len(remaining) if remaining is not None else None,
+            "clean": not remaining if remaining is not None else None,
+        }
+    )
+    return doc
+
+
+def session_stats_doc(session: CleaningSession) -> dict:
+    """Convenience used by tests: a session's stats as the service emits."""
+    return dataclasses.asdict(session.stats())

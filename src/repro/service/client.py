@@ -1,0 +1,144 @@
+"""A thin stdlib client for the cleaning service daemon.
+
+Mirrors the HTTP routes one-to-one; every method returns the decoded JSON
+document.  Service-reported failures raise
+:class:`~repro.exceptions.ServiceError` carrying the daemon's message and
+status code, so callers (the ``pfd-discover client`` subcommand, the CI
+smoke job, the tests) never parse error bodies themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+from ..exceptions import ServiceError
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for one cleaning-service daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+            headers["Content-Type"] = "application/json; charset=utf-8"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                message = json.loads(body.decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = body.decode("utf-8", "replace")[:200]
+            raise ServiceError(
+                f"{method} {path} failed ({error.code}): {message or error.reason}",
+                status=error.code,
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"could not reach service at {self.base_url}: {error.reason}"
+            ) from None
+
+    # -- service endpoints ---------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def tenants(self) -> dict:
+        return self._request("GET", "/tenants")
+
+    def tenant(self, tenant: str) -> dict:
+        return self._request("GET", f"/tenants/{tenant}")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown", {})
+
+    # -- tenant endpoints ----------------------------------------------------
+
+    def load(
+        self,
+        tenant: str,
+        csv_text: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
+        rows: Optional[Sequence[Sequence[str]]] = None,
+    ) -> dict:
+        payload: dict = {}
+        if csv_text is not None:
+            payload["csv"] = csv_text
+        if columns is not None:
+            payload["columns"] = list(columns)
+        if rows is not None:
+            payload["rows"] = [list(row) for row in rows]
+        return self._request("POST", f"/tenants/{tenant}/load", payload)
+
+    def profile(self, tenant: str) -> dict:
+        return self._request("POST", f"/tenants/{tenant}/profile", {})
+
+    def discover(self, tenant: str, **config) -> dict:
+        return self._request("POST", f"/tenants/{tenant}/discover", config)
+
+    def detect(self, tenant: str, min_evidence: int = 1) -> dict:
+        return self._request(
+            "POST", f"/tenants/{tenant}/detect", {"min_evidence": min_evidence}
+        )
+
+    def validate(self, tenant: str) -> dict:
+        return self._request("POST", f"/tenants/{tenant}/validate", {})
+
+    def repair(self, tenant: str, min_evidence: int = 1) -> dict:
+        return self._request(
+            "POST", f"/tenants/{tenant}/repair", {"min_evidence": min_evidence}
+        )
+
+    def ingest(
+        self,
+        tenant: str,
+        rows: Optional[Sequence[Sequence[str]]] = None,
+        csv_text: Optional[str] = None,
+        min_evidence: int = 1,
+    ) -> dict:
+        payload: dict = {"min_evidence": min_evidence}
+        if rows is not None:
+            payload["rows"] = [list(row) for row in rows]
+        if csv_text is not None:
+            payload["csv"] = csv_text
+        return self._request("POST", f"/tenants/{tenant}/ingest", payload)
+
+    def drop(self, tenant: str) -> dict:
+        return self._request("DELETE", f"/tenants/{tenant}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def wait_until_ready(self, attempts: int = 50, delay: float = 0.1) -> dict:
+        """Poll ``/health`` until the daemon answers (used right after
+        starting one as a subprocess); raises after ``attempts`` failures."""
+        last: Optional[ServiceError] = None
+        for _ in range(attempts):
+            try:
+                return self.health()
+            except ServiceError as error:
+                last = error
+                time.sleep(delay)
+        raise ServiceError(
+            f"service at {self.base_url} did not become ready: {last}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient({self.base_url!r})"

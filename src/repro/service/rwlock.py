@@ -1,0 +1,116 @@
+"""A write-preferring readers-writer lock for per-tenant concurrency.
+
+The serving tier's contract (mirroring Polynesia's transactional/analytical
+split) is that *reads scale out and writes stay exclusive*: any number of
+``detect``/``validate``/``profile`` requests may evaluate against one
+tenant's session concurrently, while ``ingest`` (which delta-maintains the
+dictionary / mask / partition caches through ``append_rows``) and
+``discover`` (which replaces the tenant's constraint set) take the write
+side and see no concurrent readers.
+
+Write preference matters for ingestion latency: a steady stream of
+detection reads must not starve an append.  A waiting writer therefore
+blocks *new* readers; readers already inside drain first.
+
+The lock also keeps a few counters (acquisitions per side, and the high
+watermark of concurrent readers) so the service ``stats`` endpoint — and
+the concurrency tests — can observe that reads actually overlapped.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator
+
+
+class RWLock:
+    """Write-preferring readers-writer lock (not reentrant on either side)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        #: Lifetime counters, guarded by the same condition's lock.
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        self.max_concurrent_readers = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            # Write preference: a queued writer blocks *new* readers.
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self.read_acquisitions += 1
+            if self._readers > self.max_concurrent_readers:
+                self.max_concurrent_readers = self._readers
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            self.write_acquisitions += 1
+
+    def try_acquire_write(self) -> bool:
+        """Take the write side only if it is free right now (no waiting).
+
+        Used by LRU eviction: a tenant whose lock cannot be grabbed
+        immediately is serving an in-flight request and is skipped rather
+        than torn down under a reader.
+        """
+        with self._cond:
+            if self._writer_active or self._readers or self._writers_waiting:
+                return False
+            self._writer_active = True
+            self.write_acquisitions += 1
+            return True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------------
+
+    @contextlib.contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer_active}, "
+            f"waiting_writers={self._writers_waiting})"
+        )

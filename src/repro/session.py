@@ -47,6 +47,7 @@ rows, only equivalence classes containing new rows.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -283,6 +284,15 @@ class CleaningSession:
             raise ReproError("workers must be at least 1")
         self.workers = workers
         self._executor: Optional[ParallelExecutor] = None
+        #: Serializes stage computation + memo updates so one session can be
+        #: shared by concurrent threads (the cleaning service does): stage
+        #: results stay bit-identical to single-threaded use, and a stage
+        #: never observes a half-applied append.  Reentrant because stages
+        #: compose (``repair`` -> ``detect`` -> ``discover``).
+        self._state_lock = threading.RLock()
+        #: Guards only the executor handle, so :meth:`close` is idempotent
+        #: and safe to call concurrently without waiting on a running stage.
+        self._close_lock = threading.Lock()
         self._observed_version = relation.version
         self._stages_run: dict[str, None] = {}
         self._profile: Optional[TableProfile] = None
@@ -322,7 +332,10 @@ class CleaningSession:
             backend is None
             and max_memory_rows is not None
             and isinstance(source, (str, Path))
-            and estimate_csv_rows(source) > max_memory_rows
+            and estimate_csv_rows(
+                source, has_header=read_csv_kwargs.get("has_header", True)
+            )
+            > max_memory_rows
         ):
             backend = "sql"
         return cls(
@@ -378,12 +391,17 @@ class CleaningSession:
     def close(self) -> None:
         """Shut down the session's worker pool, if one was created.
 
+        Idempotent and safe to call concurrently: the executor handle is
+        detached under a dedicated lock, so a double (or racing) ``close``
+        sees ``None`` and returns instead of re-entering pool shutdown.
         The session stays usable afterwards — the next parallel stage call
         recreates the pool (and re-broadcasts the relation).  Serial
         sessions have nothing to close.
         """
-        if self._executor is not None:
-            self._executor.close()
+        with self._close_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
 
     def __enter__(self) -> "CleaningSession":
         return self
@@ -405,13 +423,14 @@ class CleaningSession:
 
     def invalidate(self) -> None:
         """Forget all memoized stage results (engine caches stay shared)."""
-        self._observed_version = self.relation.version
-        self._profile = None
-        self._discovery = None
-        self._detection = None
-        self._repair = None
-        self._validation = None
-        self._delta_start = None
+        with self._state_lock:
+            self._observed_version = self.relation.version
+            self._profile = None
+            self._discovery = None
+            self._detection = None
+            self._repair = None
+            self._validation = None
+            self._delta_start = None
 
     def _mark(self, stage: str) -> None:
         self._stages_run[stage] = None
@@ -430,17 +449,18 @@ class CleaningSession:
         Returns the appended row-id range; consecutive appends accumulate
         into one pending delta for :meth:`detect_new`.
         """
-        self._sync()
-        discovery = self._discovery
-        pending = self._delta_start
-        appended = self.relation.append_rows(rows)
-        if not len(appended):
+        with self._state_lock:
+            self._sync()
+            discovery = self._discovery
+            pending = self._delta_start
+            appended = self.relation.append_rows(rows)
+            if not len(appended):
+                return appended
+            self.invalidate()
+            self._discovery = discovery
+            self._delta_start = pending if pending is not None else appended.start
+            self._mark("append")
             return appended
-        self.invalidate()
-        self._discovery = discovery
-        self._delta_start = pending if pending is not None else appended.start
-        self._mark("append")
-        return appended
 
     def detect_new(
         self,
@@ -460,33 +480,35 @@ class CleaningSession:
         Suspect cells may reference pre-append rows when an appended tuple
         turns them into the minority of their class.
         """
-        self._sync()
-        if self._delta_start is None:
-            raise ReproError(
-                "detect_new() has no pending appended rows: call append() first"
-            )
-        _, resolved = self._resolve_pfds(pfds)
-        workers = self._workers_for()
-        report = ErrorDetector(
-            resolved,
-            min_evidence=min_evidence,
-            evaluator=self.evaluator,
-            workers=workers,
-            executor=self._executor_for(workers),
-        ).detect(self.relation, since_row=self._delta_start)
-        self._delta_start = None
-        self._mark("detect_new")
-        return report
+        with self._state_lock:
+            self._sync()
+            if self._delta_start is None:
+                raise ReproError(
+                    "detect_new() has no pending appended rows: call append() first"
+                )
+            _, resolved = self._resolve_pfds(pfds)
+            workers = self._workers_for()
+            report = ErrorDetector(
+                resolved,
+                min_evidence=min_evidence,
+                evaluator=self.evaluator,
+                workers=workers,
+                executor=self._executor_for(workers),
+            ).detect(self.relation, since_row=self._delta_start)
+            self._delta_start = None
+            self._mark("detect_new")
+            return report
 
     # -- stages --------------------------------------------------------------
 
     def profile(self) -> TableProfile:
         """Profile the relation's columns (memoized; feeds :meth:`discover`)."""
-        self._sync()
-        if self._profile is None:
-            self._profile = profile_relation(self.relation)
-            self._mark("profile")
-        return self._profile
+        with self._state_lock:
+            self._sync()
+            if self._profile is None:
+                self._profile = profile_relation(self.relation)
+                self._mark("profile")
+            return self._profile
 
     def discover(self, config: Optional[DiscoveryConfig] = None) -> DiscoveryResult:
         """Discover PFDs (memoized per config; primes all shared caches).
@@ -499,30 +521,31 @@ class CleaningSession:
         drops the downstream detect / repair memos, whose default PFD set
         would otherwise be stale.
         """
-        self._sync()
-        if config is None and self._discovery is not None:
-            return self._discovery[1]
-        effective = config or self.config or DiscoveryConfig()
-        if self._discovery is not None and self._discovery[0] == effective:
-            return self._discovery[1]
-        workers = self._workers_for(effective)
-        discoverer = PFDDiscoverer(
-            effective,
-            evaluator=self.evaluator,
-            workers=workers,
-            executor=self._executor_for(workers),
-        )
-        # Reuse the profile only when the profile stage already ran: a fresh
-        # discovery profiles inside its own timed region, so its reported
-        # runtime_seconds stays comparable with the seed (and with the
-        # FDep/CFDFinder baselines in the experiment tables).
-        result = discoverer.discover(self.relation, profile=self._profile)
-        self._discovery = (effective, result)
-        self._detection = None
-        self._repair = None
-        self._validation = None
-        self._mark("discover")
-        return result
+        with self._state_lock:
+            self._sync()
+            if config is None and self._discovery is not None:
+                return self._discovery[1]
+            effective = config or self.config or DiscoveryConfig()
+            if self._discovery is not None and self._discovery[0] == effective:
+                return self._discovery[1]
+            workers = self._workers_for(effective)
+            discoverer = PFDDiscoverer(
+                effective,
+                evaluator=self.evaluator,
+                workers=workers,
+                executor=self._executor_for(workers),
+            )
+            # Reuse the profile only when the profile stage already ran: a
+            # fresh discovery profiles inside its own timed region, so its
+            # reported runtime_seconds stays comparable with the seed (and
+            # with the FDep/CFDFinder baselines in the experiment tables).
+            result = discoverer.discover(self.relation, profile=self._profile)
+            self._discovery = (effective, result)
+            self._detection = None
+            self._repair = None
+            self._validation = None
+            self._mark("discover")
+            return result
 
     @property
     def pfds(self) -> list[PFD]:
@@ -533,8 +556,9 @@ class CleaningSession:
     def discovery(self) -> Optional[DiscoveryResult]:
         """The memoized discovery result, or None if :meth:`discover` has
         not run (or was invalidated by a mutation)."""
-        self._sync()
-        return self._discovery[1] if self._discovery is not None else None
+        with self._state_lock:
+            self._sync()
+            return self._discovery[1] if self._discovery is not None else None
 
     def _resolve_pfds(self, pfds: Optional[Sequence[PFD]]) -> tuple[object, list[PFD]]:
         """Explicit PFDs, or the session's discovered set (with a stable
@@ -555,22 +579,23 @@ class CleaningSession:
         :meth:`discover` has primed them this performs zero additional
         pattern-set compilations and reuses the cached partition leaves.
         """
-        self._sync()
-        marker, resolved = self._resolve_pfds(pfds)
-        key = (marker, min_evidence)
-        if self._detection is not None and self._detection[0] == key:
-            return self._detection[1]
-        workers = self._workers_for()
-        report = ErrorDetector(
-            resolved,
-            min_evidence=min_evidence,
-            evaluator=self.evaluator,
-            workers=workers,
-            executor=self._executor_for(workers),
-        ).detect(self.relation)
-        self._detection = (key, report)
-        self._mark("detect")
-        return report
+        with self._state_lock:
+            self._sync()
+            marker, resolved = self._resolve_pfds(pfds)
+            key = (marker, min_evidence)
+            if self._detection is not None and self._detection[0] == key:
+                return self._detection[1]
+            workers = self._workers_for()
+            report = ErrorDetector(
+                resolved,
+                min_evidence=min_evidence,
+                evaluator=self.evaluator,
+                workers=workers,
+                executor=self._executor_for(workers),
+            ).detect(self.relation)
+            self._detection = (key, report)
+            self._mark("detect")
+            return report
 
     def repair(
         self,
@@ -588,23 +613,24 @@ class CleaningSession:
         is re-detected and still-flagged cells land in
         :attr:`RepairResult.remaining_error_cells`.
         """
-        self._sync()
-        marker, resolved = self._resolve_pfds(pfds)
-        key = (marker, min_evidence, verify, dry_run)
-        if self._repair is not None and self._repair[0] == key:
-            return self._repair[1]
-        report = self.detect(pfds, min_evidence=min_evidence)
-        result = Repairer(
-            resolved,
-            min_evidence=min_evidence,
-            dry_run=dry_run,
-            evaluator=self.evaluator,
-            verify=verify,
-            workers=self._workers_for(),
-        ).repair(self.relation, report=report)
-        self._repair = (key, result)
-        self._mark("repair")
-        return result
+        with self._state_lock:
+            self._sync()
+            marker, resolved = self._resolve_pfds(pfds)
+            key = (marker, min_evidence, verify, dry_run)
+            if self._repair is not None and self._repair[0] == key:
+                return self._repair[1]
+            report = self.detect(pfds, min_evidence=min_evidence)
+            result = Repairer(
+                resolved,
+                min_evidence=min_evidence,
+                dry_run=dry_run,
+                evaluator=self.evaluator,
+                verify=verify,
+                workers=self._workers_for(),
+            ).repair(self.relation, report=report)
+            self._repair = (key, result)
+            self._mark("repair")
+            return result
 
     def validate(self, pfds: Optional[Sequence[PFD]] = None) -> ValidationReport:
         """Per-PFD coverage and violation counts (memoized).
@@ -613,34 +639,40 @@ class CleaningSession:
         the whole PFD set, so sibling PFDs on the same column share one
         shared-DFA scan per distinct value and one grouping pass per leaf.
         """
-        self._sync()
-        marker, resolved = self._resolve_pfds(pfds)
-        key = (marker,)
-        if self._validation is not None and self._validation[0] == key:
-            return self._validation[1]
-        prime_for_pfds(self.relation, resolved, self.evaluator)
-        prime_partitions_for_pfds(self.relation, resolved, self.evaluator)
-        entries = [
-            PFDValidation(
-                pfd=pfd,
-                coverage=pfd.coverage(self.relation, evaluator=self.evaluator),
-                violation_count=len(
-                    pfd.violations(self.relation, evaluator=self.evaluator)
-                ),
-            )
-            for pfd in resolved
-        ]
-        report = ValidationReport(relation_name=self.relation.name, entries=entries)
-        self._validation = (key, report)
-        self._mark("validate")
-        return report
+        with self._state_lock:
+            self._sync()
+            marker, resolved = self._resolve_pfds(pfds)
+            key = (marker,)
+            if self._validation is not None and self._validation[0] == key:
+                return self._validation[1]
+            prime_for_pfds(self.relation, resolved, self.evaluator)
+            prime_partitions_for_pfds(self.relation, resolved, self.evaluator)
+            entries = [
+                PFDValidation(
+                    pfd=pfd,
+                    coverage=pfd.coverage(self.relation, evaluator=self.evaluator),
+                    violation_count=len(
+                        pfd.violations(self.relation, evaluator=self.evaluator)
+                    ),
+                )
+                for pfd in resolved
+            ]
+            report = ValidationReport(relation_name=self.relation.name, entries=entries)
+            self._validation = (key, report)
+            self._mark("validate")
+            return report
 
     # -- observability -------------------------------------------------------
 
     def stats(self) -> SessionStats:
         """An immutable snapshot of the session's shared-cache counters."""
+        with self._state_lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> SessionStats:
         manager = self.relation.partitions()
-        parallel = self._executor.stats if self._executor is not None else None
+        executor = self._executor
+        parallel = executor.stats if executor is not None else None
         return SessionStats(
             relation_name=self.relation.name,
             row_count=self.relation.row_count,

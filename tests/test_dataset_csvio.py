@@ -5,6 +5,7 @@ import io
 import pytest
 
 from repro.dataset.csvio import (
+    estimate_csv_rows,
     read_csv,
     relation_from_csv_string,
     relation_to_csv_string,
@@ -71,3 +72,43 @@ class TestReadCsv:
         text = 'name,city\n"Smith, John","Los Angeles"\n'
         relation = read_csv(io.StringIO(text))
         assert relation.cell(0, "name") == "Smith, John"
+
+
+class TestEstimateCsvRows:
+    """Pins the cheap line-count estimator's edge cases (used by
+    ``CleaningSession.from_csv`` to budget the out-of-core backend)."""
+
+    def test_trailing_newline(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x,y\na,b\nc,d\n", encoding="utf-8")
+        assert estimate_csv_rows(path) == 2
+
+    def test_no_trailing_newline_counts_final_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x,y\na,b\nc,d", encoding="utf-8")
+        assert estimate_csv_rows(path) == 2
+
+    def test_empty_file_is_zero(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_bytes(b"")
+        assert estimate_csv_rows(path) == 0
+
+    def test_header_only_is_zero(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x,y\n", encoding="utf-8")
+        assert estimate_csv_rows(path) == 0
+        path.write_text("x,y", encoding="utf-8")  # unterminated header
+        assert estimate_csv_rows(path) == 0
+
+    def test_headerless_counts_every_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\nc,d", encoding="utf-8")
+        assert estimate_csv_rows(path, has_header=False) == 2
+        path.write_bytes(b"")
+        assert estimate_csv_rows(path, has_header=False) == 0
+
+    def test_never_negative(self, tmp_path):
+        # A single unterminated header line must not estimate -1 rows.
+        path = tmp_path / "t.csv"
+        path.write_text("x", encoding="utf-8")
+        assert estimate_csv_rows(path) == 0

@@ -254,3 +254,44 @@ def test_cli_validate_unknown_attribute_exits_2(tmp_path, capsys):
     assert code == 2
     captured = capsys.readouterr()
     assert captured.err.startswith("error:")
+
+
+def test_pfd_set_metadata_round_trip(tmp_path):
+    from repro.core.serialization import load_pfds_document, pfds_from_json_document
+
+    pfds = _sample_pfds()
+    metadata = {"tenant": "acme", "rows": 19, "config": {"min_support": 2}}
+    text = pfds_to_json(pfds, metadata=metadata)
+    document = json.loads(text)
+    assert document["metadata"] == metadata
+
+    restored, restored_metadata = pfds_from_json_document(text)
+    assert restored == pfds
+    assert restored_metadata == metadata
+
+    path = save_pfds(tmp_path / "pfds.json", pfds, metadata=metadata)
+    loaded, loaded_metadata = load_pfds_document(path)
+    assert loaded == pfds
+    assert loaded_metadata == metadata
+    # The plain loader ignores the metadata block.
+    assert load_pfds(path) == pfds
+
+
+def test_pfd_set_without_metadata_loads_empty_dict():
+    from repro.core.serialization import pfds_from_json_document
+
+    pfds = _sample_pfds()
+    restored, metadata = pfds_from_json_document(pfds_to_json(pfds))
+    assert restored == pfds
+    assert metadata == {}
+    # Bare-list documents predate the metadata block.
+    bare = json.dumps([pfd.to_json_dict() for pfd in pfds])
+    assert pfds_from_json_document(bare) == (pfds, {})
+
+
+def test_pfd_set_rejects_non_object_metadata():
+    from repro.core.serialization import pfds_from_json_document
+
+    document = json.dumps({"format": "pfd-set/1", "pfds": [], "metadata": [1, 2]})
+    with pytest.raises(ConstraintError):
+        pfds_from_json_document(document)

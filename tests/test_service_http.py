@@ -1,0 +1,220 @@
+"""The HTTP codec over :class:`~repro.service.app.CleaningService`.
+
+Starts a real :class:`~repro.service.http.CleaningServiceServer` on an
+ephemeral port (serving from a background thread) and drives it with the
+stdlib :class:`~repro.service.client.ServiceClient` — the same pair the
+``pfd-discover serve`` / ``client`` subcommands wire up.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import DiscoveryConfig
+from repro.exceptions import ServiceError
+from repro.service import (
+    CleaningService,
+    ConstraintRegistry,
+    ServiceClient,
+    start_server,
+)
+
+CONFIG = DiscoveryConfig(min_support=4)
+
+
+def _zip_rows(errors: int = 0):
+    rows = [(f"{90000 + i:05d}", "Los Angeles") for i in range(8)] + [
+        (f"{10000 + i:05d}", "New York") for i in range(8)
+    ]
+    for i in range(errors):
+        rows.append((f"{90100 + i:05d}", "New York"))
+    return rows
+
+
+@pytest.fixture
+def registry_root(tmp_path):
+    return tmp_path / "registry"
+
+
+@pytest.fixture
+def server(registry_root):
+    service = CleaningService(ConstraintRegistry(registry_root), config=CONFIG)
+    server = start_server(service, port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.close()
+
+
+@pytest.fixture
+def client(server) -> ServiceClient:
+    return ServiceClient(server.url)
+
+
+class TestRoundTrip:
+    def test_health_and_stats(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        stats = client.stats()
+        assert stats["sessions"]["live"] == 0
+        assert stats["registered_tenants"] == 0
+
+    def test_full_pipeline_over_http(self, client):
+        doc = client.load("acme", columns=["zip", "city"], rows=_zip_rows(1))
+        assert doc["rows"] == 17
+
+        discovery = client.discover("acme", min_support=4)
+        assert discovery["constraints"] >= 1
+
+        report = client.detect("acme")
+        assert report["clean"] is False
+        assert report["error_count"] > 0
+
+        validation = client.validate("acme")
+        assert validation["entries"]
+
+        repair = client.repair("acme")
+        assert repair["repair_count"] >= 1
+
+        ingest = client.ingest("acme", rows=[["90001", "Los Angeles"]])
+        assert ingest["rows_appended"] == 1
+        assert ingest["clean"] is True
+
+        profile = client.profile("acme")
+        assert [c["name"] for c in profile["columns"]] == ["zip", "city"]
+
+    def test_two_tenants_concurrently(self, client):
+        client.load("acme", columns=["zip", "city"], rows=_zip_rows(1))
+        client.load("globex", columns=["zip", "city"], rows=_zip_rows(0))
+
+        results: dict[str, dict] = {}
+        errors: list[Exception] = []
+
+        def run(tenant):
+            try:
+                client.discover(tenant, min_support=4)
+                results[tenant] = client.detect(tenant)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(name,))
+            for name in ("acme", "globex")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert results["acme"]["clean"] is False
+        assert results["globex"]["clean"] is True
+
+    def test_tenant_listing_and_drop(self, client):
+        client.load("acme", columns=["zip", "city"], rows=_zip_rows())
+        listing = client.tenants()
+        assert [t["tenant"] for t in listing["tenants"]] == ["acme"]
+        info = client.tenant("acme")
+        assert info["live"] is True
+        assert client.drop("acme") == {"tenant": "acme", "deleted": True}
+        assert client.tenants()["tenants"] == []
+
+
+class TestErrors:
+    def test_unknown_tenant_maps_to_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.detect("ghost")
+        assert excinfo.value.status == 404
+
+    def test_detect_before_discover_maps_to_409(self, client):
+        client.load("acme", columns=["zip", "city"], rows=_zip_rows())
+        with pytest.raises(ServiceError) as excinfo:
+            client.detect("acme")
+        assert excinfo.value.status == 409
+        assert "discover" in str(excinfo.value)
+
+    def test_bad_payload_maps_to_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.load("acme")  # neither csv nor rows
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_body_maps_to_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/tenants/acme/load",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_maps_to_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_unreachable_daemon_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError):
+            client.health()
+
+
+class TestPersistence:
+    def test_registry_survives_daemon_restart(self, registry_root):
+        def start(root):
+            service = CleaningService(ConstraintRegistry(root), config=CONFIG)
+            server = start_server(service, port=0, quiet=True)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            return server, thread
+
+        server, thread = start(registry_root)
+        client = ServiceClient(server.url)
+        client.load("acme", columns=["zip", "city"], rows=_zip_rows(1))
+        client.discover("acme", min_support=4)
+        before = client.detect("acme")
+        assert before["error_count"] > 0
+        server.shutdown()
+        thread.join(timeout=10)
+        server.close()
+
+        # The durable layout is exactly the two documented files.
+        tenant_dir = registry_root / "acme"
+        assert sorted(p.name for p in tenant_dir.iterdir()) == [
+            "data.csv",
+            "pfds.json",
+        ]
+        document = json.loads((tenant_dir / "pfds.json").read_text("utf-8"))
+        assert document["format"] == "pfd-set/1"
+        assert document["metadata"]["tenant"] == "acme"
+
+        # A fresh daemon serves detect without re-load or re-discover.
+        server, thread = start(registry_root)
+        try:
+            client = ServiceClient(server.url)
+            after = client.detect("acme")
+            assert after["errors"] == before["errors"]
+            assert client.stats()["sessions"]["rehydrated"] == 1
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.close()
+
+    def test_shutdown_endpoint_stops_serve_forever(self, registry_root):
+        service = CleaningService(ConstraintRegistry(registry_root), config=CONFIG)
+        server = start_server(service, port=0, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.url)
+        assert client.shutdown()["status"] == "shutting down"
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.close()

@@ -1,0 +1,248 @@
+"""Thread-safety of :class:`~repro.session.CleaningSession` and the service.
+
+The serving tier runs many requests against one session, so three
+guarantees get stress-tested here:
+
+* ``close()`` is idempotent and safe to race from many threads;
+* N parallel ``detect`` calls return reports bit-identical to a serial run;
+* ``ingest`` interleaved with concurrent reads never yields a *torn*
+  report — every observed ``(rows, errors)`` pair matches the report a
+  purely serial run produces at that exact row count.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import CleaningSession, DiscoveryConfig
+from repro.service import CleaningService, ConstraintRegistry
+
+CONFIG = DiscoveryConfig(min_support=4)
+
+
+def _zip_rows(errors: int = 0):
+    rows = [(f"{90000 + i:05d}", "Los Angeles") for i in range(8)] + [
+        (f"{10000 + i:05d}", "New York") for i in range(8)
+    ]
+    for i in range(errors):
+        rows.append((f"{90100 + i:05d}", "New York"))
+    return rows
+
+
+def _session(errors: int = 0) -> CleaningSession:
+    return CleaningSession.from_rows(
+        ["zip", "city"], _zip_rows(errors), name="zips", config=CONFIG
+    )
+
+
+class TestClose:
+    def test_close_is_idempotent(self):
+        session = _session()
+        session.discover(DiscoveryConfig(min_support=4, workers=2))
+        assert session.stats().pool_size >= 1
+        session.close()
+        session.close()  # second close is a no-op, not an error
+        session.close()
+
+    def test_concurrent_close_is_safe(self):
+        for _ in range(5):
+            session = _session()
+            session.discover(DiscoveryConfig(min_support=4, workers=2))
+            barrier = threading.Barrier(8)
+            errors: list[Exception] = []
+
+            def racer():
+                barrier.wait()
+                try:
+                    session.close()
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=racer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+
+    def test_close_then_reuse_rebuilds_executor(self):
+        session = _session(1)
+        config = DiscoveryConfig(min_support=4, workers=2)
+        session.discover(config)
+        session.close()
+        # A post-close stage call simply builds a fresh executor.
+        report = session.detect()
+        assert len(report.errors) > 0
+        session.close()
+
+
+class TestParallelDetect:
+    def test_parallel_detect_bit_identical_to_serial(self):
+        serial_session = _session(1)
+        pfds = serial_session.discover().pfds
+        serial = serial_session.detect(pfds)
+        expected_cells = serial.error_cells
+        expected_errors = sorted(
+            (e.cell.row_id, e.cell.attribute, e.current_value, e.suggested_value)
+            for e in serial.errors
+        )
+
+        shared = _session(1)
+        shared_pfds = shared.discover().pfds
+        barrier = threading.Barrier(8)
+
+        def run_detect(_):
+            barrier.wait()
+            return shared.detect(shared_pfds)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            reports = list(pool.map(run_detect, range(8)))
+
+        for report in reports:
+            assert report.error_cells == expected_cells
+            assert (
+                sorted(
+                    (
+                        e.cell.row_id,
+                        e.cell.attribute,
+                        e.current_value,
+                        e.suggested_value,
+                    )
+                    for e in report.errors
+                )
+                == expected_errors
+            )
+
+    def test_parallel_service_detect_bit_identical(self, tmp_path):
+        with CleaningService(
+            ConstraintRegistry(tmp_path / "reg"), config=CONFIG
+        ) as service:
+            service.load_tenant("acme", columns=["zip", "city"], rows=_zip_rows(1))
+            service.discover("acme")
+            serial = service.detect("acme")
+            barrier = threading.Barrier(8)
+
+            def run_detect(_):
+                barrier.wait()
+                return service.detect("acme")
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                docs = list(pool.map(run_detect, range(8)))
+            for doc in docs:
+                assert doc == serial
+
+            lock_stats = service.stats()["tenant_sessions"]["acme"]["lock"]
+            assert lock_stats["reads"] >= 9
+
+
+class TestIngestInterleavedWithReads:
+    def test_reads_never_observe_torn_reports(self, tmp_path):
+        """Concurrent ``detect`` during a stream of single-row ``ingest``
+        batches must always see a report that a serial run produces at the
+        same row count — never half an append."""
+        batches = []
+        for i in range(12):
+            if i % 3 == 0:  # every third appended row is dirty
+                batches.append([[f"{90200 + i:05d}", "New York"]])
+            else:
+                batches.append([[f"{90000 + i % 8:05d}", "Los Angeles"]])
+
+        with CleaningService(
+            ConstraintRegistry(tmp_path / "reg"), config=CONFIG
+        ) as service:
+            service.load_tenant("acme", columns=["zip", "city"], rows=_zip_rows())
+            service.discover("acme")
+            pfds = service.manager.peek("acme").pfds
+            assert pfds
+
+            # Serial ground truth: the exact expected error set per row count.
+            ground = CleaningSession.from_rows(
+                ["zip", "city"], _zip_rows(), name="acme", config=CONFIG
+            )
+            expected: dict[int, list] = {}
+
+            def error_key(report):
+                return sorted(
+                    (e.cell.row_id, e.cell.attribute, e.current_value)
+                    for e in report.errors
+                )
+
+            expected[16] = error_key(ground.detect(pfds))
+            for batch in batches:
+                ground.append(batch)
+                expected[ground.relation.row_count] = error_key(ground.detect(pfds))
+
+            observed: list[tuple[int, list]] = []
+            observed_lock = threading.Lock()
+            stop = threading.Event()
+            failures: list[Exception] = []
+
+            def reader():
+                try:
+                    while not stop.is_set():
+                        doc = service.detect("acme")
+                        pair = (
+                            doc["rows"],
+                            sorted(
+                                (e["row"], e["attribute"], e["value"])
+                                for e in doc["errors"]
+                            ),
+                        )
+                        with observed_lock:
+                            observed.append(pair)
+                except Exception as error:  # pragma: no cover
+                    failures.append(error)
+                    stop.set()
+
+            readers = [threading.Thread(target=reader) for _ in range(4)]
+            for thread in readers:
+                thread.start()
+            try:
+                for batch in batches:
+                    service.ingest("acme", rows=batch)
+            finally:
+                stop.set()
+                for thread in readers:
+                    thread.join(timeout=60)
+
+            assert not failures
+            assert observed, "readers never completed a detect"
+            for rows, errors in observed:
+                assert rows in expected, f"impossible row count {rows}"
+                assert errors == expected[rows], (
+                    f"torn report at rows={rows}: {errors} != {expected[rows]}"
+                )
+            # The final state matches the serial end state exactly.
+            final = service.detect("acme")
+            assert final["rows"] == 16 + len(batches)
+            assert (
+                sorted(
+                    (e["row"], e["attribute"], e["value"]) for e in final["errors"]
+                )
+                == expected[final["rows"]]
+            )
+
+
+class TestSessionStateLock:
+    def test_concurrent_cold_stage_calls_compute_once(self):
+        """Many threads hitting a cold session must agree on one memoized
+        result object (the state lock serializes the first computation)."""
+        session = _session(1)
+        pfds = session.discover().pfds
+        barrier = threading.Barrier(6)
+
+        def run(_):
+            barrier.wait()
+            return session.detect(pfds)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            reports = list(pool.map(run, range(6)))
+        assert all(report is reports[0] for report in reports)
+        assert "detect" in session.stats().stages
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])
