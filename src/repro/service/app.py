@@ -26,6 +26,12 @@ endpoint       lock side   why
 (\\* ``load`` installs a fresh runtime; the write lock is taken on the old
 one so in-flight readers drain first.)
 
+A checked-out runtime can stop being the tenant's live one while a request
+queues on its lock (``load`` replaces it, ``DELETE`` drops it, LRU evicts
+it).  Every stage therefore re-verifies, after acquiring, that its runtime
+is still current and retries on a fresh checkout otherwise — a request
+never reads from or writes to an orphaned session.
+
 Reads may still *compute* (a cold rehydrated tenant's first ``detect``
 builds caches); the session's internal state lock makes that safe when many
 readers land at once, and the memoized result makes every later read a
@@ -36,12 +42,13 @@ consistent relation version — never a torn view across an append.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import io
 import statistics
 import threading
 import time
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from .. import __version__
 from ..cleaning.detector import DetectionReport
@@ -153,6 +160,33 @@ class CleaningService:
 
         return _Timer()
 
+    # -- tenant locking ------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _tenant_locked(self, tenant: str, write: bool = False) -> Iterator[TenantRuntime]:
+        """Checkout ``tenant``'s runtime with its lock held *and current*.
+
+        Between ``checkout`` and the lock acquisition the runtime can be
+        replaced (``load``), dropped, or LRU-evicted — waking up on an
+        orphaned runtime's lock would mutate a discarded session while the
+        durable mirror (``data.csv`` / ``pfds.json``) already belongs to
+        the new one.  So after acquiring, verify the runtime is still the
+        live one for the tenant and retry on a fresh checkout if not.
+        """
+        while True:
+            runtime = self.manager.checkout(tenant)
+            lock = runtime.lock
+            acquire = lock.acquire_write if write else lock.acquire_read
+            release = lock.release_write if write else lock.release_read
+            acquire()
+            if self.manager.peek(tenant) is runtime:
+                break
+            release()
+        try:
+            yield runtime
+        finally:
+            release()
+
     # -- tenant data ---------------------------------------------------------
 
     def load_tenant(
@@ -165,21 +199,34 @@ class CleaningService:
         """Create (or replace) a tenant's table from CSV text or rows."""
         with self._timed("load"):
             relation = self._parse_table(tenant, csv_text, columns, rows)
-            old = self.manager.peek(tenant)
-            if old is not None:
-                # Drain in-flight requests on the previous table before the
-                # durable state and the runtime flip underneath them.
-                with old.lock.write_locked():
-                    self.registry.save_data(tenant, relation)
-                    runtime = self.manager.create(tenant, relation)
-            else:
+            # Drain in-flight requests on the previous table before the
+            # durable state and the runtime flip underneath them.  The
+            # peeked runtime may itself be replaced while we queue on its
+            # write lock, so verify it is still current after acquiring.
+            while True:
+                old = self.manager.peek(tenant)
+                if old is None:
+                    break
+                old.lock.acquire_write()
+                if self.manager.peek(tenant) is old:
+                    break
+                old.lock.release_write()
+            try:
                 self.registry.save_data(tenant, relation)
                 runtime = self.manager.create(tenant, relation)
-            # A reloaded table keeps its persisted constraints (if any):
-            # tenants re-upload data far more often than they re-discover.
-            pfds, metadata = self.registry.load_constraints(tenant)
-            runtime.pfds = pfds
-            runtime.constraint_metadata = metadata
+                # A reloaded table keeps its persisted constraints (if any):
+                # tenants re-upload data far more often than they re-discover.
+                pfds, metadata = self.registry.load_constraints(tenant)
+                runtime.pfds = pfds
+                runtime.constraint_metadata = metadata
+            finally:
+                if old is not None:
+                    # No request is inside the drained runtime (we hold its
+                    # write lock), so its worker pool can shut down safely;
+                    # writers still queued on this lock will notice the
+                    # runtime is stale and retry against the new one.
+                    old.session.close()
+                    old.lock.release_write()
             return {
                 "tenant": tenant,
                 "rows": relation.row_count,
@@ -208,16 +255,14 @@ class CleaningService:
 
     def profile(self, tenant: str) -> dict:
         with self._timed("profile"):
-            runtime = self.manager.checkout(tenant)
-            with runtime.lock.read_locked():
+            with self._tenant_locked(tenant) as runtime:
                 return _profile_doc(runtime.session.profile(), runtime)
 
     def discover(self, tenant: str, **config_kwargs) -> dict:
         """Run discovery, activate + persist the resulting constraint set."""
         with self._timed("discover"):
             config = self._parse_config(config_kwargs)
-            runtime = self.manager.checkout(tenant)
-            with runtime.lock.write_locked():
+            with self._tenant_locked(tenant, write=True) as runtime:
                 result = runtime.session.discover(config)
                 metadata = {
                     "tenant": tenant,
@@ -264,16 +309,14 @@ class CleaningService:
 
     def detect(self, tenant: str, min_evidence: int = 1) -> dict:
         with self._timed("detect"):
-            runtime = self.manager.checkout(tenant)
-            with runtime.lock.read_locked():
+            with self._tenant_locked(tenant) as runtime:
                 pfds = self._active_pfds(runtime)
                 report = runtime.session.detect(pfds, min_evidence=min_evidence)
                 return _detection_doc(report, runtime, kind="detect")
 
     def validate(self, tenant: str) -> dict:
         with self._timed("validate"):
-            runtime = self.manager.checkout(tenant)
-            with runtime.lock.read_locked():
+            with self._tenant_locked(tenant) as runtime:
                 pfds = self._active_pfds(runtime)
                 report = runtime.session.validate(pfds)
                 return _validation_doc(report, runtime)
@@ -282,8 +325,7 @@ class CleaningService:
         """Detect + repair on a *copy*; the tenant's stored table is not
         modified (repairs are suggestions until the tenant re-loads)."""
         with self._timed("repair"):
-            runtime = self.manager.checkout(tenant)
-            with runtime.lock.read_locked():
+            with self._tenant_locked(tenant) as runtime:
                 pfds = self._active_pfds(runtime)
                 result = runtime.session.repair(pfds, min_evidence=min_evidence)
                 return _repair_doc(result, runtime)
@@ -299,8 +341,7 @@ class CleaningService:
         only the errors the batch introduced."""
         with self._timed("ingest"):
             batch, batch_columns = self._parse_batch(rows, csv_text)
-            runtime = self.manager.checkout(tenant)
-            with runtime.lock.write_locked():
+            with self._tenant_locked(tenant, write=True) as runtime:
                 session = runtime.session
                 columns = session.relation.attribute_names
                 if batch_columns is not None and tuple(batch_columns) != columns:
@@ -383,7 +424,23 @@ class CleaningService:
         return doc
 
     def drop_tenant(self, tenant: str) -> dict:
-        self.manager.evict(tenant)
+        # Evict + delete under the tenant's write lock so an in-flight
+        # request either completes fully before the drop, or wakes up on a
+        # stale runtime, retries, and gets a clean 404 — never half-applied
+        # state (an append racing the registry rmtree, say).
+        while True:
+            runtime = self.manager.peek(tenant)
+            if runtime is None:
+                break
+            runtime.lock.acquire_write()
+            try:
+                if self.manager.peek(tenant) is not runtime:
+                    continue  # replaced/evicted while we queued; re-peek
+                self.manager.evict(tenant)
+                existed = self.registry.delete(tenant)
+                return {"tenant": tenant, "deleted": existed}
+            finally:
+                runtime.lock.release_write()
         existed = self.registry.delete(tenant)
         return {"tenant": tenant, "deleted": existed}
 

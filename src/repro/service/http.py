@@ -46,9 +46,16 @@ class CleaningServiceServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], service: CleaningService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: CleaningService,
+        quiet: bool = False,
+    ):
         super().__init__(address, _Handler)
         self.service = service
+        #: Silence per-request stderr lines (per server, not per process).
+        self.quiet = quiet
 
     @property
     def url(self) -> str:
@@ -64,13 +71,11 @@ class CleaningServiceServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server_version = "pfd-service/1"
     protocol_version = "HTTP/1.1"
-    #: Set True (e.g. by tests) to silence per-request stderr lines.
-    quiet = False
 
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if not self.quiet:
+        if not getattr(self.server, "quiet", False):
             super().log_message(format, *args)
 
     @property
@@ -96,9 +101,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, document: dict, status: int = 200) -> None:
         payload = json.dumps(document, ensure_ascii=False).encode("utf-8")
+        if status >= 400:
+            # Error paths may not have read the request body (413 oversize,
+            # unknown routes); with keep-alive the leftover bytes would be
+            # parsed as the connection's next request, so close instead.
+            self.close_connection = True
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(payload)
 
@@ -216,9 +228,7 @@ def start_server(
     Callers run :meth:`serve_forever` themselves — the CLI blocks on it, the
     tests run it on a background thread.
     """
-    if quiet:
-        _Handler.quiet = True
-    return CleaningServiceServer((host, port), service)
+    return CleaningServiceServer((host, port), service, quiet=quiet)
 
 
 def serve(

@@ -15,9 +15,12 @@ at most ``max_sessions`` of them, in LRU order:
 * **eviction** pops the least-recently-used tenant once the bound is
   exceeded — but only if its readers-writer lock can be taken without
   waiting.  A tenant currently serving a request is skipped (the bound is
-  soft for exactly as long as every live tenant is mid-request); its
-  runtime simply drops out of the map and is garbage-collected when the
-  in-flight request finishes.  Durable state is not touched: constraints
+  soft for exactly as long as every live tenant is mid-request) and
+  retried on the next install.  An evicted victim's session is closed
+  *while its write lock is held*, so a request that checked the victim out
+  just before eviction can never have its work cancelled mid-stage: it
+  either finished already, or wakes up on the lock, notices the runtime is
+  no longer live, and retries.  Durable state is not touched: constraints
   and data stay in the registry, which is why eviction is safe at all.
 
 Every runtime owns one :class:`~repro.service.rwlock.RWLock`; the service
@@ -149,7 +152,6 @@ class SessionManager:
         )
 
     def _install(self, runtime: TenantRuntime, rehydrated: bool) -> TenantRuntime:
-        evicted: list[TenantRuntime] = []
         with self._lock:
             current = self._live.get(runtime.name)
             if rehydrated and current is not None:
@@ -159,15 +161,26 @@ class SessionManager:
                 current.touch()
                 return current
             if current is not None:
-                evicted.append(self._live.pop(runtime.name))
+                # Replaced, not closed: a request may hold (or be about to
+                # take) its lock.  ``load`` closes the one it drained under
+                # its write lock; an unowned orphan is garbage-collected
+                # once in-flight requests notice it is stale and retry.
+                self._live.pop(runtime.name)
             self._live[runtime.name] = runtime
             self._created += 1
             if rehydrated:
                 self._rehydrated += 1
             runtime.touch()
-            evicted.extend(self._evict_over_capacity_locked(protect=runtime.name))
-        for old in evicted:
-            old.session.close()
+            victims = self._evict_over_capacity_locked(protect=runtime.name)
+        for old in victims:
+            # The victim's write lock is still held from the eviction probe,
+            # so no request is inside the session while its worker pool
+            # shuts down; a request queued on the lock wakes up, sees the
+            # runtime is no longer live, and retries on a fresh checkout.
+            try:
+                old.session.close()
+            finally:
+                old.lock.release_write()
         return runtime
 
     # -- eviction ------------------------------------------------------------
@@ -181,6 +194,11 @@ class SessionManager:
         just-installed ``protect`` runtime is never a victim: its caller is
         about to use it but has not taken its lock yet, so it would
         otherwise look idle and get orphaned immediately.
+
+        Each returned victim's write lock is **still held**: releasing it
+        after the probe would let a request that already checked the victim
+        out slip in before ``session.close()`` cancels its work.  The
+        caller closes the session and then releases the lock.
         """
         evicted: list[TenantRuntime] = []
         while len(self._live) > self.max_sessions:
@@ -188,9 +206,7 @@ class SessionManager:
             for name in self._live:  # oldest first
                 if name == protect:
                     continue
-                runtime = self._live[name]
-                if runtime.lock.try_acquire_write():
-                    runtime.lock.release_write()
+                if self._live[name].lock.try_acquire_write():
                     victim_name = name
                     break
                 self._eviction_skips += 1
@@ -201,7 +217,13 @@ class SessionManager:
         return evicted
 
     def evict(self, tenant: str) -> bool:
-        """Forcibly drop a tenant's live runtime (used by tenant deletion)."""
+        """Forcibly drop a tenant's live runtime (used by tenant deletion).
+
+        The caller must hold the runtime's write lock (as
+        :meth:`~repro.service.app.CleaningService.drop_tenant` does) or
+        otherwise guarantee no request is inside the session, since this
+        closes its worker pool.
+        """
         with self._lock:
             runtime = self._live.pop(tenant, None)
         if runtime is None:
@@ -233,12 +255,20 @@ class SessionManager:
             )
 
     def close(self) -> None:
-        """Drop every live runtime (their durable state stays registered)."""
+        """Drop every live runtime (their durable state stays registered).
+
+        Each runtime's write lock is taken first, so in-flight requests
+        drain before their worker pool disappears under them.
+        """
         with self._lock:
             runtimes = list(self._live.values())
             self._live.clear()
         for runtime in runtimes:
-            runtime.session.close()
+            runtime.lock.acquire_write()
+            try:
+                runtime.session.close()
+            finally:
+                runtime.lock.release_write()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

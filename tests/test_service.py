@@ -8,6 +8,9 @@ lazy rehydration, and service responses bit-identical to driving a
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro import CleaningSession, DiscoveryConfig, Relation
@@ -324,3 +327,123 @@ class TestCleaningService:
         cold = service.tenant_info("acme")
         assert cold["live"] is False
         assert cold["constraints"] >= 1
+
+
+class TestRuntimeCurrencyRaces:
+    """A request that wakes up holding the lock of a runtime that was
+    replaced (``load``), dropped, or LRU-evicted while it queued must act
+    on the *live* runtime, never the orphan — otherwise it mutates a
+    discarded session while the durable mirror belongs to the new one."""
+
+    def _replace_with_wider_table(self, service, tenant: str) -> None:
+        service.load_tenant(
+            tenant,
+            columns=["zip", "city", "state"],
+            rows=[[zip_code, city, "CA"] for zip_code, city in _zip_rows()],
+        )
+        service.discover(tenant)
+
+    def _stale_first_checkout(self, service, stale, monkeypatch) -> None:
+        """Hand the orphaned runtime to the next checkout, the live one
+        after — simulating a writer that queued on the old lock across a
+        replacement."""
+        real_checkout = service.manager.checkout
+        handed = []
+
+        def checkout(tenant):
+            if not handed:
+                handed.append(stale)
+                return stale
+            return real_checkout(tenant)
+
+        monkeypatch.setattr(service.manager, "checkout", checkout)
+
+    def test_ingest_on_stale_runtime_lands_on_current(self, service, monkeypatch):
+        _load(service, "acme")
+        service.discover("acme")
+        stale = service.manager.checkout("acme")
+        self._replace_with_wider_table(service, "acme")
+        self._stale_first_checkout(service, stale, monkeypatch)
+        doc = service.ingest("acme", rows=[["90330", "Los Angeles", "CA"]])
+        assert doc["rows_appended"] == 1
+        current = service.manager.peek("acme")
+        assert current is not stale
+        assert current.session.relation.row_count == 17
+        assert stale.session.relation.row_count == 16  # orphan untouched
+        # The durable mirror stayed width-consistent with the new schema.
+        data = service.registry.data_path("acme").read_text(encoding="utf-8")
+        assert all(line.count(",") == 2 for line in data.strip().splitlines())
+
+    def test_ingest_validates_against_current_schema(self, service, monkeypatch):
+        _load(service, "acme")
+        service.discover("acme")
+        stale = service.manager.checkout("acme")
+        self._replace_with_wider_table(service, "acme")
+        self._stale_first_checkout(service, stale, monkeypatch)
+        # Two-field rows matched the orphan's schema but not the live one.
+        with pytest.raises(ServiceError, match="has 2 fields"):
+            service.ingest("acme", rows=[["90330", "Los Angeles"]])
+
+    def test_read_on_stale_runtime_lands_on_current(self, service, monkeypatch):
+        _load(service, "acme")
+        service.discover("acme")
+        stale = service.manager.checkout("acme")
+        self._replace_with_wider_table(service, "acme")
+        self._stale_first_checkout(service, stale, monkeypatch)
+        doc = service.profile("acme")
+        # The profile describes the live three-column table, not the orphan.
+        assert [column["name"] for column in doc["columns"]] == [
+            "zip",
+            "city",
+            "state",
+        ]
+
+    def test_load_replaces_and_closes_drained_runtime(self, service):
+        _load(service, "acme")
+        old = service.manager.peek("acme")
+        closed = []
+        real_close = old.session.close
+        old.session.close = lambda: (closed.append(True), real_close())
+        _load(service, "acme")
+        assert closed == [True]
+        assert service.manager.peek("acme") is not old
+        assert old.lock.try_acquire_write()  # released after the drain
+        old.lock.release_write()
+
+    def test_evicted_victim_is_closed_under_its_write_lock(self, registry):
+        manager = SessionManager(registry, max_sessions=1, config=CONFIG)
+        for name in ("a", "b"):
+            registry.save_data(name, _zip_relation(name=name))
+        victim = manager.checkout("a")
+        lock_held_during_close = []
+        real_close = victim.session.close
+
+        def close_probe():
+            lock_held_during_close.append(not victim.lock.try_acquire_write())
+            real_close()
+
+        victim.session.close = close_probe
+        manager.checkout("b")  # over capacity: evicts a
+        assert lock_held_during_close == [True]
+        assert manager.peek("a") is None
+        # ... and released afterwards, so a queued request can wake up,
+        # notice the runtime is stale, and retry.
+        assert victim.lock.try_acquire_write()
+        victim.lock.release_write()
+
+    def test_drop_tenant_waits_for_inflight_requests(self, service):
+        _load(service, "acme")
+        runtime = service.manager.checkout("acme")
+        runtime.lock.acquire_read()  # simulate a detect mid-flight
+        result: dict = {}
+        dropper = threading.Thread(
+            target=lambda: result.update(service.drop_tenant("acme"))
+        )
+        dropper.start()
+        time.sleep(0.05)
+        assert not result  # blocked behind the reader
+        runtime.lock.release_read()
+        dropper.join(timeout=10)
+        assert result == {"tenant": "acme", "deleted": True}
+        assert service.manager.peek("acme") is None
+        assert not service.registry.has_tenant("acme")

@@ -8,6 +8,7 @@ stdlib :class:`~repro.service.client.ServiceClient` — the same pair the
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import urllib.request
@@ -165,6 +166,68 @@ class TestErrors:
         client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
         with pytest.raises(ServiceError):
             client.health()
+
+
+class TestKeepAliveHygiene:
+    """Error replies that may not have consumed the request body must not
+    leave it on a keep-alive socket, where it would be parsed as the start
+    of the connection's next request."""
+
+    def _connect(self, server) -> http.client.HTTPConnection:
+        port = server.server_address[1]
+        return http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+
+    def test_oversize_body_reply_closes_connection(self, server):
+        connection = self._connect(server)
+        try:
+            # Announce a body far over the cap without sending it: the 413
+            # is sent before any of it is read.
+            connection.putrequest("POST", "/tenants/acme/load")
+            connection.putheader("Content-Length", str(1 << 30))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+    def test_unknown_route_with_body_closes_connection(self, server):
+        connection = self._connect(server)
+        try:
+            # /nope has no handler, so its body is never read.
+            connection.request("POST", "/nope", body=b'{"x": 1}')
+            response = connection.getresponse()
+            assert response.status == 404
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+    def test_success_replies_keep_the_connection_open(self, server):
+        connection = self._connect(server)
+        try:
+            for _ in range(2):  # two requests over one connection
+                connection.request("GET", "/health")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") != "close"
+                response.read()
+        finally:
+            connection.close()
+
+    def test_quiet_is_per_server_not_per_process(self, registry_root):
+        from repro.service.http import _Handler
+
+        loud_service = CleaningService(
+            ConstraintRegistry(registry_root / "loud"), config=CONFIG
+        )
+        loud_server = start_server(loud_service, port=0, quiet=False)
+        try:
+            assert loud_server.quiet is False
+            assert "quiet" not in vars(_Handler)  # no shared class state
+        finally:
+            loud_server.close()
 
 
 class TestPersistence:
