@@ -53,7 +53,19 @@ from .core import (
     pfds_to_json,
     save_pfds,
 )
-from .dataset import Relation, Schema, read_csv, write_csv
+from .datagen.scenario import ScenarioSpec
+from .dataset import (
+    DeleteOp,
+    MutationBatch,
+    MutationResult,
+    Relation,
+    Schema,
+    UpdateOp,
+    UpsertOp,
+    batch_from_document,
+    read_csv,
+    write_csv,
+)
 from .engine import (
     ColumnMatchSet,
     DictionaryColumn,
@@ -110,6 +122,13 @@ __all__ = [
     "save_pfds",
     "Relation",
     "Schema",
+    "MutationBatch",
+    "MutationResult",
+    "UpsertOp",
+    "UpdateOp",
+    "DeleteOp",
+    "batch_from_document",
+    "ScenarioSpec",
     "DictionaryColumn",
     "DictionaryDelta",
     "ColumnMatchSet",

@@ -113,7 +113,12 @@ class ErrorDetector:
         self.workers = workers
         self.executor = executor
 
-    def detect(self, relation: Relation, since_row: int = 0) -> DetectionReport:
+    def detect(
+        self,
+        relation: Relation,
+        since_row: int = 0,
+        changed_rows: Optional[Iterable[int]] = None,
+    ) -> DetectionReport:
         """Evaluate every PFD and aggregate suspect cells into a report.
 
         Evaluation is set-at-a-time across the *whole* PFD set: the tableau
@@ -134,7 +139,16 @@ class ErrorDetector:
         still reference pre-existing rows: an appended tuple can turn an
         old cell into the minority of its class, and a class an appended
         row joined is re-examined as a whole.
+
+        ``changed_rows`` generalizes the scope to arbitrary CRUD deltas: an
+        explicit row-id set (typically
+        :attr:`~repro.dataset.mutations.MutationResult.changed_rows`)
+        restricts the search to those tuples and the equivalence classes
+        currently containing them, regardless of recency.  It takes
+        precedence over ``since_row``; an empty set yields an empty report.
         """
+        if changed_rows is not None:
+            changed_rows = tuple(sorted({int(row_id) for row_id in changed_rows}))
         workers = resolve_workers(self.workers)
         # Out-of-core relations stay serial: their state is a live SQLite
         # connection that cannot be shipped to pool workers.
@@ -144,10 +158,10 @@ class ErrorDetector:
             and not getattr(relation, "is_sql_backed", False)
         ):
             all_violations = self._collect_violations_parallel(
-                relation, since_row, workers
+                relation, since_row, workers, changed_rows
             )
         else:
-            all_violations = self._collect_violations(relation, since_row)
+            all_violations = self._collect_violations(relation, since_row, changed_rows)
         evidence: dict[CellRef, list[Violation]] = defaultdict(list)
         for violation in all_violations:
             for cell in violation.suspect_cells:
@@ -176,19 +190,33 @@ class ErrorDetector:
             backend=resolve_backend(relation.backend),
         )
 
-    def _collect_violations(self, relation: Relation, since_row: int) -> list[Violation]:
+    def _collect_violations(
+        self,
+        relation: Relation,
+        since_row: int,
+        changed_rows: Optional[tuple[int, ...]] = None,
+    ) -> list[Violation]:
         """The serial violation search: prime once, then one pass per PFD."""
         prime_for_pfds(relation, self.pfds, self.evaluator)
         prime_partitions_for_pfds(relation, self.pfds, self.evaluator)
         all_violations: list[Violation] = []
         for pfd in self.pfds:
             all_violations.extend(
-                pfd.violations(relation, evaluator=self.evaluator, since_row=since_row)
+                pfd.violations(
+                    relation,
+                    evaluator=self.evaluator,
+                    since_row=since_row,
+                    changed_rows=changed_rows,
+                )
             )
         return all_violations
 
     def _collect_violations_parallel(
-        self, relation: Relation, since_row: int, workers: int
+        self,
+        relation: Relation,
+        since_row: int,
+        workers: int,
+        changed_rows: Optional[tuple[int, ...]] = None,
     ) -> list[Violation]:
         """Shard the PFDs across the worker pool and merge in serial order.
 
@@ -219,6 +247,7 @@ class ErrorDetector:
                     positions=tuple(positions),
                     pfds=tuple(self.pfds[position] for position in positions),
                     since_row=since_row,
+                    changed_rows=changed_rows,
                 )
                 for chunk in chunk_round_robin(groups, workers * 2)
                 for positions in [[p for group in chunk for p in group]]

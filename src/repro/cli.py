@@ -19,6 +19,16 @@ Sub-commands
                 the incrementally maintained engine caches).  Same exit-code
                 convention as ``clean``: 0 delta clean, 1 new errors, 2 on
                 failure.
+``update``    — apply a mutation document (cell overwrites / deletes /
+                appends from an ``--ops`` JSON file or repeated ``--cell``
+                flags) to a base table and report only the errors among the
+                touched tuples — the same delta-report shape and exit codes
+                as ``ingest``.
+``delete``    — tombstone rows (``--rows 3,5,7``) and re-check the classes
+                they left; same report shape and exit codes as ``update``.
+``scenario``  — build a schema-driven scenario (a JSON/YAML spec file or a
+                named shape from the built-in matrix), stream its CRUD
+                op-mix through the session, and report the surviving errors.
 ``validate``  — load saved PFDs and report per-PFD coverage / violations.
 ``suite``     — materialize the 15-table synthetic benchmark suite to CSV.
 ``experiment``— run one of the paper's experiments (table3/table7/table8/
@@ -27,9 +37,10 @@ Sub-commands
                 tenant sessions over a persistent constraint registry
                 (see :mod:`repro.service`).
 ``client``    — drive a running daemon over HTTP (load/discover/detect/
-                ingest/validate/repair/stats/…); prints the JSON response.
-                ``detect``/``ingest`` exit 1 when errors were found, so the
-                smoke jobs can assert on cleanliness.
+                ingest/update/delete/validate/repair/stats/…); prints the
+                JSON response.  ``detect``/``ingest``/``update``/``delete``
+                exit 1 when errors were found, so the smoke jobs can assert
+                on cleanliness.
 
 ``--stats`` (on discover/detect/validate/repair/clean) prints the session's
 :class:`~repro.session.SessionStats` — shared-cache counters covering both
@@ -48,6 +59,7 @@ from .cleaning.detector import DetectionReport
 from .core.serialization import load_pfds, save_pfds
 from .datagen.suite import materialize_suite
 from .dataset.csvio import read_csv, write_csv
+from .dataset.mutations import DeleteOp, MutationBatch, UpdateOp, batch_from_document
 from .discovery.config import DiscoveryConfig
 from .engine.backend import available_backends
 from .exceptions import ReproError
@@ -304,6 +316,213 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0 if not report.errors else 1
 
 
+def _delta_report_doc(
+    args: argparse.Namespace,
+    session: CleaningSession,
+    pfds,
+    result,
+    report: DetectionReport,
+    rows_before: int,
+    kind: str,
+    **extra,
+) -> dict:
+    """The shared delta-report document: one schema for ``ingest`` /
+    ``update`` / ``delete`` (and mirrored by the service's mutation
+    endpoints) — ``error_rows`` + ``clean`` drive the 0/1 exit codes."""
+    doc = {
+        "base": str(args.csv),
+        "kind": kind,
+        "rows_before": rows_before,
+        "rows_updated": len(result.updated_rows),
+        "rows_deleted": len(result.deleted_rows),
+        "rows_appended": len(result.appended),
+        "changed_rows": list(result.changed_rows),
+        "pfds": len(pfds),
+        "pfds_loaded": bool(args.load),
+        "new_errors": len(report.errors),
+        "error_rows": sorted({error.cell.row_id for error in report.errors}),
+        "errors": [
+            {
+                "row": error.cell.row_id,
+                "attribute": error.cell.attribute,
+                "value": error.current_value,
+                "suggested": error.suggested_value,
+                "evidence": error.evidence_count,
+            }
+            for error in report.errors
+        ],
+        "clean": not report.errors,
+        "stats": session.stats().to_json_dict(),
+    }
+    doc.update(extra)
+    return doc
+
+
+def _run_mutation(args: argparse.Namespace, batch: MutationBatch, kind: str, **extra) -> int:
+    """Shared core of ``update`` / ``delete``: apply the batch, re-detect only
+    the touched tuples, and emit the ingest-style delta report."""
+    session = _session_from_args(args)
+    pfds = _session_pfds(session, args)
+    rows_before = session.relation.row_count
+    result = session.apply(batch)
+    print(
+        f"applied {len(result.updated_rows)} update(s), "
+        f"{len(result.deleted_rows)} delete(s), "
+        f"{len(result.appended)} append(s) to {args.csv} ({rows_before} rows before)"
+    )
+    if result:
+        report = session.detect_changed(
+            pfds if args.load else None, min_evidence=args.min_evidence
+        )
+    else:
+        # Every assignment matched the stored value: nothing moved, clean delta.
+        report = DetectionReport(
+            relation_name=session.relation.name, errors=[], violations=[]
+        )
+    print(report.summary())
+
+    if args.output:
+        path = Path(args.output)
+        write_csv(session.relation, path)
+        print(f"wrote mutated CSV to {path}")
+
+    if args.report:
+        report_doc = _delta_report_doc(
+            args, session, pfds, result, report, rows_before, kind, **extra
+        )
+        report_path = Path(args.report)
+        report_path.write_text(
+            json.dumps(report_doc, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote JSON delta report to {report_path}")
+    if args.stats:
+        _print_stats(session)
+    _maybe_save(args, pfds)
+    return 0 if not report.errors else 1
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    document: dict = {}
+    if args.ops:
+        try:
+            document = json.loads(Path(args.ops).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ReproError(f"ops file {args.ops} is not valid JSON: {error}")
+        if not isinstance(document, dict):
+            raise ReproError(f"ops file {args.ops} must hold a JSON object")
+    if args.cell:
+        cells = list(document.get("cells") or [])
+        for row_id, attribute, value in args.cell:
+            try:
+                row = int(row_id)
+            except ValueError:
+                raise ReproError(f"--cell row id must be an integer, got {row_id!r}")
+            cells.append([row, attribute, value])
+        document["cells"] = cells
+    if not document:
+        raise ReproError("update needs --ops FILE and/or --cell ROW ATTR VALUE")
+    batch = batch_from_document(document)
+    return _run_mutation(
+        args, batch, kind="update", ops=str(args.ops) if args.ops else None
+    )
+
+
+def _command_delete(args: argparse.Namespace) -> int:
+    row_ids = _parse_row_ids(args.rows)
+    batch = MutationBatch.deletes(row_ids)
+    return _run_mutation(args, batch, kind="delete", requested_rows=row_ids)
+
+
+def _parse_row_ids(text: str) -> list[int]:
+    row_ids = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            row_ids.append(int(token))
+        except ValueError:
+            raise ReproError(f"--rows expects comma-separated integers, got {token!r}")
+    if not row_ids:
+        raise ReproError("--rows is empty: give at least one row id")
+    return sorted(set(row_ids))
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    from .datagen.scenario import SCENARIO_MATRIX, load_scenario
+
+    if args.spec in SCENARIO_MATRIX:
+        spec = SCENARIO_MATRIX[args.spec]
+    else:
+        spec = load_scenario(args.spec)
+    table = spec.build(scale=args.scale, backend=_resolve_engine(args))
+    session = CleaningSession(
+        table.relation,
+        config=_config_from_args(args),
+        workers=getattr(args, "workers", None),
+    )
+    session.discover()
+    print(
+        f"scenario {spec.name!r}: {table.relation.row_count} rows x "
+        f"{len(table.relation.schema)} columns, "
+        f"{len(session.pfds)} PFD(s) discovered"
+    )
+
+    op_counts = {"update": 0, "append": 0, "delete": 0}
+    error_rows: set[int] = set()
+    total_errors = 0
+    batches = 0
+    for batch in spec.mutation_stream(
+        session.relation, operations=args.operations, batch_size=args.batch_size
+    ):
+        for op in batch:
+            if isinstance(op, UpdateOp):
+                op_counts["update"] += 1
+            elif isinstance(op, DeleteOp):
+                op_counts["delete"] += 1
+            else:
+                op_counts["append"] += 1
+        result = session.apply(batch)
+        report = session.detect_changed(min_evidence=args.min_evidence)
+        total_errors += len(report.errors)
+        error_rows.update(error.cell.row_id for error in report.errors)
+        batches += 1
+    print(
+        f"streamed {args.operations} op(s) in {batches} batch(es) "
+        f"({op_counts['update']} update / {op_counts['append']} append / "
+        f"{op_counts['delete']} delete): {total_errors} delta error(s)"
+    )
+
+    if args.output:
+        path = Path(args.output)
+        write_csv(session.relation, path)
+        print(f"wrote final table to {path}")
+    if args.report:
+        report_doc = {
+            "scenario": spec.name,
+            "kind": "scenario",
+            "rows": session.relation.row_count,
+            "columns": len(session.relation.schema),
+            "pfds": len(session.pfds),
+            "operations": args.operations,
+            "op_counts": op_counts,
+            "new_errors": total_errors,
+            "error_rows": sorted(error_rows),
+            "clean": total_errors == 0,
+            "stats": session.stats().to_json_dict(),
+        }
+        report_path = Path(args.report)
+        report_path.write_text(
+            json.dumps(report_doc, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote JSON scenario report to {report_path}")
+    if args.stats:
+        _print_stats(session)
+    return 0 if total_errors == 0 else 1
+
+
 def _command_validate(args: argparse.Namespace) -> int:
     session = CleaningSession.from_csv(
         args.csv, backend=_resolve_engine(args),
@@ -390,6 +609,24 @@ def _command_client(args: argparse.Namespace) -> int:
             csv_text=read_csv_text(),
             min_evidence=args.min_evidence,
         )
+    elif action == "update":
+        if not args.ops:
+            raise ReproError("client update needs --ops PATH (a JSON mutation document)")
+        try:
+            ops_document = json.loads(Path(args.ops).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ReproError(f"ops file {args.ops} is not valid JSON: {error}")
+        if not isinstance(ops_document, dict):
+            raise ReproError(f"ops file {args.ops} must hold a JSON object")
+        document = client.update(
+            need_tenant(), ops_document, min_evidence=args.min_evidence
+        )
+    elif action == "delete":
+        if not args.rows:
+            raise ReproError("client delete needs --rows IDS (comma-separated)")
+        document = client.delete_rows(
+            need_tenant(), _parse_row_ids(args.rows), min_evidence=args.min_evidence
+        )
     elif action == "drop":
         document = client.drop(need_tenant())
     elif action == "shutdown":
@@ -398,7 +635,7 @@ def _command_client(args: argparse.Namespace) -> int:
         raise ReproError(f"unknown client action {action!r}")
 
     print(json.dumps(document, ensure_ascii=False, indent=2))
-    if action in ("detect", "ingest") and not document.get("clean", True):
+    if action in ("detect", "ingest", "update", "delete") and not document.get("clean", True):
         return 1
     return 0
 
@@ -522,6 +759,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(ingest)
     ingest.set_defaults(handler=_command_ingest)
 
+    update = subparsers.add_parser(
+        "update",
+        help="apply a mutation document to a base table and report only the "
+             "errors among the touched tuples (exit 0 delta clean / 1 new "
+             "errors / 2 failure)",
+    )
+    update.add_argument("csv", help="path to the base CSV file")
+    update.add_argument("--ops", metavar="PATH",
+                        help="JSON mutation document: {'cells': [[row, attr, value], ...]} "
+                             "and/or 'delete', 'rows', 'ops' keys")
+    update.add_argument("--cell", nargs=3, action="append",
+                        metavar=("ROW", "ATTR", "VALUE"),
+                        help="one cell overwrite (repeatable; merged with --ops)")
+    update.add_argument("--load", metavar="PATH",
+                        help="load PFDs from a JSON file instead of discovering them "
+                             "on the base table")
+    update.add_argument("--save", metavar="PATH",
+                        help="write the PFDs used for delta detection to a JSON file")
+    update.add_argument("--output", metavar="PATH",
+                        help="write the mutated table to this CSV file")
+    update.add_argument("--report", metavar="PATH",
+                        help="write a JSON delta report to this path")
+    update.add_argument("--min-evidence", type=int, default=1,
+                        help="violations needed before a cell is reported (default 1)")
+    _add_config_arguments(update)
+    update.set_defaults(handler=_command_update)
+
+    delete = subparsers.add_parser(
+        "delete",
+        help="tombstone rows of a base table and re-check the classes they "
+             "left (exit 0 delta clean / 1 new errors / 2 failure)",
+    )
+    delete.add_argument("csv", help="path to the base CSV file")
+    delete.add_argument("--rows", required=True, metavar="IDS",
+                        help="comma-separated row ids to delete (e.g. 3,5,7)")
+    delete.add_argument("--load", metavar="PATH",
+                        help="load PFDs from a JSON file instead of discovering them "
+                             "on the base table")
+    delete.add_argument("--save", metavar="PATH",
+                        help="write the PFDs used for delta detection to a JSON file")
+    delete.add_argument("--output", metavar="PATH",
+                        help="write the mutated table to this CSV file")
+    delete.add_argument("--report", metavar="PATH",
+                        help="write a JSON delta report to this path")
+    delete.add_argument("--min-evidence", type=int, default=1,
+                        help="violations needed before a cell is reported (default 1)")
+    _add_config_arguments(delete)
+    delete.set_defaults(handler=_command_delete)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="build a schema-driven scenario and stream its CRUD op-mix "
+             "through delta detection (exit 0 clean / 1 errors / 2 failure)",
+    )
+    scenario.add_argument("spec",
+                          help="scenario spec file (.json/.yaml) or a built-in "
+                               "matrix name (tall_narrow, wide_sparse, "
+                               "high_cardinality, adversarial_free_start)")
+    scenario.add_argument("--operations", type=int, default=100, metavar="N",
+                          help="CRUD ops to stream through the session (default 100)")
+    scenario.add_argument("--batch-size", type=int, default=10, metavar="K",
+                          help="ops per mutation batch (default 10)")
+    scenario.add_argument("--scale", type=float, default=1.0,
+                          help="row-count scale factor for the built table")
+    scenario.add_argument("--output", metavar="PATH",
+                          help="write the final table to this CSV file")
+    scenario.add_argument("--report", metavar="PATH",
+                          help="write a JSON scenario report to this path")
+    scenario.add_argument("--min-evidence", type=int, default=1,
+                          help="violations needed before a cell is reported (default 1)")
+    _add_config_arguments(scenario)
+    scenario.set_defaults(handler=_command_scenario)
+
     validate = subparsers.add_parser(
         "validate", help="validate saved PFDs against a CSV file (coverage + violations)"
     )
@@ -564,7 +874,8 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("action",
                         choices=["health", "wait", "stats", "tenants", "info", "load",
                                  "profile", "discover", "detect", "validate",
-                                 "repair", "ingest", "drop", "shutdown"])
+                                 "repair", "ingest", "update", "delete",
+                                 "drop", "shutdown"])
     client.add_argument("--url", default="http://127.0.0.1:8765",
                         help="daemon base URL (default http://127.0.0.1:8765)")
     client.add_argument("--tenant", metavar="NAME",
@@ -572,6 +883,10 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--csv", metavar="PATH",
                         help="CSV file to upload (load: full table with header; "
                              "ingest: batch with a matching header)")
+    client.add_argument("--ops", metavar="PATH",
+                        help="update: JSON mutation document to POST")
+    client.add_argument("--rows", metavar="IDS",
+                        help="delete: comma-separated row ids to delete")
     client.add_argument("--min-evidence", type=int, default=1,
                         help="violations needed before a cell is reported (default 1)")
     client.add_argument("--min-support", type=int, default=None,

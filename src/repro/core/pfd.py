@@ -310,6 +310,7 @@ class PFD:
         relation: Relation,
         evaluator: Optional[PatternEvaluator] = None,
         since_row: int = 0,
+        changed_rows: Optional[Sequence[int]] = None,
     ) -> list[Violation]:
         """All violations of the PFD on ``relation``.
 
@@ -328,18 +329,37 @@ class PFD:
         touched class is re-examined as a whole, so on a base that was not
         fully clean the scoped report can (re-)flag pre-existing suspect
         cells whose class the delta joined.
+
+        ``changed_rows`` is the CRUD generalization: an explicit row-id set
+        (from :attr:`~repro.dataset.mutations.MutationResult.changed_rows`)
+        replaces the ``>= since_row`` recency test, scoping the search to
+        the listed tuples (constant rows) and the classes *currently
+        containing* one of them (variable rows).  A row that left a class —
+        its cell now carries a different value — takes that class out of
+        scope, matching the append contract: the scoped report equals the
+        full report on the final state restricted to the changed tuples and
+        their classes.  When given, ``changed_rows`` takes precedence over
+        ``since_row``; an empty set reports nothing.
         """
         relation.schema.validate_attributes(self.attributes())
+        if changed_rows is not None:
+            changed_rows = tuple(sorted({int(row_id) for row_id in changed_rows}))
+            if not changed_rows:
+                return []
         evaluator = prime_for_pfds(relation, (self,), evaluator)
         found: list[Violation] = []
         for row in self.tableau:
             if row.is_constant_row(self.lhs, self.rhs):
                 found.extend(
-                    self._constant_row_violations(relation, row, evaluator, since_row)
+                    self._constant_row_violations(
+                        relation, row, evaluator, since_row, changed_rows
+                    )
                 )
             else:
                 found.extend(
-                    self._variable_row_violations(relation, row, evaluator, since_row)
+                    self._variable_row_violations(
+                        relation, row, evaluator, since_row, changed_rows
+                    )
                 )
         return found
 
@@ -349,6 +369,7 @@ class PFD:
         row: PatternTuple,
         evaluator: PatternEvaluator,
         since_row: int = 0,
+        changed_rows: Optional[tuple[int, ...]] = None,
     ) -> list[Violation]:
         found: list[Violation] = []
         partition = self._row_partition(relation, row, evaluator)
@@ -361,14 +382,19 @@ class PFD:
             column.backend == NUMPY for column in rhs_columns.values()
         ):
             return self._constant_row_violations_numpy(
-                row, partition, rhs_expected, rhs_columns, since_row
+                row, partition, rhs_expected, rhs_columns, since_row, changed_rows
             )
         if isinstance(partition, SqlStrippedPartition):
             return self._constant_row_violations_sql(
-                row, partition, rhs_expected, rhs_columns, since_row
+                row, partition, rhs_expected, rhs_columns, since_row, changed_rows
             )
         supported = partition.covered
-        if since_row:
+        if changed_rows is not None:
+            changed_set = set(changed_rows)
+            supported = tuple(
+                row_id for row_id in supported if row_id in changed_set
+            )
+        elif since_row:
             # Covered rows are ascending: bisect to the first delta row.
             supported = supported[bisect.bisect_left(supported, since_row):]
         if not supported:
@@ -411,13 +437,22 @@ class PFD:
         rhs_expected: Mapping[str, Optional[str]],
         rhs_columns: Mapping[str, "DictionaryColumn"],
         since_row: int,
+        changed_rows: Optional[tuple[int, ...]] = None,
     ) -> list[Violation]:
         """Vectorized constant-row check: per-code equality masks broadcast
         to the supported rows via fancy indexing; Python touches only the
         offending positions, emitting the same violations in the same
         (row-major, then RHS attribute) order as the fallback path."""
         supported = partition.covered_array()
-        if since_row:
+        if changed_rows is not None:
+            # Both sides are sorted and unique (covered rows ascending, the
+            # changed set normalized in violations()).
+            supported = np.intersect1d(
+                supported,
+                np.asarray(changed_rows, dtype=np.int64),
+                assume_unique=True,
+            )
+        elif since_row:
             supported = supported[np.searchsorted(supported, since_row):]
         if not len(supported):
             return []
@@ -451,6 +486,7 @@ class PFD:
         rhs_expected: Mapping[str, Optional[str]],
         rhs_columns: Mapping[str, "DictionaryColumn"],
         since_row: int,
+        changed_rows: Optional[tuple[int, ...]] = None,
     ) -> list[Violation]:
         """Pushed-down constant-row check: the accepted code set of each RHS
         attribute (the codes decoding to the expected constant) is shipped
@@ -470,7 +506,9 @@ class PFD:
             good_codes.append(good)
             good_sets[attribute] = set(good)
         found: list[Violation] = []
-        for fetched in partition.constant_violation_rows(rhs_cols, good_codes, since_row):
+        for fetched in partition.constant_violation_rows(
+            rhs_cols, good_codes, since_row, changed_rows
+        ):
             row_id = fetched[0]
             for offset, attribute in enumerate(self.rhs):
                 if fetched[1 + offset] in good_sets[attribute]:
@@ -486,6 +524,7 @@ class PFD:
         row: PatternTuple,
         evaluator: PatternEvaluator,
         since_row: int = 0,
+        changed_rows: Optional[tuple[int, ...]] = None,
     ) -> list[Violation]:
         # Variable rows need a pair of LHS-equivalent tuples to witness a
         # violation — which is exactly what the stripped classes are: the
@@ -494,14 +533,22 @@ class PFD:
         partition = self._row_partition(relation, row, evaluator)
         if partition.backend == NUMPY:
             return self._variable_row_violations_numpy(
-                relation, row, evaluator, partition, since_row
+                relation, row, evaluator, partition, since_row, changed_rows
             )
         if isinstance(partition, SqlStrippedPartition):
             return self._variable_row_violations_sql(
-                relation, row, evaluator, partition, since_row
+                relation, row, evaluator, partition, since_row, changed_rows
             )
         classes = partition.classes
-        if since_row:
+        if changed_rows is not None:
+            # A class is in scope iff it *currently contains* a changed row
+            # (the probe table indexes exactly the stripped classes).
+            probe = partition.probe_table()
+            touched = sorted(
+                {probe[row_id] for row_id in changed_rows if row_id in probe}
+            )
+            classes = tuple(classes[index] for index in touched)
+        elif since_row:
             # A class touches the delta iff its largest (= last) member is an
             # appended row; untouched classes were fully checked before.
             classes = tuple(
@@ -604,6 +651,7 @@ class PFD:
         evaluator: PatternEvaluator,
         partition: StrippedPartition,
         since_row: int,
+        changed_rows: Optional[tuple[int, ...]] = None,
     ) -> list[Violation]:
         """Vectorized variable-row check.
 
@@ -613,11 +661,38 @@ class PFD:
         reduction (compare against the class's first element, repeated).
         Python then walks only the violating classes — typically a tiny
         fraction — re-deriving their buckets to emit violations identical,
-        order included, to the fallback path."""
+        order included, to the fallback path.
+
+        A ``changed_rows`` scope restricts the scan to the touched classes
+        before any per-row work happens: the probe array maps the changed
+        ids straight to their classes, the class row arrays are gathered
+        for just those classes, and the same all-equal-within-class
+        reduction runs on that subset — O(changed-class rows) instead of
+        O(stripped rows), which is what makes a small update batch cheap
+        against a large table."""
         rowids, offsets = partition.class_arrays()
         class_count = len(offsets) - 1
         if class_count == 0:
             return []
+        class_map = None
+        if changed_rows is not None:
+            # A class is in scope iff it currently contains a changed row:
+            # probe the changed ids to class indices (-1 = singleton).
+            probe = partition.probe_array()
+            changed = np.asarray(changed_rows, dtype=np.int64)
+            changed = changed[changed < len(probe)]
+            touched = np.unique(probe[changed])
+            touched = touched[touched >= 0]
+            if touched.size == 0:
+                return []
+            rowids = np.concatenate(
+                [rowids[offsets[index]:offsets[index + 1]] for index in touched.tolist()]
+            )
+            offsets = np.concatenate(
+                ([0], np.cumsum((offsets[touched + 1] - offsets[touched])))
+            )
+            class_map = touched
+            class_count = len(touched)
         sizes = np.diff(offsets)
         violating = np.zeros(class_count, dtype=bool)
         per_attribute: dict[str, "np.ndarray"] = {}
@@ -644,9 +719,10 @@ class PFD:
                 attr_bad[np.unique(class_ids[disagree])] = True
             per_attribute[attribute] = attr_bad
             violating |= attr_bad
-        if since_row:
+        if since_row and class_map is None:
             # A class touches the delta iff its largest (= last) member is an
             # appended row; untouched classes were fully checked before.
+            # (A changed_rows scope takes precedence and already filtered.)
             violating &= rowids[offsets[1:] - 1] >= since_row
         found: list[Violation] = []
         for class_index in np.flatnonzero(violating).tolist():
@@ -670,6 +746,7 @@ class PFD:
         evaluator: PatternEvaluator,
         partition: SqlStrippedPartition,
         since_row: int,
+        changed_rows: Optional[tuple[int, ...]] = None,
     ) -> list[Violation]:
         """Pushed-down variable-row check.
 
@@ -699,7 +776,7 @@ class PFD:
                     )
                 )
             violating = partition.variable_violation_classes(
-                rhs_cols, bucket_tables, since_row
+                rhs_cols, bucket_tables, since_row, changed_rows
             )
         finally:
             for table in bucket_tables:

@@ -201,11 +201,13 @@ def build_gov_contacts(rows: int = 800, seed: int = 1, dirt_rate: float = 0.02) 
             name="T1_gov_contacts",
         )
     )
+    batch: list[list[str]] = []
     for _ in range(rows):
         name, gender = _person_last_first(rng)
         phone, state = _phone_for(rng)
         agency = rng.choice(list(pools.AGENCIES))
-        relation.append_row([name, gender, phone, state, agency])
+        batch.append([name, gender, phone, state, agency])
+    relation.append_rows(batch)
     errors: dict[CellRef, str] = {}
     errors.update(_dirty(rng, relation, "gender", dirt_rate, swap_pool=pools.GENDERS))
     errors.update(_dirty(rng, relation, "state", dirt_rate, swap_pool=pools.STATES))
@@ -233,10 +235,12 @@ def build_gov_addresses(rows: int = 600, seed: int = 2, dirt_rate: float = 0.02)
         Schema(["zip", "city", "state", "street"], name="T2_gov_addresses")
     )
     cities = sorted({city for city, _ in pools.ZIP_PREFIXES.values()})
+    batch: list[list[str]] = []
     for _ in range(rows):
         zip_code, city, state = _zip_city_state(rng)
         street = f"{rng.randint(1, 9999)} {rng.choice(pools.LAST_NAMES)} St"
-        relation.append_row([zip_code, city, state, street])
+        batch.append([zip_code, city, state, street])
+    relation.append_rows(batch)
     errors: dict[CellRef, str] = {}
     errors.update(_dirty(rng, relation, "city", dirt_rate))
     errors.update(_dirty(rng, relation, "state", dirt_rate, swap_pool=pools.STATES))
@@ -267,11 +271,13 @@ def build_gov_employees(rows: int = 450, seed: int = 3, dirt_rate: float = 0.02)
     relation = Relation(
         Schema(["employee_id", "department", "grade", "building"], name="T3_gov_employees")
     )
+    batch: list[list[str]] = []
     for _ in range(rows):
         employee_id, department = _employee_id(rng)
         grade = rng.choice(list(pools.SALARY_GRADES))
         building = pools.DEPARTMENT_BUILDINGS.get(department, "Annex")
-        relation.append_row([employee_id, department, grade, building])
+        batch.append([employee_id, department, grade, building])
+    relation.append_rows(batch)
     errors = _dirty(
         rng, relation, "department", dirt_rate,
         swap_pool=sorted(set(pools.EMPLOYEE_ID_PREFIXES.values())),
@@ -299,10 +305,12 @@ def build_gov_facilities(rows: int = 500, seed: int = 4, dirt_rate: float = 0.02
         Schema(["facility", "fax", "state", "facility_type"], name="T4_gov_facilities")
     )
     facility_types = ("Laboratory", "Office", "Warehouse", "Data Center")
+    batch: list[list[str]] = []
     for index in range(rows):
         fax, state = _phone_for(rng)
         facility = f"Facility {index:04d}"
-        relation.append_row([facility, fax, state, rng.choice(facility_types)])
+        batch.append([facility, fax, state, rng.choice(facility_types)])
+    relation.append_rows(batch)
     errors = _dirty(rng, relation, "state", dirt_rate, swap_pool=pools.STATES)
     return GeneratedTable(
         name="T4",
@@ -331,12 +339,14 @@ def build_gov_grants(rows: int = 450, seed: int = 5, dirt_rate: float = 0.02) ->
             name="T5_gov_grants",
         )
     )
+    batch: list[list[str]] = []
     for _ in range(rows):
         grant_id, program = _grant_id(rng)
         agency = rng.choice(list(pools.AGENCIES))
         amount = f"{rng.randint(10, 500) * 1000}"
         year = grant_id.split("-")[1]
-        relation.append_row([grant_id, program, agency, amount, year])
+        batch.append([grant_id, program, agency, amount, year])
+    relation.append_rows(batch)
     errors = _dirty(
         rng, relation, "program", dirt_rate,
         swap_pool=sorted(pools.GRANT_PROGRAMS.values()),
@@ -370,13 +380,15 @@ def build_che_compounds(rows: int = 700, seed: int = 6, dirt_rate: float = 0.015
             name="T6_che_compounds",
         )
     )
+    batch: list[list[str]] = []
     for index in range(rows):
         molregno = str(100000 + index)
         chembl_id = f"CHEMBL{100000 + index}"
         molecule_type = rng.choice(pools.MOLECULE_TYPES)
         max_phase = str(rng.randint(0, 4))
         flag = "1" if max_phase == "4" or rng.random() < 0.2 else "0"
-        relation.append_row([molregno, chembl_id, molecule_type, max_phase, flag])
+        batch.append([molregno, chembl_id, molecule_type, max_phase, flag])
+    relation.append_rows(batch)
     errors = _dirty(rng, relation, "chembl_id", dirt_rate)
     return GeneratedTable(
         name="T6",
@@ -400,14 +412,16 @@ def build_che_targets(rows: int = 500, seed: int = 7, dirt_rate: float = 0.02) -
         Schema(["target_id", "pref_name", "protein_class_desc", "organism"], name="T7_che_targets")
     )
     organisms = ("Homo sapiens", "Rattus norvegicus", "Mus musculus")
+    batch: list[list[str]] = []
     for index in range(rows):
         family = rng.choice(list(pools.PROTEIN_FAMILIES))
         subtype = rng.choice(("alpha", "beta", "gamma", "delta", "1", "2A", "3B", "4"))
         pref_name = f"{family} {subtype}"
         protein_class = f"{pools.PROTEIN_FAMILIES[family]} {subtype.lower()}"
-        relation.append_row(
+        batch.append(
             [f"CHEMBL{200000 + index}", pref_name, protein_class, rng.choice(organisms)]
         )
+    relation.append_rows(batch)
     errors = _dirty(rng, relation, "protein_class_desc", dirt_rate)
     return GeneratedTable(
         name="T7",
@@ -429,12 +443,14 @@ def build_che_assays(rows: int = 600, seed: int = 8, dirt_rate: float = 0.02) ->
     relation = Relation(
         Schema(["assay_id", "assay_type", "assay_desc", "confidence_score"], name="T8_che_assays")
     )
+    batch: list[list[str]] = []
     for index in range(rows):
         code = rng.choice(list(pools.ASSAY_TYPES))
         description = f"{pools.ASSAY_TYPES[code]} assay {rng.randint(1, 30)}"
-        relation.append_row(
+        batch.append(
             [f"A{300000 + index}", code, description, str(rng.randint(1, 9))]
         )
+    relation.append_rows(batch)
     errors = _dirty(rng, relation, "assay_desc", dirt_rate)
     return GeneratedTable(
         name="T8",
@@ -466,13 +482,15 @@ def build_che_activities(rows: int = 800, seed: int = 9, dirt_rate: float = 0.02
             name="T9_che_activities",
         )
     )
+    batch: list[list[str]] = []
     for index in range(rows):
         standard_type = rng.choice(list(pools.STANDARD_TYPES))
         units = pools.STANDARD_TYPES[standard_type]
         value = f"{rng.uniform(0.1, 10000):.2f}"
-        relation.append_row(
+        batch.append(
             [str(400000 + index), standard_type, units, value, f"CHEMBL{rng.randint(300000, 300400)}"]
         )
+    relation.append_rows(batch)
     errors = _dirty(
         rng, relation, "standard_units", dirt_rate,
         swap_pool=sorted(set(pools.STANDARD_TYPES.values())),
@@ -494,12 +512,14 @@ def build_che_docs(rows: int = 450, seed: int = 10, dirt_rate: float = 0.02) -> 
     relation = Relation(
         Schema(["doc_id", "journal", "issn", "year", "doi"], name="T10_che_docs")
     )
+    batch: list[list[str]] = []
     for index in range(rows):
         journal = rng.choice(list(pools.JOURNALS))
         issn = pools.JOURNALS[journal]
         year = str(rng.randint(2005, 2019))
         doi = f"10.{rng.randint(1000, 9999)}/{year}.{rng.randint(100, 999)}"
-        relation.append_row([f"D{500000 + index}", journal, issn, year, doi])
+        batch.append([f"D{500000 + index}", journal, issn, year, doi])
+    relation.append_rows(batch)
     errors = _dirty(rng, relation, "issn", dirt_rate)
     return GeneratedTable(
         name="T10",
@@ -531,14 +551,16 @@ def build_udw_students(rows: int = 900, seed: int = 11, dirt_rate: float = 0.02)
         )
     )
     majors = sorted(pools.COURSE_DEPARTMENTS.values())
+    batch: list[list[str]] = []
     for index in range(rows):
         name, gender = _person(rng)
         domain = rng.choice(list(pools.EMAIL_DOMAINS))
         campus = pools.EMAIL_DOMAINS[domain]
         user = name.split(" ")[0].lower() + str(rng.randint(1, 999))
-        relation.append_row(
+        batch.append(
             [f"S{100000 + index}", name, gender, f"{user}@{domain}", campus, rng.choice(majors)]
         )
+    relation.append_rows(batch)
     errors: dict[CellRef, str] = {}
     errors.update(_dirty(rng, relation, "gender", dirt_rate, swap_pool=pools.GENDERS))
     errors.update(_dirty(rng, relation, "campus", dirt_rate, swap_pool=sorted(pools.EMAIL_DOMAINS.values())))
@@ -566,9 +588,11 @@ def build_udw_courses(rows: int = 450, seed: int = 12, dirt_rate: float = 0.02) 
     relation = Relation(
         Schema(["course_code", "department", "level", "credits"], name="T12_udw_courses")
     )
+    batch: list[list[str]] = []
     for _ in range(rows):
         code, department, level = _course(rng)
-        relation.append_row([code, department, level, str(rng.randint(1, 4))])
+        batch.append([code, department, level, str(rng.randint(1, 4))])
+    relation.append_rows(batch)
     errors = _dirty(
         rng, relation, "department", dirt_rate,
         swap_pool=sorted(pools.COURSE_DEPARTMENTS.values()),
@@ -599,14 +623,16 @@ def build_udw_staff(rows: int = 500, seed: int = 13, dirt_rate: float = 0.02) ->
         )
     )
     departments = sorted(pools.DEPARTMENT_BUILDINGS)
+    batch: list[list[str]] = []
     for index in range(rows):
         name, gender = _person_last_first(rng)
         department = rng.choice(departments)
         phone, state = _phone_for(rng)
         building = pools.DEPARTMENT_BUILDINGS[department]
-        relation.append_row(
+        batch.append(
             [f"E{20000 + index}", name, gender, department, phone, state, building]
         )
+    relation.append_rows(batch)
     errors: dict[CellRef, str] = {}
     errors.update(_dirty(rng, relation, "gender", dirt_rate, swap_pool=pools.GENDERS))
     errors.update(_dirty(rng, relation, "building", dirt_rate))
@@ -638,12 +664,14 @@ def build_udw_alumni(rows: int = 800, seed: int = 14, dirt_rate: float = 0.02) -
             name="T14_udw_alumni",
         )
     )
+    batch: list[list[str]] = []
     for index in range(rows):
         name, gender = _person(rng)
         zip_code, city, state = _zip_city_state(rng)
-        relation.append_row(
+        batch.append(
             [f"AL{30000 + index}", name, gender, str(rng.randint(1980, 2020)), zip_code, city, state]
         )
+    relation.append_rows(batch)
     errors: dict[CellRef, str] = {}
     errors.update(_dirty(rng, relation, "gender", dirt_rate, swap_pool=pools.GENDERS))
     errors.update(_dirty(rng, relation, "city", dirt_rate))
@@ -686,13 +714,15 @@ def build_udw_payroll(rows: int = 500, seed: int = 15, dirt_rate: float = 0.02) 
             name="T15_udw_payroll",
         )
     )
+    batch: list[list[str]] = []
     for _ in range(rows):
         employee_id, department = _employee_id(rng)
         grade = rng.choice(list(pools.SALARY_GRADES))
         low, high = pools.SALARY_GRADES[grade]
         salary = str(rng.randint(low, high))
         fax, state = _phone_for(rng)
-        relation.append_row([employee_id, department, grade, salary, fax, state])
+        batch.append([employee_id, department, grade, salary, fax, state])
+    relation.append_rows(batch)
     errors: dict[CellRef, str] = {}
     errors.update(
         _dirty(rng, relation, "department", dirt_rate,
@@ -726,9 +756,11 @@ def build_zip_state_table(rows: int = 920, seed: int = 42) -> GeneratedTable:
     Section 5.3 (924 records, 27 states in the original)."""
     rng = random.Random(seed)
     relation = Relation(Schema(["zip", "state"], name="ZipState"))
+    batch: list[list[str]] = []
     for _ in range(rows):
         zip_code, _city, state = _zip_city_state(rng)
-        relation.append_row([zip_code, state])
+        batch.append([zip_code, state])
+    relation.append_rows(batch)
     return GeneratedTable(
         name="ZipState",
         repository="GOV",
@@ -744,9 +776,11 @@ def build_name_gender_table(rows: int = 600, seed: int = 43, dirt_rate: float = 
     """A Full Name -> Gender table in ``Last, First`` format (Table 3 / 8)."""
     rng = random.Random(seed)
     relation = Relation(Schema(["full_name", "gender"], name="NameGender"))
+    batch: list[list[str]] = []
     for _ in range(rows):
         name, gender = _person_last_first(rng)
-        relation.append_row([name, gender])
+        batch.append([name, gender])
+    relation.append_rows(batch)
     errors = _dirty(rng, relation, "gender", dirt_rate, swap_pool=pools.GENDERS)
     return GeneratedTable(
         name="NameGender",

@@ -8,6 +8,14 @@ from .csvio import (
     write_csv,
 )
 from .index import AttributeIndex, PatternIndex
+from .mutations import (
+    DeleteOp,
+    MutationBatch,
+    MutationResult,
+    UpdateOp,
+    UpsertOp,
+    batch_from_document,
+)
 from .profiler import (
     ColumnProfile,
     TableProfile,
@@ -35,6 +43,12 @@ __all__ = [
     "write_csv",
     "AttributeIndex",
     "PatternIndex",
+    "DeleteOp",
+    "MutationBatch",
+    "MutationResult",
+    "UpdateOp",
+    "UpsertOp",
+    "batch_from_document",
     "ColumnProfile",
     "TableProfile",
     "candidate_attributes",

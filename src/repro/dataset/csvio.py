@@ -85,9 +85,10 @@ def read_csv(
 
     schema = Schema(header, name=inferred_name)
     relation = Relation(schema, backend=backend)
-    for row in data_rows:
-        padded = list(row) + [""] * (len(header) - len(row))
-        relation.append_row(padded[: len(header)])
+    relation.append_rows(
+        (list(row) + [""] * (len(header) - len(row)))[: len(header)]
+        for row in data_rows
+    )
     return relation
 
 

@@ -1,0 +1,222 @@
+"""The unified mutation primitives every write path speaks.
+
+A :class:`MutationBatch` is an ordered list of upsert / update / delete ops
+applied atomically by :meth:`repro.dataset.relation.Relation.apply`: the
+whole batch is validated against the pre-batch schema and row count before
+any cell changes, updates and deletes target *pre-batch* row ids, and
+appends land last.  The same batch object is what
+:meth:`repro.session.CleaningSession.apply` (and its ``update`` / ``delete``
+/ ``append`` wrappers), the service's ``/tenants/<t>/update`` +
+``/delete`` endpoints, and the CLI ``update`` / ``delete`` subcommands all
+construct — one mutation entry point per layer.
+
+Deletes are *logical tombstones*: every cell of a deleted row becomes the
+empty string, which no partition, pattern, or PFD covers, so the row drops
+out of every analytical result while row ids stay dense and stable (the
+documented contract appends, partitions, and the SQL backend's ``rid``
+arithmetic all rely on).  :attr:`Relation.deleted_rows` records which rows
+were deleted explicitly.
+
+The wire form (shared by the service bodies and the CLI ops files) is a
+JSON document with any of the keys ``cells`` (``[[row, attribute, value],
+...]``), ``rows`` (rows to append), ``delete`` (row ids), or ``ops`` (a
+list of ``{"op": "update"|"upsert"|"delete", ...}`` objects applied in
+order) — parsed by :func:`batch_from_document`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping, Sequence, Tuple, Union
+
+from ..exceptions import ReproError
+
+#: A row to append: a sequence of cell values or an attribute -> value map.
+RowLike = Union[Sequence[object], Mapping[str, object]]
+
+
+@dataclasses.dataclass(frozen=True)
+class UpsertOp:
+    """Append rows (sequences in schema order, or attribute -> value maps)."""
+
+    rows: Tuple[RowLike, ...]
+
+    def __init__(self, rows: Iterable[RowLike]):
+        object.__setattr__(self, "rows", tuple(rows))
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateOp:
+    """Overwrite some attributes of one existing row."""
+
+    row_id: int
+    values: Tuple[Tuple[str, object], ...]
+
+    def __init__(self, row_id: int, values: Union[Mapping[str, object], Iterable[Tuple[str, object]]]):
+        object.__setattr__(self, "row_id", int(row_id))
+        pairs = values.items() if isinstance(values, Mapping) else values
+        object.__setattr__(self, "values", tuple((str(k), v) for k, v in pairs))
+
+
+@dataclasses.dataclass(frozen=True)
+class DeleteOp:
+    """Tombstone existing rows (all their cells become empty)."""
+
+    row_ids: Tuple[int, ...]
+
+    def __init__(self, row_ids: Iterable[int]):
+        object.__setattr__(self, "row_ids", tuple(int(row_id) for row_id in row_ids))
+
+
+MutationOp = Union[UpsertOp, UpdateOp, DeleteOp]
+
+
+@dataclasses.dataclass(frozen=True)
+class MutationBatch:
+    """An ordered list of mutation ops, applied atomically."""
+
+    ops: Tuple[MutationOp, ...]
+
+    def __init__(self, ops: Iterable[MutationOp]):
+        ops = tuple(ops)
+        for op in ops:
+            if not isinstance(op, (UpsertOp, UpdateOp, DeleteOp)):
+                raise ReproError(
+                    f"a MutationBatch holds Upsert/Update/Delete ops, got {type(op).__name__}"
+                )
+        object.__setattr__(self, "ops", ops)
+
+    # -- builders ------------------------------------------------------------
+
+    @classmethod
+    def appends(cls, rows: Iterable[RowLike]) -> "MutationBatch":
+        """A batch appending ``rows``."""
+        return cls((UpsertOp(rows),))
+
+    @classmethod
+    def update_cells(cls, cells: Iterable[Tuple[int, str, object]]) -> "MutationBatch":
+        """A batch overwriting individual ``(row_id, attribute, value)`` cells."""
+        return cls(
+            tuple(UpdateOp(row_id, ((attribute, value),)) for row_id, attribute, value in cells)
+        )
+
+    @classmethod
+    def deletes(cls, row_ids: Iterable[int]) -> "MutationBatch":
+        """A batch tombstoning ``row_ids``."""
+        return cls((DeleteOp(row_ids),))
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+
+@dataclasses.dataclass(frozen=True)
+class MutationResult:
+    """What one :meth:`Relation.apply` call changed.
+
+    Attributes
+    ----------
+    appended:
+        Row ids of the appended rows (empty range if the batch had none).
+    updated_rows:
+        Pre-existing rows with at least one *effective* cell overwrite
+        (assignments that matched the stored value are dropped), ascending.
+    deleted_rows:
+        Rows the batch tombstoned, ascending (recorded even when the row was
+        already blank).
+    """
+
+    appended: range
+    updated_rows: Tuple[int, ...]
+    deleted_rows: Tuple[int, ...]
+
+    @property
+    def changed_rows(self) -> Tuple[int, ...]:
+        """Every row this batch touched (updated, deleted, or appended),
+        ascending — the scope argument for
+        :meth:`repro.cleaning.detector.ErrorDetector.detect`."""
+        changed = set(self.updated_rows)
+        changed.update(self.deleted_rows)
+        changed.update(self.appended)
+        return tuple(sorted(changed))
+
+    def __bool__(self) -> bool:
+        return bool(self.updated_rows or self.deleted_rows or len(self.appended))
+
+
+def batch_from_document(document: Mapping) -> MutationBatch:
+    """Parse the shared wire form of a mutation batch (service + CLI).
+
+    Recognized keys (any combination; simple keys are applied in the fixed
+    order updates, deletes, appends):
+
+    - ``cells``: ``[[row_id, attribute, value], ...]`` cell overwrites;
+    - ``delete``: ``[row_id, ...]`` rows to tombstone;
+    - ``rows``: rows to append (arrays in schema order or objects);
+    - ``ops``: explicit op objects ``{"op": "update", "row": r, "values":
+      {attr: value}}`` / ``{"op": "delete", "rows": [...]}`` / ``{"op":
+      "upsert", "rows": [...]}``, applied in list order.
+    """
+    if not isinstance(document, Mapping):
+        raise ReproError("a mutation document must be a JSON object")
+    ops: list[MutationOp] = []
+    cells = document.get("cells")
+    if cells is not None:
+        if not isinstance(cells, Sequence) or isinstance(cells, (str, bytes)):
+            raise ReproError("'cells' must be a list of [row_id, attribute, value] triples")
+        for entry in cells:
+            if not isinstance(entry, Sequence) or isinstance(entry, (str, bytes)) or len(entry) != 3:
+                raise ReproError(
+                    f"each cell overwrite must be a [row_id, attribute, value] triple, got {entry!r}"
+                )
+            row_id, attribute, value = entry
+            ops.append(UpdateOp(_int(row_id, "cell row id"), ((str(attribute), value),)))
+    deletes = document.get("delete")
+    if deletes is not None:
+        if not isinstance(deletes, Sequence) or isinstance(deletes, (str, bytes)):
+            raise ReproError("'delete' must be a list of row ids")
+        ops.append(DeleteOp(_int(row_id, "delete row id") for row_id in deletes))
+    rows = document.get("rows")
+    if rows is not None:
+        if not isinstance(rows, Sequence) or isinstance(rows, (str, bytes)):
+            raise ReproError("'rows' must be a list of rows")
+        ops.append(UpsertOp(rows))
+    for entry in document.get("ops") or ():
+        if not isinstance(entry, Mapping):
+            raise ReproError(f"each op must be an object, got {entry!r}")
+        kind = entry.get("op")
+        if kind == "update":
+            values = entry.get("values")
+            if not isinstance(values, Mapping):
+                raise ReproError("an update op needs a 'values' object")
+            ops.append(UpdateOp(_int(entry.get("row"), "update row id"), values))
+        elif kind == "delete":
+            entry_rows = entry.get("rows")
+            if not isinstance(entry_rows, Sequence) or isinstance(entry_rows, (str, bytes)):
+                raise ReproError("a delete op needs a 'rows' list")
+            ops.append(DeleteOp(_int(row_id, "delete row id") for row_id in entry_rows))
+        elif kind == "upsert":
+            entry_rows = entry.get("rows")
+            if not isinstance(entry_rows, Sequence) or isinstance(entry_rows, (str, bytes)):
+                raise ReproError("an upsert op needs a 'rows' list")
+            ops.append(UpsertOp(entry_rows))
+        else:
+            raise ReproError(f"unknown mutation op {kind!r} (expected update/delete/upsert)")
+    if not ops:
+        raise ReproError(
+            "the mutation document is empty: provide 'cells', 'delete', 'rows', or 'ops'"
+        )
+    return MutationBatch(ops)
+
+
+def _int(value: object, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ReproError(f"{what} must be an integer, got {value!r}")
+    return value

@@ -22,12 +22,20 @@ else numpy when importable).  Derived relations (``copy``/``project``/
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..engine.backend import resolve_backend
-from ..engine.dictionary import DictionaryColumn
+from ..engine.dictionary import DictionaryColumn, DictionaryUpdate
 from ..engine.partitions import PartitionManager
-from ..exceptions import SchemaError
+from ..exceptions import ReproError, SchemaError
+from .mutations import (
+    DeleteOp,
+    MutationBatch,
+    MutationResult,
+    UpdateOp,
+    UpsertOp,
+)
 from .schema import Attribute, AttributeRole, Schema
 
 
@@ -79,6 +87,7 @@ class Relation:
         self._dictionaries: dict[str, DictionaryColumn] = {}
         self._partitions: Optional[PartitionManager] = None
         self._version = 0
+        self._deleted: set[int] = set()
 
     # -- constructors -------------------------------------------------------
 
@@ -137,12 +146,24 @@ class Relation:
 
     @property
     def version(self) -> int:
-        """Monotonic mutation counter: bumped by :meth:`append_row` and
-        :meth:`set_cell`, alongside the dictionary/partition invalidation.
-        Consumers holding results derived from the relation (e.g. a
-        :class:`~repro.session.CleaningSession`'s memoized stages) compare
-        versions to decide whether a cached result is still current."""
+        """Monotonic mutation counter: bumped by every effective mutation —
+        :meth:`append_rows` and :meth:`apply` (so also the :meth:`set_cell`
+        / :meth:`delete_rows` wrappers) — alongside the dictionary/partition
+        delta maintenance.  Consumers holding results derived from the
+        relation (e.g. a :class:`~repro.session.CleaningSession`'s memoized
+        stages) compare versions to decide whether a cached result is still
+        current."""
         return self._version
+
+    @property
+    def deleted_rows(self) -> tuple[int, ...]:
+        """Rows tombstoned by :meth:`delete_rows` / delete ops, ascending.
+
+        Deleted rows keep their (dense, stable) row ids but hold only empty
+        cells, which no partition, pattern, or PFD covers — they are
+        invisible to every analytical result.
+        """
+        return tuple(sorted(self._deleted))
 
     def __len__(self) -> int:
         return self.row_count
@@ -155,13 +176,13 @@ class Relation:
     def dictionary(self, name: str) -> DictionaryColumn:
         """The dictionary encoding of column ``name``.
 
-        Built lazily on first use and cached; :meth:`set_cell` invalidates
-        the cache while :meth:`append_rows` / :meth:`append_row` *extend*
-        the cached object in place, so the returned object always reflects
-        the current column contents.  Everything downstream (the pattern
-        index, PFD validation, error detection) keys its memoized
-        per-distinct-value work on the returned object's identity — which
-        appends deliberately preserve.
+        Built lazily on first use and cached; :meth:`append_rows` *extends*
+        the cached object in place and :meth:`apply` (so also ``set_cell`` /
+        ``delete_rows``) *patches* its code vector, so the returned object
+        always reflects the current column contents.  Everything downstream
+        (the pattern index, PFD validation, error detection) keys its
+        memoized per-distinct-value work on the returned object's identity —
+        which both appends and updates deliberately preserve.
         """
         self.schema.position(name)
         cached = self._dictionaries.get(name)
@@ -187,10 +208,10 @@ class Relation:
     def partitions(self) -> PartitionManager:
         """The relation's stripped-partition (PLI) cache.
 
-        Built lazily on first use; :meth:`set_cell` invalidates the touched
-        attribute's partitions (and any intersection involving it) while
-        :meth:`append_rows` / :meth:`append_row` *extend* the cached entries
-        with the appended row ids, mirroring the dictionary cache.  The
+        Built lazily on first use; :meth:`append_rows` *extends* the cached
+        entries with the appended row ids, and :meth:`apply` (so also
+        ``set_cell`` / ``delete_rows``) regroups only the touched
+        attributes' entries in place, mirroring the dictionary cache.  The
         manager object itself is stable across mutations, so its hit/miss
         statistics describe the relation's whole lifetime.
         """
@@ -233,10 +254,16 @@ class Relation:
     def append_row(self, row: Union[Sequence[object], Mapping[str, object]]) -> int:
         """Append one tuple; returns its row id.
 
-        A one-row batch through :meth:`append_rows` — cached dictionaries
-        and partitions are *extended*, not discarded, so a single-row append
-        no longer throws away the engine state of unaffected attributes.
+        .. deprecated::
+            Use ``append_rows([row]).start`` (or :meth:`apply` with an
+            upsert op) — batching is the one mutation entry point, and even
+            a single row is a one-element batch.
         """
+        warnings.warn(
+            "Relation.append_row is deprecated; use append_rows([row]).start",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.append_rows((row,)).start
 
     def append_rows(
@@ -281,22 +308,155 @@ class Relation:
         return range(start, start + len(normalized))
 
     def set_cell(self, row_id: int, name: str, value: object) -> None:
-        """Overwrite one cell (used by error injection and repair)."""
-        self.schema.position(name)
-        self._columns[name][row_id] = _normalize_cell(value)
-        self._dictionaries.pop(name, None)
-        if self._partitions is not None:
-            self._partitions.invalidate_attribute(name)
-        self._version += 1
+        """Overwrite one cell (used by error injection and repair).
+
+        A one-cell :meth:`apply` batch.  Unlike the historical behavior
+        (which dropped the attribute's dictionary and partitions wholesale),
+        the engine caches are now *patched* in place: the dictionary object
+        survives — so the evaluator's memoized per-distinct-value masks stay
+        valid — and the partition cache regroups only the touched attribute.
+        Writing the value the cell already holds is a no-op (no version
+        bump).
+        """
+        self.apply(MutationBatch.update_cells(((row_id, name, value),)))
+
+    def delete_rows(self, row_ids: Iterable[int]) -> MutationResult:
+        """Tombstone rows: every cell becomes empty, row ids stay stable.
+
+        Logical deletion keeps row ids dense and append-ordered (the
+        contract the delta paths and the SQL backend's ``rid`` arithmetic
+        rely on) while removing the rows from every analytical result —
+        empty cells are uncovered by all partition and PFD semantics.  The
+        deleted ids are recorded in :attr:`deleted_rows`.
+        """
+        return self.apply(MutationBatch.deletes(row_ids))
+
+    def apply(self, batch: MutationBatch) -> MutationResult:
+        """Apply a :class:`~repro.dataset.mutations.MutationBatch` atomically.
+
+        The unified mutation entry point: updates and deletes target
+        *pre-batch* row ids, appends land last, and the whole batch is
+        validated (row ranges, attribute names, append shapes) before any
+        cell changes.  Cached engine state is delta-maintained, not
+        dropped — dictionaries patch their code vectors in place
+        (:meth:`~repro.engine.dictionary.DictionaryColumn.update_rows`, so
+        memoized evaluator masks survive), partitions regroup only the
+        touched attributes
+        (:meth:`~repro.engine.partitions.PartitionManager.apply_update`),
+        and appended rows ride the existing :meth:`append_rows` extend path.
+        """
+        if not isinstance(batch, MutationBatch):
+            raise ReproError(
+                f"Relation.apply expects a MutationBatch, got {type(batch).__name__}"
+            )
+        appends, assignments, deletes = self._collect_mutations(batch)
+        updates, touched, changed = self._apply_assignments(assignments)
+        if touched:
+            if self._partitions is not None:
+                patchable = {name: update for name, update in updates.items() if update}
+                for name in sorted(touched - set(patchable)):
+                    self._partitions.invalidate_attribute(name)
+                if patchable:
+                    self._partitions.apply_update(patchable)
+            self._version += 1
+        if deletes:
+            self._deleted.update(deletes)
+        start = self.row_count
+        appended = self.append_rows(appends) if appends else range(start, start)
+        return MutationResult(
+            appended=appended,
+            updated_rows=tuple(sorted(changed - deletes)),
+            deleted_rows=tuple(sorted(deletes)),
+        )
+
+    def _collect_mutations(
+        self, batch: MutationBatch
+    ) -> tuple[list[list[str]], dict[str, dict[int, str]], set[int]]:
+        """Validate and flatten a batch against the pre-batch state.
+
+        Returns normalized append rows, per-attribute ``{row_id: value}``
+        assignments (later ops override earlier ones; deletes blank every
+        attribute of their rows), and the deleted row-id set.  Raises before
+        anything has been mutated, so a bad batch leaves the relation
+        untouched.
+        """
+        row_count = self.row_count
+        appends: list[list[str]] = []
+        assignments: dict[str, dict[int, str]] = {}
+        deletes: set[int] = set()
+        for op in batch.ops:
+            if isinstance(op, UpsertOp):
+                appends.extend(self._normalize_row(row) for row in op.rows)
+            elif isinstance(op, UpdateOp):
+                if not 0 <= op.row_id < row_count:
+                    raise ReproError(
+                        f"update targets row {op.row_id}, but rows 0..{row_count - 1} "
+                        "existed before this batch"
+                    )
+                for attribute, value in op.values:
+                    self.schema.position(attribute)
+                    assignments.setdefault(attribute, {})[op.row_id] = _normalize_cell(value)
+            elif isinstance(op, DeleteOp):
+                for row_id in op.row_ids:
+                    if not 0 <= row_id < row_count:
+                        raise ReproError(
+                            f"delete targets row {row_id}, but rows 0..{row_count - 1} "
+                            "existed before this batch"
+                        )
+                    deletes.add(row_id)
+            else:  # pragma: no cover - MutationBatch validates op types
+                raise ReproError(f"unknown mutation op {type(op).__name__}")
+        for row_id in deletes:
+            for name in self.schema.attribute_names:
+                assignments.setdefault(name, {})[row_id] = ""
+        return appends, assignments, deletes
+
+    def _apply_assignments(
+        self, assignments: Mapping[str, Mapping[int, str]]
+    ) -> tuple[dict[str, DictionaryUpdate], set[str], set[int]]:
+        """Write validated cell assignments into the columns and caches.
+
+        Per attribute, assignments that match the stored value are dropped;
+        the rest patch the cached dictionary in place (when one exists) and
+        overwrite the raw column.  Returns the per-attribute
+        :class:`DictionaryUpdate` records (for the partition cache), the
+        set of attributes with at least one effective change, and the set
+        of changed row ids.
+        """
+        updates: dict[str, DictionaryUpdate] = {}
+        touched: set[str] = set()
+        changed: set[int] = set()
+        for name in self.schema.attribute_names:
+            per_row = assignments.get(name)
+            if not per_row:
+                continue
+            column = self._columns[name]
+            effective = sorted(
+                (row_id, value)
+                for row_id, value in per_row.items()
+                if column[row_id] != value
+            )
+            if not effective:
+                continue
+            touched.add(name)
+            changed.update(row_id for row_id, _ in effective)
+            cached = self._dictionaries.get(name)
+            if cached is not None:
+                updates[name] = cached.update_rows(effective)
+            for row_id, value in effective:
+                column[row_id] = value
+        return updates, touched, changed
 
     # -- derivation ----------------------------------------------------------
 
     def copy(self, name: Optional[str] = None) -> "Relation":
         """A deep copy (new column lists, same schema object)."""
         schema = self.schema if name is None else Schema(self.schema.attributes, name=name)
-        return Relation(
+        clone = Relation(
             schema, {n: list(c) for n, c in self._columns.items()}, backend=self.backend
         )
+        clone._deleted = set(self._deleted)
+        return clone
 
     def project(self, names: Sequence[str], name: Optional[str] = None) -> "Relation":
         """A new relation with only the columns in ``names``."""

@@ -31,6 +31,7 @@ per distinct value stays valid; downstream caches only have to *grow*.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import Iterable, Optional, Sequence, Union
 
@@ -69,6 +70,36 @@ class DictionaryDelta:
         return range(self.start_row, self.start_row + len(self.appended_codes))
 
 
+@dataclasses.dataclass(frozen=True)
+class DictionaryUpdate:
+    """What one :meth:`DictionaryColumn.update_rows` call changed in place.
+
+    Attributes
+    ----------
+    attribute:
+        The column name (mirrors :attr:`DictionaryColumn.attribute`).
+    assignments:
+        One ``(row_id, old_code, new_code)`` triple per *effective* cell
+        overwrite (no-op assignments — the cell already held the value — are
+        dropped), in ascending row order.
+    old_distinct_count:
+        Dictionary size before the update; codes ``>= old_distinct_count``
+        belong to values first seen (or revived) by this update.
+    """
+
+    attribute: str
+    assignments: tuple[tuple[int, int, int], ...]
+    old_distinct_count: int
+
+    @property
+    def rows(self) -> tuple[int, ...]:
+        """The updated row ids, ascending."""
+        return tuple(assignment[0] for assignment in self.assignments)
+
+    def __bool__(self) -> bool:
+        return bool(self.assignments)
+
+
 class DictionaryColumn:
     """Distinct values of a column plus a per-row integer code.
 
@@ -84,12 +115,23 @@ class DictionaryColumn:
         view on the numpy backend, a plain list on the python backend.
     backend:
         ``"numpy"`` or ``"python"`` (resolved at construction).
+    has_updates:
+        True once :meth:`update_rows` has run.  Until then, codes are in
+        first-seen row order (so walking codes in order visits groups by
+        their smallest row id); afterwards consumers that relied on that
+        ordering must sort groups explicitly.  Updates may also leave
+        *tombstoned* codes behind — values whose count dropped to zero stay
+        in ``values``/``code_of`` with an empty row list so every handed-out
+        code (and everything memoized per code) keeps its meaning; a later
+        write of the same value revives the code instead of minting a new
+        one.
     """
 
     __slots__ = (
         "attribute",
         "values",
         "backend",
+        "has_updates",
         "_codes",
         "_length",
         "_code_of",
@@ -116,6 +158,7 @@ class DictionaryColumn:
         else:
             self._codes = list(codes)
             self._length = len(self._codes)
+        self.has_updates = False
         self._code_of: Optional[dict[str, int]] = None
         self._rows_by_code: Optional[list[list[int]]] = None
         self._counts: Optional[list[int]] = None
@@ -213,6 +256,62 @@ class DictionaryColumn:
             attribute=self.attribute,
             start_row=start_row,
             appended_codes=tuple(appended),
+            old_distinct_count=old_distinct,
+        )
+
+    def update_rows(self, assignments: Sequence[tuple[int, str]]) -> DictionaryUpdate:
+        """Overwrite cells in place; returns the update description.
+
+        ``assignments`` is ``(row_id, new_value)`` pairs, at most one per
+        row.  The dictionary stays append-only: an unseen value receives a
+        fresh code after every existing one, a value whose rows all moved
+        away keeps its code as a zero-count tombstone (revived if the value
+        returns), and existing codes never renumber — so per-code memoized
+        state (match masks, component tables) stays valid and only has to
+        grow.  The lazily built ``rows_by_code`` / ``counts`` structures are
+        patched, not rebuilt.  Assignments whose cell already holds the new
+        value are dropped from the returned delta.
+        """
+        if self._code_of is None:
+            self._code_of = {v: code for code, v in enumerate(self.values)}
+        code_of = self._code_of
+        old_distinct = len(self.values)
+        effective: list[tuple[int, int, int]] = []
+        new_values: list[str] = []
+        codes = self._codes
+        for row_id, value in sorted(assignments):
+            old_code = int(codes[row_id])
+            if self.values[old_code] == value and code_of.get(value) == old_code:
+                continue
+            new_code = code_of.get(value)
+            if new_code is None:
+                new_code = len(code_of)
+                code_of[value] = new_code
+                new_values.append(value)
+            if new_code == old_code:
+                continue
+            effective.append((row_id, old_code, new_code))
+        if new_values:
+            self.values = self.values + tuple(new_values)
+            if self._rows_by_code is not None:
+                self._rows_by_code.extend([] for _ in new_values)
+            if self._counts is not None:
+                self._counts.extend(0 for _ in new_values)
+        for row_id, old_code, new_code in effective:
+            codes[row_id] = new_code
+            if self._rows_by_code is not None:
+                old_rows = self._rows_by_code[old_code]
+                del old_rows[bisect.bisect_left(old_rows, row_id)]
+                bisect.insort(self._rows_by_code[new_code], row_id)
+            if self._counts is not None:
+                self._counts[old_code] -= 1
+                self._counts[new_code] += 1
+        if effective:
+            self.has_updates = True
+            self._counts_array = None
+        return DictionaryUpdate(
+            attribute=self.attribute,
+            assignments=tuple(effective),
             old_distinct_count=old_distinct,
         )
 

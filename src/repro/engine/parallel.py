@@ -291,6 +291,8 @@ class _DetectionTask:
     positions: tuple[int, ...]
     pfds: tuple
     since_row: int
+    #: Explicit CRUD-delta scope (normalized sorted row ids); None = since_row.
+    changed_rows: Optional[tuple[int, ...]] = None
 
 
 def _stats_delta(before: PartitionStats, after: PartitionStats) -> PartitionStats:
@@ -357,7 +359,12 @@ def _detection_task(task: _DetectionTask) -> list[tuple[int, list]]:
     results: list[tuple[int, list]] = []
     for position, pfd in zip(task.positions, task.pfds):
         violations = list(
-            pfd.violations(relation, evaluator=state.evaluator, since_row=task.since_row)
+            pfd.violations(
+                relation,
+                evaluator=state.evaluator,
+                since_row=task.since_row,
+                changed_rows=task.changed_rows,
+            )
         )
         results.append((position, violations))
     return results

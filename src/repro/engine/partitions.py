@@ -108,7 +108,7 @@ from ..patterns.alphabet import CharClass
 from ..patterns.ast import ClassAtom, ConstrainedGroup, Pattern, Repeat
 from ..patterns.matcher import CompiledPattern, compile_pattern
 from .backend import NUMPY, np, resolve_backend, stable_order
-from .dictionary import DictionaryColumn, DictionaryDelta
+from .dictionary import DictionaryColumn, DictionaryDelta, DictionaryUpdate
 from .evaluator import PatternEvaluator, default_evaluator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset -> engine)
@@ -606,6 +606,11 @@ class PartitionStats:
     attribute_extends: int = 0
     pattern_extends: int = 0
     intersection_refreshes: int = 0
+    #: Cached partitions patched in place by :meth:`PartitionManager.apply_update`
+    #: (cell overwrites / deletes maintained as deltas instead of the old
+    #: per-attribute cache drop).
+    attribute_updates: int = 0
+    pattern_updates: int = 0
     #: Probe tables carried forward (patched) across an extend instead of
     #: being discarded and re-derived on the next ``intersect``.
     probe_patches: int = 0
@@ -620,7 +625,13 @@ class PartitionStats:
 
     @property
     def extends(self) -> int:
-        return self.attribute_extends + self.pattern_extends + self.intersection_refreshes
+        return (
+            self.attribute_extends
+            + self.pattern_extends
+            + self.intersection_refreshes
+            + self.attribute_updates
+            + self.pattern_updates
+        )
 
     def summary(self) -> str:
         return (
@@ -664,7 +675,13 @@ class _PatternGroups:
             self.components.append("")
 
     def partition(self, row_count: int) -> StrippedPartition:
-        classes = [tuple(rows) for rows in self.groups.values() if len(rows) >= 2]
+        # Sorted by smallest member: insertion order equals first-row order
+        # on a cold build (so this is a no-op there) but not after update
+        # surgery moved rows between groups.
+        classes = sorted(
+            (tuple(rows) for rows in self.groups.values() if len(rows) >= 2),
+            key=lambda class_rows: class_rows[0],
+        )
         return StrippedPartition(
             classes, row_count, covered=tuple(self.covered), backend="python"
         )
@@ -749,11 +766,15 @@ class PartitionManager:
             return self._build_attribute_partition_numpy(column)
         rows_by_code = column.rows_by_code()
         # Dictionary values are in first-seen order, so walking the codes in
-        # order yields classes already sorted by their smallest row id.
+        # order yields classes already sorted by their smallest row id —
+        # unless updates moved rows between codes, in which case the classes
+        # are re-sorted by smallest member below.
         classes = []
         for code, value in enumerate(column.values):
             if value and len(rows_by_code[code]) >= 2:
                 classes.append(tuple(rows_by_code[code]))
+        if column.has_updates:
+            classes.sort(key=lambda class_rows: class_rows[0])
         empty_code = column.code_of("")
         if empty_code is None:
             covered: tuple[int, ...] = tuple(range(column.row_count))
@@ -768,10 +789,21 @@ class PartitionManager:
     def _build_attribute_partition_numpy(self, column: DictionaryColumn) -> StrippedPartition:
         """Vectorized attribute grouping: codes are already group keys in
         first-seen (= smallest-member) order, so one stable argsort over the
-        code vector yields the classes directly."""
+        code vector yields the classes directly.  After updates broke that
+        ordering, the general sort/group pass (which orders classes by their
+        smallest member explicitly) takes over."""
         codes = column.codes_array()
-        counts = column.counts_array()
         empty_code = column.code_of("")
+        if column.has_updates:
+            if empty_code is not None:
+                covered = np.flatnonzero(codes != empty_code).astype(np.int64)
+            else:
+                covered = np.arange(column.row_count, dtype=np.int64)
+            rowids, offsets = _group_stripped(codes[covered], covered)
+            return StrippedPartition.from_arrays(
+                rowids, offsets, column.row_count, covered=covered
+            )
+        counts = column.counts_array()
         keep_code = counts >= 2
         if empty_code is not None:
             keep_code = keep_code.copy()
@@ -1119,6 +1151,144 @@ class PartitionManager:
             self.stats.probe_patches += 1
         self._pattern[key] = partition
         self.stats.pattern_extends += 1
+        return partition
+
+    def apply_update(self, updates: Mapping[str, DictionaryUpdate]) -> None:
+        """Patch every cached partition for a batch of cell overwrites.
+
+        ``updates`` maps attribute names to the
+        :class:`~repro.engine.dictionary.DictionaryUpdate` their dictionary
+        returned from the in-place :meth:`DictionaryColumn.update_rows` —
+        the counterpart of :meth:`extend` for
+        :meth:`repro.dataset.relation.Relation.apply`.  Unlike an append
+        (which touches every attribute), an update touches only the listed
+        attributes, so partitions of untouched attributes — and every
+        memoized intersection whose leaves all avoid the updated attributes
+        — stay cached as-is.  Touched leaf partitions receive a fresh
+        snapshot regrouped from the updated dictionary state; intersections
+        touching an updated attribute go stale and refresh lazily from the
+        patched leaves, exactly like an append.
+        """
+        effective = {name: update for name, update in updates.items() if update}
+        if not effective:
+            return
+        for attribute, update in effective.items():
+            if attribute in self._attribute:
+                self.update_attribute(attribute, update)
+            for key in [key for key in self._pattern if key.attribute == attribute]:
+                self.update_pattern(key, update)
+        touched = set(effective)
+        survivors: dict[frozenset[PartitionKey], StrippedPartition] = {}
+        for key_set, partition in self._intersections.items():
+            if all(key.attribute not in touched for key in key_set):
+                survivors[key_set] = partition
+            else:
+                self._stale_intersections.add(key_set)
+        self._intersections = survivors
+        self._stale_intersections = {
+            key_set
+            for key_set in self._stale_intersections
+            if key_set not in self._intersections
+            and all(
+                (key.pattern is None and key.attribute in self._attribute)
+                or (key.pattern is not None and key in self._pattern)
+                or key.attribute not in touched
+                for key in key_set
+            )
+        }
+
+    def update_attribute(self, attribute: str, update: DictionaryUpdate) -> StrippedPartition:
+        """Patch the cached attribute partition after cell overwrites.
+
+        The dictionary has already moved the updated rows between its
+        per-code row lists (``update_rows``), so the new classes are read
+        straight off that state — no regrouping of raw rows on the python
+        backend, one vectorized sort/group pass on numpy.  Classes are
+        ordered by smallest member (the canonical order shared with cold
+        builds, which re-sort the same way once a column ``has_updates``).
+        The covered rows are patched per assignment: a row leaves coverage
+        when its value became empty and joins when it stopped being empty.
+        """
+        column = self._relation.dictionary(attribute)
+        old = self._attribute.get(attribute)
+        if old is None:
+            return self.attribute_partition(attribute)
+        if column.backend == NUMPY:
+            partition = self._build_attribute_partition_numpy(column)
+            self._attribute[attribute] = partition
+            self.stats.attribute_updates += 1
+            return partition
+        rows_by_code = column.rows_by_code()
+        classes = sorted(
+            (
+                tuple(rows_by_code[code])
+                for code, value in enumerate(column.values)
+                if value and len(rows_by_code[code]) >= 2
+            ),
+            key=lambda class_rows: class_rows[0],
+        )
+        covered = list(old.covered)
+        for row_id, old_code, new_code in update.assignments:
+            was_covered = bool(column.values[old_code])
+            now_covered = bool(column.values[new_code])
+            if was_covered and not now_covered:
+                del covered[bisect.bisect_left(covered, row_id)]
+            elif now_covered and not was_covered:
+                bisect.insort(covered, row_id)
+        partition = StrippedPartition(
+            classes, column.row_count, covered=tuple(covered), backend=column.backend
+        )
+        self._attribute[attribute] = partition
+        self.stats.attribute_updates += 1
+        return partition
+
+    def update_pattern(self, key: PartitionKey, update: DictionaryUpdate) -> StrippedPartition:
+        """Patch one cached pattern-projected partition after cell overwrites.
+
+        Values first seen by the update are matched against the pattern
+        (``O(new distinct)`` match calls — revived tombstone codes already
+        have their component cached); then each updated row moves between
+        component groups: removed from its old value's group, inserted into
+        its new value's (rows stay ascending via bisect), with coverage
+        patched when a row's match status flipped.  The numpy backend
+        regroups vectorized from the updated code vector instead.
+        """
+        state = self._pattern_groups.get(key)
+        old = self._pattern.get(key)
+        if state is None or old is None:
+            self._pattern.pop(key, None)
+            self._pattern_groups.pop(key, None)
+            return self._pattern_partition(key, None)
+        column = self._relation.dictionary(key.attribute)
+        compiled = key.pattern
+        assert compiled is not None  # plain-attribute keys never land here
+        for code in range(len(state.components), column.distinct_count):
+            value = column.values[code]
+            state.append_component(value, compiled.match(value) if value else None)
+        if column.backend == NUMPY:
+            partition = state.partition_numpy(column)
+            self._pattern[key] = partition
+            self.stats.pattern_updates += 1
+            return partition
+        for row_id, old_code, new_code in update.assignments:
+            old_component = state.components[old_code]
+            new_component = state.components[new_code]
+            if old_component == new_component:
+                continue
+            if old_component is not None:
+                group = state.groups[old_component]
+                del group[bisect.bisect_left(group, row_id)]
+                if not group:
+                    del state.groups[old_component]
+            if new_component is not None:
+                bisect.insort(state.groups.setdefault(new_component, []), row_id)
+            if old_component is None:
+                bisect.insort(state.covered, row_id)
+            elif new_component is None:
+                del state.covered[bisect.bisect_left(state.covered, row_id)]
+        partition = state.partition(column.row_count)
+        self._pattern[key] = partition
+        self.stats.pattern_updates += 1
         return partition
 
     # -- invalidation --------------------------------------------------------

@@ -21,6 +21,8 @@ endpoint       lock side   why
 ``load``       write\\*     replaces the tenant's table and runtime
 ``discover``   write       replaces the tenant's active constraint set
 ``ingest``     write       ``append_rows`` delta-maintains the engine caches
+``update``     write       a :class:`MutationBatch` patches the engine caches
+``delete``     write       tombstone deletes, same delta-maintenance path
 =============  ==========  =====================================================
 
 (\\* ``load`` installs a fresh runtime; the write lock is taken on the old
@@ -54,6 +56,7 @@ from .. import __version__
 from ..cleaning.detector import DetectionReport
 from ..cleaning.repair import RepairResult
 from ..dataset.csvio import read_csv
+from ..dataset.mutations import MutationBatch, batch_from_document
 from ..dataset.profiler import TableProfile
 from ..discovery.config import DiscoveryConfig
 from ..exceptions import ReproError, ServiceError
@@ -371,6 +374,70 @@ class CleaningService:
                 doc["rows_before"] = rows_before
                 doc["rows_appended"] = len(appended)
                 doc["appended_start"] = appended.start if len(appended) else None
+                return doc
+
+    def update(self, tenant: str, document: dict, min_evidence: int = 1) -> dict:
+        """Apply a mutation document (cells / delete / rows / ops) and report
+        only the errors around the touched rows.
+
+        The document is the shared wire form of
+        :func:`~repro.dataset.mutations.batch_from_document` — the same
+        schema the CLI ``update`` subcommand reads from its ops file.  The
+        engine caches are patched in place and detection is scoped to the
+        changed rows (:meth:`CleaningSession.detect_changed`); the mutated
+        table is durably mirrored into the registry.
+        """
+        try:
+            batch = batch_from_document(document)
+        except ReproError as error:
+            raise ServiceError(str(error))
+        return self._mutate(tenant, batch, kind="update", min_evidence=min_evidence)
+
+    def delete_rows(self, tenant: str, row_ids: Sequence[int], min_evidence: int = 1) -> dict:
+        """Tombstone rows (cells blank, ids stay stable) and report only the
+        errors around the touched classes — same report document as
+        :meth:`update`."""
+        if not isinstance(row_ids, (list, tuple)) or not row_ids:
+            raise ServiceError("'rows' must be a non-empty list of row ids")
+        try:
+            batch = MutationBatch.deletes(row_ids)
+        except (ReproError, TypeError, ValueError):
+            raise ServiceError(f"'rows' must be a list of integer row ids, got {row_ids!r}")
+        return self._mutate(tenant, batch, kind="delete", min_evidence=min_evidence)
+
+    def _mutate(self, tenant: str, batch: MutationBatch, kind: str, min_evidence: int) -> dict:
+        """The shared update/delete engine: apply, mirror, scoped detect.
+
+        Emits the same delta-report document shape as ``ingest`` —
+        ``_detection_doc`` plus ``rows_before`` and the mutation counters —
+        so every write endpoint reports through one schema.
+        """
+        with self._timed(kind):
+            with self._tenant_locked(tenant, write=True) as runtime:
+                session = runtime.session
+                pfds = self._active_pfds(runtime)
+                rows_before = session.relation.row_count
+                try:
+                    result = session.apply(batch)
+                except ReproError as error:
+                    raise ServiceError(str(error))
+                if result:
+                    # Durable mirror: updates touch arbitrary rows, so the
+                    # registry data file is atomically rewritten (tombstoned
+                    # rows persist as blank rows, keeping ids stable across
+                    # rehydration).
+                    self.registry.save_data(tenant, session.relation)
+                    report = session.detect_changed(pfds, min_evidence=min_evidence)
+                else:
+                    report = DetectionReport(
+                        relation_name=session.relation.name, errors=[], violations=[]
+                    )
+                doc = _detection_doc(report, runtime, kind=kind)
+                doc["rows_before"] = rows_before
+                doc["rows_updated"] = len(result.updated_rows)
+                doc["rows_deleted"] = len(result.deleted_rows)
+                doc["rows_appended"] = len(result.appended)
+                doc["changed_rows"] = list(result.changed_rows)
                 return doc
 
     def _parse_batch(

@@ -121,6 +121,21 @@ class ServiceClient:
             payload["csv"] = csv_text
         return self._request("POST", f"/tenants/{tenant}/ingest", payload)
 
+    def update(self, tenant: str, document: dict, min_evidence: int = 1) -> dict:
+        """POST a mutation document (``cells`` / ``delete`` / ``rows`` /
+        ``ops`` keys, the :func:`~repro.dataset.mutations.batch_from_document`
+        wire form)."""
+        payload = dict(document)
+        payload["min_evidence"] = min_evidence
+        return self._request("POST", f"/tenants/{tenant}/update", payload)
+
+    def delete_rows(self, tenant: str, row_ids: Sequence[int], min_evidence: int = 1) -> dict:
+        return self._request(
+            "POST",
+            f"/tenants/{tenant}/delete",
+            {"rows": list(row_ids), "min_evidence": min_evidence},
+        )
+
     def drop(self, tenant: str) -> dict:
         return self._request("DELETE", f"/tenants/{tenant}")
 

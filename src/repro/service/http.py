@@ -19,6 +19,9 @@ Routes (all bodies and responses are JSON)::
     POST   /tenants/<t>/validate        {}
     POST   /tenants/<t>/repair          {"min_evidence": 1}
     POST   /tenants/<t>/ingest          {"rows": [[...]]} | {"csv": text}
+    POST   /tenants/<t>/update          mutation document: {"cells":[[row,attr,value],...]}
+                                        | {"delete":[...]} | {"rows":[[...]]} | {"ops":[...]}
+    POST   /tenants/<t>/delete          {"rows": [row_id, ...]}
     DELETE /tenants/<t>                 drop tenant (registry + live session)
     POST   /shutdown                    stop serving after this response
 
@@ -195,6 +198,15 @@ class _Handler(BaseHTTPRequestHandler):
                 rows=body.get("rows"),
                 csv_text=body.get("csv"),
                 min_evidence=_min_evidence(body),
+            )
+        if action == "update":
+            document = {
+                key: body[key] for key in ("cells", "delete", "rows", "ops") if key in body
+            }
+            return service.update(tenant, document, min_evidence=_min_evidence(body))
+        if action == "delete":
+            return service.delete_rows(
+                tenant, body.get("rows"), min_evidence=_min_evidence(body)
             )
         raise ServiceError(f"unknown tenant action {action!r}", status=404)
 

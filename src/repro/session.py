@@ -55,6 +55,7 @@ from .cleaning.detector import DetectionReport, ErrorDetector
 from .cleaning.repair import Repairer, RepairResult
 from .core.pfd import PFD, prime_for_pfds, prime_partitions_for_pfds
 from .dataset.csvio import estimate_csv_rows, read_csv
+from .dataset.mutations import MutationBatch, MutationResult
 from .dataset.profiler import TableProfile, profile_relation
 from .dataset.relation import Relation
 from .dataset.schema import Schema
@@ -303,6 +304,10 @@ class CleaningSession:
         #: First row id of the batches appended via :meth:`append` that
         #: :meth:`detect_new` has not yet examined (None = no pending delta).
         self._delta_start: Optional[int] = None
+        #: Row ids touched by :meth:`apply` / :meth:`update` / :meth:`delete`
+        #: (and appends) that :meth:`detect_changed` has not yet examined
+        #: (None = no pending CRUD delta).
+        self._changed_pending: Optional[set[int]] = None
 
     # -- constructors --------------------------------------------------------
 
@@ -431,36 +436,118 @@ class CleaningSession:
             self._repair = None
             self._validation = None
             self._delta_start = None
+            self._changed_pending = None
 
     def _mark(self, stage: str) -> None:
         self._stages_run[stage] = None
 
     # -- ingestion -----------------------------------------------------------
 
-    def append(self, rows) -> range:
-        """Append a batch of tuples, keeping the discovered PFDs.
+    def apply(self, batch: MutationBatch) -> MutationResult:
+        """Apply a mutation batch, keeping the discovered PFDs.
 
-        Routes through :meth:`Relation.append_rows`, so the engine caches —
-        dictionaries, pattern-match masks, stripped partitions — are delta-
-        maintained rather than rebuilt.  The memoized *discovery* survives
-        (the whole point of ingestion is validating new data against the
-        constraints already learned); detection / repair / validation memos
-        are dropped, since their reports describe the pre-append table.
-        Returns the appended row-id range; consecutive appends accumulate
-        into one pending delta for :meth:`detect_new`.
+        The unified CRUD entry point: routes through
+        :meth:`Relation.apply`, so the engine caches — dictionaries,
+        pattern-match masks, stripped partitions — are delta-maintained
+        rather than rebuilt.  The memoized *discovery* survives (the whole
+        point of ingestion is validating new data against the constraints
+        already learned); detection / repair / validation memos are dropped,
+        since their reports describe the pre-mutation table.  Consecutive
+        batches accumulate into one pending CRUD delta for
+        :meth:`detect_changed` (appends additionally feed the append-only
+        delta :meth:`detect_new` consumes).  A batch with no effective
+        change (every assignment matched the stored value, nothing appended
+        or deleted) leaves every memo — including a pending delta — intact.
         """
         with self._state_lock:
             self._sync()
             discovery = self._discovery
-            pending = self._delta_start
-            appended = self.relation.append_rows(rows)
-            if not len(appended):
-                return appended
+            pending_start = self._delta_start
+            pending_changed = self._changed_pending
+            result = self.relation.apply(batch)
+            if not result:
+                return result
             self.invalidate()
             self._discovery = discovery
-            self._delta_start = pending if pending is not None else appended.start
-            self._mark("append")
-            return appended
+            if len(result.appended):
+                self._delta_start = (
+                    pending_start if pending_start is not None else result.appended.start
+                )
+            else:
+                self._delta_start = pending_start
+            changed = set(pending_changed or ())
+            changed.update(result.changed_rows)
+            self._changed_pending = changed
+            self._mark("apply")
+            return result
+
+    def append(self, rows) -> range:
+        """Append a batch of tuples: a one-op :meth:`apply`.
+
+        Returns the appended row-id range; consecutive appends accumulate
+        into one pending delta for :meth:`detect_new` (and, like every
+        mutation, into the CRUD delta for :meth:`detect_changed`).
+        """
+        with self._state_lock:
+            result = self.apply(MutationBatch.appends(rows))
+            if result:
+                self._mark("append")
+            return result.appended
+
+    def update(self, cells) -> MutationResult:
+        """Overwrite ``(row_id, attribute, value)`` cells: a thin
+        :meth:`apply` over :meth:`MutationBatch.update_cells`.
+
+        Returns the :class:`~repro.dataset.mutations.MutationResult`;
+        assignments matching the stored value are dropped, so
+        ``result.updated_rows`` lists only genuinely changed rows.
+        """
+        return self.apply(MutationBatch.update_cells(cells))
+
+    def delete(self, row_ids) -> MutationResult:
+        """Tombstone rows (cells blank, ids stay stable): a thin
+        :meth:`apply` over :meth:`MutationBatch.deletes`."""
+        return self.apply(MutationBatch.deletes(row_ids))
+
+    def detect_changed(
+        self,
+        pfds: Optional[Sequence[PFD]] = None,
+        min_evidence: int = 1,
+    ) -> DetectionReport:
+        """Detect suspect cells around the pending CRUD delta.
+
+        The counterpart of :meth:`detect_new` for arbitrary mutations:
+        scopes the violation search (see
+        :meth:`~repro.cleaning.detector.ErrorDetector.detect` with
+        ``changed_rows``) to the rows touched since the last consumption —
+        updated, deleted, or appended — and the equivalence classes
+        currently containing them, O(delta) on a primed session.  Defaults
+        to the session's discovered PFDs (which :meth:`apply` deliberately
+        preserves).  The pending delta (both the CRUD set and the append
+        watermark) is consumed; a second call without a new mutation
+        raises.  Suspect cells may reference untouched rows when a mutation
+        turns them into the minority of their class.
+        """
+        with self._state_lock:
+            self._sync()
+            if self._changed_pending is None:
+                raise ReproError(
+                    "detect_changed() has no pending mutations: call apply(), "
+                    "update(), delete(), or append() first"
+                )
+            _, resolved = self._resolve_pfds(pfds)
+            workers = self._workers_for()
+            report = ErrorDetector(
+                resolved,
+                min_evidence=min_evidence,
+                evaluator=self.evaluator,
+                workers=workers,
+                executor=self._executor_for(workers),
+            ).detect(self.relation, changed_rows=sorted(self._changed_pending))
+            self._changed_pending = None
+            self._delta_start = None
+            self._mark("detect_changed")
+            return report
 
     def detect_new(
         self,

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..engine.backend import SQL
-from ..engine.dictionary import DictionaryColumn, DictionaryDelta
+from ..engine.dictionary import DictionaryColumn, DictionaryDelta, DictionaryUpdate
 from ..engine.partitions import (
     PartitionKey,
     PartitionManager,
@@ -174,16 +174,24 @@ class SqlStrippedPartition(StrippedPartition):
         rhs_cols: Sequence[int],
         rhs_good_codes: Sequence[Sequence[int]],
         since_row: int,
+        changed_rows: Optional[Sequence[int]] = None,
     ) -> list[tuple]:
         """Covered rows violating a constant tableau row, ascending.
 
         Returns ``(rid, rhs_code_0, rhs_code_1, ...)`` for the covered rows
-        at or after ``since_row`` whose code on *some* RHS attribute is
-        outside that attribute's accepted set — only violating rows leave
-        the database.
+        in scope whose code on *some* RHS attribute is outside that
+        attribute's accepted set — only violating rows leave the database.
+        The scope is rows at or after ``since_row``, or — when
+        ``changed_rows`` is given — exactly that row-id set (the CRUD delta
+        contract of :meth:`repro.core.pfd.PFD.violations`).
         """
         conditions = []
         scratch: list[str] = []
+        if changed_rows is not None:
+            scope_sql, tables = self._store.code_set_sql("r.rid", changed_rows)
+            scratch.extend(tables)
+        else:
+            scope_sql = f"r.rid >= {int(since_row)}"
         for col, good in zip(rhs_cols, rhs_good_codes):
             if good:
                 in_sql, tables = self._store.code_set_sql(f"r.c{col}", good)
@@ -194,7 +202,7 @@ class SqlStrippedPartition(StrippedPartition):
         columns = ", ".join(f"r.c{col}" for col in rhs_cols)
         sql = (
             f"SELECT r.rid, {columns} FROM {self._sql_from} "
-            f"WHERE {self._sql_where} AND r.rid >= {int(since_row)} "
+            f"WHERE {self._sql_where} AND {scope_sql} "
             f"AND ({' OR '.join(conditions)}) ORDER BY r.rid"
         )
         try:
@@ -208,15 +216,18 @@ class SqlStrippedPartition(StrippedPartition):
         rhs_cols: Sequence[int],
         bucket_tables: Sequence[str],
         since_row: int,
+        changed_rows: Optional[Sequence[int]] = None,
     ) -> list[tuple[int, ...]]:
         """The stripped classes that can violate a variable tableau row.
 
         ``bucket_tables`` map each RHS attribute's codes to RHS-bucket ids
         (matched/constrained vs literal value).  A class violates only if it
         spans >= 2 distinct buckets on some RHS attribute and touches the
-        ``since_row`` delta — both conditions are pushed into one grouped
-        query, so agreeing classes (the vast majority) never leave SQLite.
-        Returned classes are in partition order (smallest member first).
+        delta — rows at or after ``since_row``, or the explicit
+        ``changed_rows`` id set when given — both conditions are pushed into
+        one grouped query, so agreeing classes (the vast majority) never
+        leave SQLite.  Returned classes are in partition order (smallest
+        member first).
         """
         joins = " ".join(
             f"JOIN {table} b{i} ON b{i}.code = r.c{col}"
@@ -225,12 +236,22 @@ class SqlStrippedPartition(StrippedPartition):
         disagree = " OR ".join(
             f"COUNT(DISTINCT b{i}.comp) >= 2" for i in range(len(rhs_cols))
         )
+        phase1_scratch: list[str] = []
+        if changed_rows is not None:
+            rid_in_sql, phase1_scratch = self._store.code_set_sql("r.rid", changed_rows)
+            touches = f"SUM(CASE WHEN {rid_in_sql} THEN 1 ELSE 0 END) > 0"
+        else:
+            touches = f"MAX(r.rid) >= {int(since_row)}"
         phase1 = (
             f"SELECT {self._sql_group} AS g FROM {self._sql_from} {joins} "
             f"WHERE {self._sql_where} GROUP BY g "
-            f"HAVING COUNT(*) >= 2 AND MAX(r.rid) >= {int(since_row)} AND ({disagree})"
+            f"HAVING COUNT(*) >= 2 AND {touches} AND ({disagree})"
         )
-        group_keys = [row[0] for row in self._store.execute(phase1).fetchall()]
+        try:
+            group_keys = [row[0] for row in self._store.execute(phase1).fetchall()]
+        finally:
+            for table in phase1_scratch:
+                self._store.drop_table(table)
         if not group_keys:
             return []
         in_sql, scratch = self._store.code_set_sql(self._sql_group, group_keys)
@@ -365,6 +386,48 @@ class SqlPartitionManager(PartitionManager):
         partition = self._sql_pattern_partition(state)
         self._pattern[key] = partition
         self.stats.pattern_extends += 1
+        return partition
+
+    def update_attribute(self, attribute: str, update: DictionaryUpdate) -> StrippedPartition:
+        column = self._relation.dictionary(attribute)
+        if not isinstance(column, SqlDictionaryColumn):
+            return super().update_attribute(attribute, update)
+        if self._attribute.get(attribute) is None:
+            return self.attribute_partition(attribute)
+        # The updated cells are already in the store's rows table; a fresh
+        # spec snapshot (re-checked empty code, new materialization caches)
+        # *is* the patched partition — SQLite regroups on demand.
+        partition = self._sql_attribute_partition(attribute)
+        self._attribute[attribute] = partition
+        self.stats.attribute_updates += 1
+        return partition
+
+    def update_pattern(self, key: PartitionKey, update: DictionaryUpdate) -> StrippedPartition:
+        state = self._pattern_groups.get(key)
+        if not isinstance(state, SqlPatternState):
+            return super().update_pattern(key, update)
+        if self._pattern.get(key) is None:
+            return self._pattern_partition(key, None)
+        # Values first seen by the update get matched and appended to the
+        # (code, comp) scratch map — codes never renumber, so existing map
+        # rows stay valid; the refreshed spec then regroups in SQLite.
+        column = self._relation.dictionary(key.attribute)
+        compiled = key.pattern
+        assert compiled is not None
+        new_pairs: list[tuple[int, int]] = []
+        for code in range(len(state.components), column.distinct_count):
+            value = column.values[code]
+            state.append_component(value, compiled.match(value) if value else None)
+            component = state.components[code]
+            if component is not None:
+                new_pairs.append(
+                    (code, state.comp_of.setdefault(component, len(state.comp_of)))
+                )
+        if new_pairs:
+            self._store.extend_int_map(state.table, new_pairs)
+        partition = self._sql_pattern_partition(state)
+        self._pattern[key] = partition
+        self.stats.pattern_updates += 1
         return partition
 
     # -- invalidation (also releases the scratch tables) ----------------------

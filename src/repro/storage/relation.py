@@ -17,12 +17,13 @@ list of boxed ints.
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterator, Mapping, Optional, Sequence, Union
 
-from ..dataset.relation import Relation, _normalize_cell
+from ..dataset.relation import Relation
 from ..dataset.schema import Schema
 from ..engine.backend import SQL, resolve_backend
-from ..engine.dictionary import DictionaryColumn, DictionaryDelta
+from ..engine.dictionary import DictionaryColumn, DictionaryDelta, DictionaryUpdate
 from ..exceptions import SchemaError
 from .store import BATCH_ROWS, SqlStore
 
@@ -45,6 +46,7 @@ class SqlDictionaryColumn(DictionaryColumn):
         self._rows_by_code = None
         self._counts = store.counts[attribute]
         self._counts_array = None
+        self.has_updates = store.has_updates
         self._store = store
         self._col_index = store.column_index(attribute)
 
@@ -75,6 +77,11 @@ class SqlDictionaryColumn(DictionaryColumn):
             "not directly"
         )
 
+    def update_rows(self, assignments) -> DictionaryUpdate:
+        raise RuntimeError(
+            "SqlDictionaryColumn is updated through SqlRelation.apply, not directly"
+        )
+
     def _apply_delta(self, delta: DictionaryDelta) -> None:
         """Mirror a store append into this wrapper (same patching contract
         as :meth:`DictionaryColumn.extend`)."""
@@ -91,6 +98,28 @@ class SqlDictionaryColumn(DictionaryColumn):
             for offset, code in enumerate(delta.appended_codes):
                 self._rows_by_code[code].append(delta.start_row + offset)
         self._counts_array = None
+
+    def _apply_update(self, update: DictionaryUpdate) -> None:
+        """Mirror a store update into this wrapper (same patching contract
+        as :meth:`DictionaryColumn.update_rows`): the counts list is shared
+        live with the store, so only the values snapshot and any
+        materialized per-row structures need patching."""
+        store_values = self._store.values[self.attribute]
+        if len(store_values) > len(self.values):
+            self.values = self.values + tuple(store_values[len(self.values) :])
+        if self._codes is not None:
+            for row_id, _old_code, new_code in update.assignments:
+                self._codes[row_id] = new_code
+        if self._rows_by_code is not None:
+            while len(self._rows_by_code) < len(self.values):
+                self._rows_by_code.append([])
+            for row_id, old_code, new_code in update.assignments:
+                old_rows = self._rows_by_code[old_code]
+                del old_rows[bisect.bisect_left(old_rows, row_id)]
+                bisect.insort(self._rows_by_code[new_code], row_id)
+        self._counts_array = None
+        if update:
+            self.has_updates = True
 
 
 class SqlRelation(Relation):
@@ -123,6 +152,7 @@ class SqlRelation(Relation):
         self._dictionaries = {}
         self._partitions = None
         self._version = 0
+        self._deleted = set()
         if columns:
             names = schema.attribute_names
             cols = {name: columns.get(name, []) for name in names}
@@ -241,13 +271,26 @@ class SqlRelation(Relation):
         self._version += 1
         return range(start, start + len(normalized))
 
-    def set_cell(self, row_id: int, name: str, value: object) -> None:
-        self.schema.position(name)
-        self._store.update_cell(row_id, name, _normalize_cell(value))
-        self._dictionaries.pop(name, None)
-        if self._partitions is not None:
-            self._partitions.invalidate_attribute(name)
-        self._version += 1
+    def _apply_assignments(self, assignments):
+        """Route validated cell assignments through the store.
+
+        The store is the single encode authority for the sql backend: it
+        drops no-op assignments, pushes ``UPDATE rows SET c<i> = ?`` batches
+        down to SQLite, and returns the effective
+        :class:`~repro.engine.dictionary.DictionaryUpdate` per attribute.
+        Cached wrappers are patched in place so evaluator masks survive;
+        the inherited :meth:`Relation.apply` then re-snapshots the touched
+        partition specs.
+        """
+        results = self._store.update_rows(assignments)
+        updates = {name: update for name, update in results.items() if update}
+        touched = set(updates)
+        changed = {row for update in updates.values() for row in update.rows}
+        for name, update in updates.items():
+            wrapper = self._dictionaries.get(name)
+            if wrapper is not None:
+                wrapper._apply_update(update)
+        return updates, touched, changed
 
     # -- derivation -----------------------------------------------------------
 
@@ -260,6 +303,7 @@ class SqlRelation(Relation):
         clone._dictionaries = {}
         clone._partitions = None
         clone._version = 0
+        clone._deleted = set(self._deleted)
         return clone
 
     def project(self, names: Sequence[str], name: Optional[str] = None) -> "SqlRelation":

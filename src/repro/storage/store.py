@@ -25,7 +25,7 @@ import sqlite3
 from array import array
 from typing import Iterable, Iterator, Optional, Sequence
 
-from ..engine.dictionary import DictionaryDelta
+from ..engine.dictionary import DictionaryDelta, DictionaryUpdate
 
 #: Rows per INSERT batch during ingestion/copy (peak-memory bound).
 BATCH_ROWS = 8192
@@ -48,6 +48,9 @@ class SqlStore:
         self.counts: dict[str, list[int]] = {name: [] for name in self.attributes}
         self._positions = {name: i for i, name in enumerate(self.attributes)}
         self._temp_serial = 0
+        # True once any in-place update has run (mirrors
+        # DictionaryColumn.has_updates for wrappers built after the fact).
+        self.has_updates = False
         # sqlite3.connect("") creates a private temporary *on-disk* database
         # that SQLite deletes when the connection closes.
         self._conn = sqlite3.connect("")
@@ -233,13 +236,68 @@ class SqlStore:
             return
         self.counts[name][old_code] -= 1
         self.counts[name][code] += 1
+        self.has_updates = True
         self._conn.execute(f"UPDATE rows SET c{col} = ? WHERE rid = ?", (code, row_id))
+
+    def update_rows(
+        self, assignments: "dict[str, dict[int, str]]"
+    ) -> dict[str, DictionaryUpdate]:
+        """Batch-overwrite cells; returns one effective update per attribute.
+
+        ``assignments`` maps attribute name -> ``{row_id: new_value}``.  New
+        distinct values get fresh codes after all existing ones (same
+        first-seen contract as :meth:`append`); codes whose last row is
+        rewritten away become zero-count tombstones, never renumbered.
+        Assignments matching the stored value are dropped, so the returned
+        :class:`DictionaryUpdate` objects carry effective changes only.
+        """
+        results: dict[str, DictionaryUpdate] = {}
+        for name in self.attributes:
+            per_attr = assignments.get(name)
+            if not per_attr:
+                continue
+            col = self.column_index(name)
+            values = self.values[name]
+            code_of = self.code_of[name]
+            counts = self.counts[name]
+            old_distinct = len(values)
+            effective: list[tuple[int, int, int]] = []
+            writes: list[tuple[int, int]] = []
+            new_vals: list[tuple[str, int, str]] = []
+            for row_id in sorted(per_attr):
+                value = per_attr[row_id]
+                old_code = self.code_at(row_id, col)
+                code = code_of.get(value)
+                if code is None:
+                    code = len(code_of)
+                    code_of[value] = code
+                    values.append(value)
+                    counts.append(0)
+                    new_vals.append((name, code, value))
+                if code == old_code:
+                    continue
+                counts[old_code] -= 1
+                counts[code] += 1
+                effective.append((row_id, old_code, code))
+                writes.append((code, row_id))
+            if new_vals:
+                self._conn.executemany("INSERT INTO vals VALUES (?, ?, ?)", new_vals)
+            if writes:
+                self._conn.executemany(f"UPDATE rows SET c{col} = ? WHERE rid = ?", writes)
+                self.has_updates = True
+            results[name] = DictionaryUpdate(
+                attribute=name,
+                assignments=tuple(effective),
+                old_distinct_count=old_distinct,
+            )
+        return results
 
     # -- copy -----------------------------------------------------------------
 
     def copy(self) -> "SqlStore":
         """An independent store with identical rows, codes, and dictionaries."""
         clone = SqlStore(self.attributes)
+        clone.has_updates = self.has_updates
         for name in self.attributes:
             clone.values[name] = list(self.values[name])
             clone.code_of[name] = dict(self.code_of[name])

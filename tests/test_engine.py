@@ -39,24 +39,26 @@ def test_dictionary_column_broadcast_codes_preserves_row_order():
     assert rows == [0, 2, 3]
 
 
-def test_relation_dictionary_is_cached_and_invalidated():
+def test_relation_dictionary_is_cached_and_patched_in_place():
     relation = Relation.from_rows(["a", "b"], [("1", "x"), ("2", "y"), ("1", "x")])
     first = relation.dictionary("a")
     assert relation.dictionary("a") is first
 
+    # set_cell patches the dictionary in place (identity kept, so evaluator
+    # caches keyed on the object survive): the new value gets a fresh code
+    # at the end, the old value keeps its slot for its remaining row.
     relation.set_cell(0, "a", "9")
-    rebuilt = relation.dictionary("a")
-    assert rebuilt is not first
-    assert rebuilt.values == ("9", "2", "1")
+    assert relation.dictionary("a") is first
+    assert first.values == ("1", "2", "9")
+    assert list(first.codes) == [2, 1, 0]
 
-    # set_cell on one column leaves the other column's dictionary cached.
+    # set_cell on one column leaves the other column's dictionary untouched.
     b_dict = relation.dictionary("b")
     relation.set_cell(1, "a", "7")
     assert relation.dictionary("b") is b_dict
 
-    # append_row extends every cached dictionary in place (identity kept, so
-    # evaluator caches keyed on the object survive the append).
-    relation.append_row(("3", "z"))
+    # append_rows extends every cached dictionary in place too.
+    relation.append_rows([("3", "z")])
     assert relation.dictionary("b") is b_dict
     assert relation.dictionary("b").row_count == 4
     assert relation.dictionary("b").values == ("x", "y", "z")

@@ -205,12 +205,26 @@ class TestAppendRows:
         relation.append_rows([("2",)])
         assert relation.dictionary("a").values == ("1", "2")
 
-    def test_set_cell_still_invalidates(self):
+    def test_set_cell_patches_the_dictionary_in_place(self):
         relation = Relation.from_rows(["a", "b"], [("1", "x"), ("2", "y")])
         relation.append_rows([("3", "z")])
         dictionary = relation.dictionary("a")
+        version = relation.version
         relation.set_cell(0, "a", "9")
-        assert relation.dictionary("a") is not dictionary
+        # The dictionary object survives (memoized evaluator masks stay
+        # valid); the old code becomes a zero-count tombstone.
+        assert relation.dictionary("a") is dictionary
+        assert relation.version == version + 1
+        assert dictionary.values == ("1", "2", "3", "9")
+        assert list(dictionary.codes) == [3, 1, 2]
+        assert dictionary.counts()[0] == 0
+        assert relation.cell(0, "a") == "9"
+
+    def test_set_cell_noop_write_does_not_bump_version(self):
+        relation = Relation.from_rows(["a"], [("1",), ("2",)])
+        version = relation.version
+        relation.set_cell(1, "a", "2")
+        assert relation.version == version
 
 
 class TestSessionIngestion:

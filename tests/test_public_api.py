@@ -39,6 +39,15 @@ EXPECTED_ALL = {
     "Schema",
     "read_csv",
     "write_csv",
+    # mutations (the unified CRUD entry point)
+    "MutationBatch",
+    "MutationResult",
+    "UpsertOp",
+    "UpdateOp",
+    "DeleteOp",
+    "batch_from_document",
+    # scenario suite
+    "ScenarioSpec",
     # engine
     "DictionaryColumn",
     "DictionaryDelta",
